@@ -1,0 +1,46 @@
+//! Bit error injection throughput: uniform chips vs profiled chips.
+
+use bitrobust_biterror::{ChipKind, ErrorInjector, ProfiledChip, UniformChip};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_uniform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uniform_inject_64k_words");
+    group.throughput(Throughput::Elements(65_536));
+    for p in [0.001, 0.01, 0.1] {
+        let chip = UniformChip::new(7);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("p{p}")), &p, |b, &p| {
+            let mut words = vec![0x5Au8; 65_536];
+            b.iter(|| chip.at_rate(p).inject(std::hint::black_box(&mut words), 8, 0))
+        });
+    }
+    group.finish();
+}
+
+fn bench_profiled(c: &mut Criterion) {
+    let chip = ProfiledChip::synthesize(ChipKind::Chip1, 1);
+    let v = chip.voltage_for_rate(0.01);
+    let mut group = c.benchmark_group("profiled_inject_64k_words");
+    group.throughput(Throughput::Elements(65_536));
+    group.bench_function("chip1_p1pct", |b| {
+        let mut words = vec![0x5Au8; 65_536];
+        b.iter(|| chip.at_voltage(v, 0, false).inject(std::hint::black_box(&mut words), 8, 0))
+    });
+    group.finish();
+}
+
+fn bench_chip_synthesis(c: &mut Criterion) {
+    c.bench_function("synthesize_chip1", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            ProfiledChip::synthesize(ChipKind::Chip1, std::hint::black_box(seed))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_uniform, bench_profiled, bench_chip_synthesis
+}
+criterion_main!(benches);

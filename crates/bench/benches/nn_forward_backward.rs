@@ -1,0 +1,35 @@
+//! Forward and forward+backward throughput of the SimpleNet substrate.
+
+use bitrobust_core::{build, ArchKind, NormKind};
+use bitrobust_nn::{CrossEntropyLoss, Mode};
+use bitrobust_tensor::Tensor;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::SeedableRng;
+
+fn bench_forward(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let built = build(ArchKind::SimpleNet, [3, 16, 16], 10, NormKind::Group, &mut rng);
+    let mut model = built.model;
+    let x = Tensor::randn(&[32, 3, 16, 16], 1.0, &mut rng);
+
+    let mut group = c.benchmark_group("simplenet_batch32");
+    group.throughput(Throughput::Elements(32));
+    group.sample_size(20);
+    group.bench_function("forward_eval", |b| {
+        b.iter(|| model.forward(std::hint::black_box(&x), Mode::Eval))
+    });
+    let labels: Vec<usize> = (0..32).map(|i| i % 10).collect();
+    let loss = CrossEntropyLoss::new();
+    group.bench_function("forward_backward", |b| {
+        b.iter(|| {
+            model.zero_grads();
+            let logits = model.forward(std::hint::black_box(&x), Mode::Train);
+            let out = loss.compute(&logits, &labels);
+            model.backward(&out.grad)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Quantize/dequantize throughput across the scheme lattice.
+
+use bitrobust_quant::QuantScheme;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_quantize(c: &mut Criterion) {
+    let weights: Vec<f32> = (0..65_536).map(|i| ((i % 997) as f32 - 498.0) * 1e-3).collect();
+    let mut group = c.benchmark_group("quantize_64k");
+    group.throughput(Throughput::Elements(weights.len() as u64));
+    for (name, scheme) in [
+        ("normal8", QuantScheme::normal(8)),
+        ("rquant8", QuantScheme::rquant(8)),
+        ("rquant4", QuantScheme::rquant(4)),
+        ("global8", QuantScheme::eq1_global(8)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &scheme, |b, s| {
+            b.iter(|| s.quantize(std::hint::black_box(&weights)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dequantize(c: &mut Criterion) {
+    let weights: Vec<f32> = (0..65_536).map(|i| ((i % 997) as f32 - 498.0) * 1e-3).collect();
+    let mut group = c.benchmark_group("dequantize_64k");
+    group.throughput(Throughput::Elements(weights.len() as u64));
+    for (name, scheme) in [("rquant8", QuantScheme::rquant(8)), ("normal8", QuantScheme::normal(8))] {
+        let q = scheme.quantize(&weights);
+        let mut out = vec![0f32; weights.len()];
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| q.dequantize_into(std::hint::black_box(&mut out)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quantize, bench_dequantize);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! End-to-end robust evaluation cost: quantize → inject → dequantize →
+//! forward over a test set, per simulated chip.
+
+use bitrobust_core::{build, robust_eval_uniform, ArchKind, NormKind, QuantizedModel};
+use bitrobust_data::SynthDataset;
+use bitrobust_nn::Mode;
+use bitrobust_quant::QuantScheme;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+
+fn bench_robust_eval(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let built = build(ArchKind::Mlp, [1, 14, 14], 10, NormKind::Group, &mut rng);
+    let mut model = built.model;
+    let (_, test_ds) = SynthDataset::Mnist.generate(0);
+
+    let mut group = c.benchmark_group("robust_eval");
+    group.sample_size(10);
+    group.bench_function("mlp_1chip_1000ex", |b| {
+        b.iter(|| {
+            robust_eval_uniform(
+                &mut model,
+                QuantScheme::rquant(8),
+                &test_ds,
+                0.01,
+                1,
+                42,
+                256,
+                Mode::Eval,
+            )
+        })
+    });
+    group.bench_function("quantize_model", |b| {
+        b.iter(|| QuantizedModel::quantize(&mut model, QuantScheme::rquant(8)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_robust_eval);
+criterion_main!(benches);

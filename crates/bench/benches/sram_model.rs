@@ -1,0 +1,33 @@
+//! SRAM model costs: rate queries, inverse solves, array sampling and
+//! characterization.
+
+use bitrobust_sram::{characterize, CellProfile, SramArray, VoltageErrorModel};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+
+fn bench_sram(c: &mut Criterion) {
+    let model = VoltageErrorModel::chandramoorthy14nm();
+    c.bench_function("rate_at", |b| b.iter(|| model.rate_at(std::hint::black_box(0.85))));
+    c.bench_function("voltage_for_rate", |b| {
+        b.iter(|| model.voltage_for_rate(std::hint::black_box(0.01)))
+    });
+
+    let mut group = c.benchmark_group("arrays");
+    group.sample_size(10);
+    group.bench_function("sample_512x64", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        b.iter(|| SramArray::sample(512, 64, &model, &CellProfile::uniform(), &mut rng))
+    });
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let arrays: Vec<SramArray> = (0..4)
+        .map(|_| SramArray::sample(512, 64, &model, &CellProfile::uniform(), &mut rng))
+        .collect();
+    group.bench_function("characterize_4x512x64_11v", |b| {
+        let voltages: Vec<f64> = (0..11).map(|i| 0.75 + 0.025 * i as f64).collect();
+        b.iter(|| characterize(std::hint::black_box(&arrays), &voltages))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sram);
+criterion_main!(benches);

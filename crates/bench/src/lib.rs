@@ -1,0 +1,7 @@
+//! # bitrobust-bench
+//!
+//! Criterion benchmarks for the bitrobust substrates. See the `benches/`
+//! directory: quantization throughput, bit error injection, NN
+//! forward/backward, end-to-end robust evaluation, and the SRAM models.
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,41 @@
+//! The injection abstraction shared by all error models.
+
+/// Injects bit errors into quantized weight words.
+///
+/// `words` holds one weight per `u8` with the low `bits` bits live (see
+/// `bitrobust_quant::QuantizedTensor`); implementations must not touch the
+/// dead high bits. `word_offset` is the index of `words[0]` within the
+/// network's global, linearized weight vector — passing each parameter
+/// tensor with its running offset makes the whole network see one
+/// consistent chip-wide error pattern (the paper's linear weight-to-memory
+/// mapping, Sec. 3).
+pub trait ErrorInjector {
+    /// XORs the model's bit errors into `words`.
+    fn inject(&self, words: &mut [u8], bits: u8, word_offset: usize);
+}
+
+impl<T: ErrorInjector + ?Sized> ErrorInjector for &T {
+    fn inject(&self, words: &mut [u8], bits: u8, word_offset: usize) {
+        (**self).inject(words, bits, word_offset);
+    }
+}
+
+/// An injector that does nothing (clean evaluation).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoErrors;
+
+impl ErrorInjector for NoErrors {
+    fn inject(&self, _words: &mut [u8], _bits: u8, _word_offset: usize) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_errors_is_identity() {
+        let mut words = vec![0x3Au8; 16];
+        NoErrors.inject(&mut words, 8, 0);
+        assert!(words.iter().all(|&w| w == 0x3A));
+    }
+}

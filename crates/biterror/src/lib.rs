@@ -1,0 +1,45 @@
+//! # bitrobust-biterror
+//!
+//! Low-voltage bit error models for the Rust reproduction of *"Bit Error
+//! Robustness for Energy-Efficient DNN Accelerators"* (Stutz et al.,
+//! MLSys 2021).
+//!
+//! Two families of error models implement the common [`ErrorInjector`]
+//! trait:
+//!
+//! * [`UniformChip`] — the paper's random bit error model `BErr_p`
+//!   (Sec. 3): every bit of every weight flips independently with
+//!   probability `p`. A chip is a seed; its pattern is a pure function of
+//!   `(seed, weight, bit)`, so the flips at `p' ≤ p` are a subset of the
+//!   flips at `p` (errors "inherited" across voltages) with zero storage.
+//! * [`ProfiledChip`] — synthesized chips with the statistical structure of
+//!   the paper's profiled 14 nm SRAM maps (Fig. 3/8, App. C.1): exponential
+//!   rate-vs-voltage, column-aligned faults, 0-to-1/1-to-0 bias, and a
+//!   persistent/transient split, with configurable weight-to-memory
+//!   mapping offsets.
+//!
+//! # Examples
+//!
+//! ```
+//! use bitrobust_biterror::{expected_bit_errors, ErrorInjector, UniformChip};
+//! use bitrobust_quant::QuantScheme;
+//!
+//! // Quantize a weight vector and hit it with p = 1% random bit errors.
+//! let scheme = QuantScheme::rquant(8);
+//! let mut q = scheme.quantize(&vec![0.05f32; 4096]);
+//! UniformChip::new(42).at_rate(0.01).inject(q.words_mut(), 8, 0);
+//! println!("expected flips: {}", expected_bit_errors(0.01, 4096, 8));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hash;
+mod inject;
+mod profiled;
+mod uniform;
+
+pub use hash::{hash_u64, hash_unit};
+pub use inject::{ErrorInjector, NoErrors};
+pub use profiled::{ChipKind, ProfiledChip, ProfiledInjector};
+pub use uniform::{expected_bit_errors, UniformChip, UniformInjector};

@@ -1,0 +1,100 @@
+//! Energy/robustness trade-off analysis (combining Fig. 1 and Fig. 2).
+
+use bitrobust_sram::{EnergyModel, VoltageErrorModel};
+
+/// One operating point: a tolerated bit error rate, the voltage it permits,
+/// the SRAM access energy saving, and the robust error paid for it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TradeoffPoint {
+    /// Tolerated bit error rate.
+    pub p: f64,
+    /// Normalized operating voltage `V/Vmin`.
+    pub voltage: f64,
+    /// Relative SRAM access-energy saving vs operating at `Vmin`.
+    pub energy_saving: f64,
+    /// Robust test error at this rate, in `[0, 1]`.
+    pub robust_error: f64,
+}
+
+/// Maps a measured `(p, RErr)` curve onto voltage and energy axes.
+///
+/// This is the computation behind the paper's headline claims ("~20% energy
+/// saving within 1% accuracy", "30% at p = 1%"): each point of the RErr
+/// curve of Fig. 2 is matched with the voltage/energy of Fig. 1.
+pub fn energy_tradeoff(
+    rerr_curve: &[(f64, f64)],
+    volts: &VoltageErrorModel,
+    energy: &EnergyModel,
+) -> Vec<TradeoffPoint> {
+    rerr_curve
+        .iter()
+        .map(|&(p, rerr)| {
+            let voltage = if p > 0.0 { volts.voltage_for_rate(p) } else { 1.0 };
+            TradeoffPoint {
+                p,
+                voltage,
+                energy_saving: energy.saving_at(voltage),
+                robust_error: rerr,
+            }
+        })
+        .collect()
+}
+
+/// The largest energy saving achievable while keeping `RErr` within
+/// `budget` of `clean_err` (both in `[0, 1]`). Returns `None` if no point
+/// qualifies.
+pub fn best_saving_within(
+    points: &[TradeoffPoint],
+    clean_err: f64,
+    budget: f64,
+) -> Option<TradeoffPoint> {
+    points
+        .iter()
+        .filter(|pt| pt.robust_error <= clean_err + budget)
+        .max_by(|a, b| a.energy_saving.total_cmp(&b.energy_saving))
+        .copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn models() -> (VoltageErrorModel, EnergyModel) {
+        (VoltageErrorModel::chandramoorthy14nm(), EnergyModel::default())
+    }
+
+    #[test]
+    fn tradeoff_is_monotone() {
+        let (v, e) = models();
+        let curve = [(1e-4, 0.05), (1e-3, 0.055), (1e-2, 0.07)];
+        let pts = energy_tradeoff(&curve, &v, &e);
+        assert_eq!(pts.len(), 3);
+        assert!(pts[0].voltage > pts[1].voltage && pts[1].voltage > pts[2].voltage);
+        assert!(pts[0].energy_saving < pts[2].energy_saving);
+    }
+
+    #[test]
+    fn zero_rate_maps_to_vmin() {
+        let (v, e) = models();
+        let pts = energy_tradeoff(&[(0.0, 0.04)], &v, &e);
+        assert_eq!(pts[0].voltage, 1.0);
+        assert!(pts[0].energy_saving.abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_saving_respects_budget() {
+        let (v, e) = models();
+        let curve = [(1e-4, 0.05), (1e-3, 0.06), (1e-2, 0.08), (2.5e-2, 0.30)];
+        let pts = energy_tradeoff(&curve, &v, &e);
+        let best = best_saving_within(&pts, 0.05, 0.03).unwrap();
+        assert_eq!(best.p, 1e-2, "p=1% is the best point within a 3% budget");
+        assert!(best_saving_within(&pts, 0.05, 0.001).unwrap().p < 1e-2);
+    }
+
+    #[test]
+    fn no_point_within_budget_returns_none() {
+        let (v, e) = models();
+        let pts = energy_tradeoff(&[(1e-2, 0.5)], &v, &e);
+        assert!(best_saving_within(&pts, 0.05, 0.01).is_none());
+    }
+}

@@ -1,0 +1,210 @@
+//! Clean and robust evaluation (`Err` and `RErr`, Sec. 5 "Metrics").
+
+use bitrobust_biterror::{ErrorInjector, UniformChip};
+use bitrobust_data::Dataset;
+use bitrobust_nn::{Mode, Model};
+use bitrobust_quant::QuantScheme;
+use bitrobust_tensor::softmax_rows;
+
+use crate::QuantizedModel;
+
+/// Default evaluation batch size.
+pub const EVAL_BATCH: usize = 128;
+
+/// Result of a single (clean or perturbed) evaluation pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalResult {
+    /// Classification error in `[0, 1]`.
+    pub error: f32,
+    /// Mean confidence (softmax probability of the predicted class).
+    pub confidence: f32,
+}
+
+/// Evaluates the model as-is on a dataset.
+pub fn evaluate(model: &mut Model, dataset: &Dataset, batch_size: usize, mode: Mode) -> EvalResult {
+    assert!(batch_size > 0, "batch size must be positive");
+    let mut wrong = 0usize;
+    let mut conf_sum = 0f64;
+    let n = dataset.len();
+    let mut index = 0;
+    while index < n {
+        let end = (index + batch_size).min(n);
+        let indices: Vec<usize> = (index..end).collect();
+        let (x, labels) = dataset.batch(&indices);
+        let logits = model.forward(&x, mode);
+        let probs = softmax_rows(&logits);
+        let preds = probs.argmax_rows();
+        for (row, (&label, &pred)) in labels.iter().zip(&preds).enumerate() {
+            if pred != label {
+                wrong += 1;
+            }
+            conf_sum += probs.row(row)[pred] as f64;
+        }
+        index = end;
+    }
+    EvalResult { error: wrong as f32 / n as f32, confidence: (conf_sum / n as f64) as f32 }
+}
+
+/// Evaluates the model after quantization (the clean `Err` the paper
+/// reports for quantized DNNs). Restores the float weights afterwards.
+pub fn quantized_error(
+    model: &mut Model,
+    scheme: QuantScheme,
+    dataset: &Dataset,
+    batch_size: usize,
+    mode: Mode,
+) -> EvalResult {
+    let snapshot = model.param_tensors();
+    let q = QuantizedModel::quantize(model, scheme);
+    q.write_to(model);
+    let result = evaluate(model, dataset, batch_size, mode);
+    model.set_param_tensors(&snapshot);
+    result
+}
+
+/// Robust test error over a set of error-pattern samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustEval {
+    /// Mean `RErr` over patterns, in `[0, 1]`.
+    pub mean_error: f32,
+    /// Standard deviation of `RErr` over patterns.
+    pub std_error: f32,
+    /// Mean confidence under errors.
+    pub mean_confidence: f32,
+    /// Per-pattern errors.
+    pub errors: Vec<f32>,
+}
+
+impl RobustEval {
+    fn from_results(results: &[EvalResult]) -> Self {
+        assert!(!results.is_empty(), "need at least one error pattern");
+        let n = results.len() as f64;
+        let mean = results.iter().map(|r| r.error as f64).sum::<f64>() / n;
+        let var =
+            results.iter().map(|r| (r.error as f64 - mean).powi(2)).sum::<f64>() / n.max(1.0);
+        let conf = results.iter().map(|r| r.confidence as f64).sum::<f64>() / n;
+        Self {
+            mean_error: mean as f32,
+            std_error: var.sqrt() as f32,
+            mean_confidence: conf as f32,
+            errors: results.iter().map(|r| r.error).collect(),
+        }
+    }
+}
+
+/// Evaluates `RErr`: quantizes the model, then for each injector clones the
+/// quantized image, injects bit errors, and measures test error. Restores
+/// the float weights afterwards.
+///
+/// The injectors are the "chips": for the paper's headline numbers these
+/// are [`UniformChip`]s at a common rate `p` (see [`robust_eval_uniform`]);
+/// for the generalization experiments they are profiled chips at an
+/// operating voltage with varying memory offsets.
+pub fn robust_eval<I: ErrorInjector>(
+    model: &mut Model,
+    scheme: QuantScheme,
+    dataset: &Dataset,
+    injectors: &[I],
+    batch_size: usize,
+    mode: Mode,
+) -> RobustEval {
+    let snapshot = model.param_tensors();
+    let q0 = QuantizedModel::quantize(model, scheme);
+    let mut results = Vec::with_capacity(injectors.len());
+    for injector in injectors {
+        let mut q = q0.clone();
+        q.inject(injector);
+        q.write_to(model);
+        results.push(evaluate(model, dataset, batch_size, mode));
+    }
+    model.set_param_tensors(&snapshot);
+    RobustEval::from_results(&results)
+}
+
+/// [`robust_eval`] against `n_chips` uniform random chips at rate `p`
+/// (the paper's default protocol: 50 chips, fixed seeds, shared across all
+/// models and rates so results are comparable).
+pub fn robust_eval_uniform(
+    model: &mut Model,
+    scheme: QuantScheme,
+    dataset: &Dataset,
+    p: f64,
+    n_chips: usize,
+    chip_seed_base: u64,
+    batch_size: usize,
+    mode: Mode,
+) -> RobustEval {
+    let injectors: Vec<_> =
+        (0..n_chips).map(|c| UniformChip::new(chip_seed_base + c as u64).at_rate(p)).collect();
+    robust_eval(model, scheme, dataset, &injectors, batch_size, mode)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{build, ArchKind, NormKind};
+    use bitrobust_data::SynthDataset;
+    use rand::SeedableRng;
+
+    fn tiny_setup() -> (Model, Dataset) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let built = build(ArchKind::Mlp, [1, 14, 14], 10, NormKind::Group, &mut rng);
+        let (_, test) = SynthDataset::Mnist.generate(0);
+        (built.model, test)
+    }
+
+    #[test]
+    fn untrained_model_is_near_chance() {
+        let (mut model, test) = tiny_setup();
+        let r = evaluate(&mut model, &test, EVAL_BATCH, Mode::Eval);
+        assert!(r.error > 0.6, "untrained error {} should be near chance", r.error);
+        assert!(r.confidence > 0.0 && r.confidence <= 1.0);
+    }
+
+    #[test]
+    fn quantized_error_restores_weights() {
+        let (mut model, test) = tiny_setup();
+        let before = model.param_tensors();
+        let _ = quantized_error(&mut model, QuantScheme::rquant(8), &test, EVAL_BATCH, Mode::Eval);
+        let after = model.param_tensors();
+        for (a, b) in before.iter().zip(&after) {
+            assert_eq!(a, b, "float weights must be restored");
+        }
+    }
+
+    #[test]
+    fn robust_eval_produces_one_result_per_chip() {
+        let (mut model, test) = tiny_setup();
+        let r = robust_eval_uniform(
+            &mut model,
+            QuantScheme::rquant(8),
+            &test,
+            0.01,
+            5,
+            1000,
+            EVAL_BATCH,
+            Mode::Eval,
+        );
+        assert_eq!(r.errors.len(), 5);
+        assert!(r.mean_error >= 0.0 && r.mean_error <= 1.0);
+        assert!(r.std_error >= 0.0);
+    }
+
+    #[test]
+    fn zero_rate_matches_quantized_error() {
+        let (mut model, test) = tiny_setup();
+        let clean = quantized_error(&mut model, QuantScheme::rquant(8), &test, EVAL_BATCH, Mode::Eval);
+        let robust = robust_eval_uniform(
+            &mut model,
+            QuantScheme::rquant(8),
+            &test,
+            0.0,
+            3,
+            1000,
+            EVAL_BATCH,
+            Mode::Eval,
+        );
+        assert!((robust.mean_error - clean.error).abs() < 1e-6);
+        assert_eq!(robust.std_error, 0.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! # bitrobust-core
+//!
+//! The Rust reproduction of *"Bit Error Robustness for Energy-Efficient DNN
+//! Accelerators"* (Stutz, Chandramoorthy, Hein, Schiele — MLSys 2021).
+//!
+//! DNN accelerators can cut SRAM energy quadratically by operating below
+//! the rated voltage `Vmin`, at the cost of exponentially growing random
+//! bit errors in the stored weights. The paper — and this crate — makes
+//! DNNs robust to those errors with three stacked techniques:
+//!
+//! 1. **Robust quantization** (`RQUANT`): per-layer, asymmetric, unsigned
+//!    fixed-point quantization with proper rounding
+//!    ([`bitrobust_quant::QuantScheme::rquant`]).
+//! 2. **Weight clipping** (`CLIPPING`): constraining weights to
+//!    `[-wmax, wmax]` during training, which together with the
+//!    cross-entropy loss forces redundant weight usage
+//!    ([`TrainMethod::Clipping`], [`redundancy_metrics`]).
+//! 3. **Random bit error training** (`RANDBET`, Alg. 1): injecting fresh
+//!    random bit errors into the quantized weights at every training step
+//!    and averaging clean and perturbed gradients
+//!    ([`TrainMethod::RandBet`]).
+//!
+//! The crate also implements the non-generalizing fixed-pattern baseline
+//! (`PATTBET`, [`TrainMethod::PattBet`]), the `Err`/`RErr` evaluation
+//! protocol ([`evaluate`], [`robust_eval_uniform`]), the Prop. 1
+//! generalization bound ([`deviation_bound`]), and the energy trade-off
+//! analysis combining the SRAM voltage/energy models with measured RErr
+//! curves ([`energy_tradeoff`]).
+//!
+//! # Examples
+//!
+//! Train a small model with RandBET and measure its robustness:
+//!
+//! ```no_run
+//! use bitrobust_core::{
+//!     build, robust_eval_uniform, train, ArchKind, NormKind, RandBetVariant, TrainConfig,
+//!     TrainMethod,
+//! };
+//! use bitrobust_data::SynthDataset;
+//! use bitrobust_nn::Mode;
+//! use bitrobust_quant::QuantScheme;
+//! use rand::SeedableRng;
+//!
+//! let (train_ds, test_ds) = SynthDataset::Cifar10.generate(0);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let built = build(ArchKind::SimpleNet, [3, 16, 16], 10, NormKind::Group, &mut rng);
+//! let mut model = built.model;
+//!
+//! let scheme = QuantScheme::rquant(8);
+//! let method = TrainMethod::RandBet {
+//!     wmax: Some(0.1),
+//!     p: 0.01,
+//!     variant: RandBetVariant::Standard,
+//! };
+//! let report = train(&mut model, &train_ds, &test_ds, &TrainConfig::new(Some(scheme), method));
+//! let robust =
+//!     robust_eval_uniform(&mut model, scheme, &test_ds, 0.01, 20, 1000, 128, Mode::Eval);
+//! println!("Err {:.2}% RErr {:.2}%", 100.0 * report.clean_error, 100.0 * robust.mean_error);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arch;
+mod bound;
+mod ecc;
+mod energy;
+mod eval;
+mod probe;
+mod qmodel;
+mod redundancy;
+mod train;
+
+pub use arch::{build, ArchKind, BuiltModel, NormKind};
+pub use bound::{deviation_bound, deviation_probability};
+pub use ecc::{apply_secded, multi_error_probability, DoubleErrorPolicy, EccStats, SecdedConfig};
+pub use energy::{best_saving_within, energy_tradeoff, TradeoffPoint};
+pub use eval::{
+    evaluate, quantized_error, robust_eval, robust_eval_uniform, EvalResult, RobustEval, EVAL_BATCH,
+};
+pub use probe::{ActivationProbe, ProbeHandle, ProbeStats};
+pub use qmodel::QuantizedModel;
+pub use redundancy::{redundancy_metrics, RedundancyMetrics};
+pub use train::{
+    train, PattPattern, RandBetVariant, TrainConfig, TrainMethod, TrainReport,
+};

@@ -1,0 +1,89 @@
+//! A pass-through layer recording activation statistics (for the paper's
+//! redundancy analysis, Fig. 6 / Fig. 10).
+
+use std::sync::{Arc, Mutex};
+
+use bitrobust_nn::{Layer, Mode};
+use bitrobust_tensor::Tensor;
+
+/// Statistics captured by an [`ActivationProbe`] on its most recent forward.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ProbeStats {
+    /// Fraction of strictly positive activations ("ReLU relevance" in
+    /// Fig. 10: how many units the network actually uses).
+    pub fraction_positive: f64,
+    /// Mean absolute activation.
+    pub mean_abs: f64,
+    /// Number of activations observed.
+    pub count: usize,
+}
+
+/// Shared handle to a probe's latest statistics.
+pub type ProbeHandle = Arc<Mutex<ProbeStats>>;
+
+/// Identity layer that records [`ProbeStats`] about its input on every
+/// forward pass.
+///
+/// The architecture builders place one after the final ReLU so experiments
+/// can measure how many units a trained network relies on — the mechanism
+/// behind weight clipping's robustness (Sec. 4.2).
+#[derive(Debug)]
+pub struct ActivationProbe {
+    stats: ProbeHandle,
+}
+
+impl ActivationProbe {
+    /// Creates a probe and returns it with its stats handle.
+    pub fn new() -> (Self, ProbeHandle) {
+        let stats: ProbeHandle = Arc::new(Mutex::new(ProbeStats::default()));
+        (Self { stats: Arc::clone(&stats) }, stats)
+    }
+}
+
+impl Layer for ActivationProbe {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let n = input.numel();
+        if n > 0 {
+            let positive = input.data().iter().filter(|&&v| v > 0.0).count();
+            let mean_abs = input.data().iter().map(|v| v.abs() as f64).sum::<f64>() / n as f64;
+            *self.stats.lock().expect("probe mutex poisoned") = ProbeStats {
+                fraction_positive: positive as f64 / n as f64,
+                mean_abs,
+                count: n,
+            };
+        }
+        input.clone()
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        grad_output.clone()
+    }
+
+    fn layer_type(&self) -> &'static str {
+        "ActivationProbe"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_fraction_positive() {
+        let (mut probe, handle) = ActivationProbe::new();
+        let x = Tensor::from_vec(vec![1, 4], vec![1.0, -1.0, 2.0, 0.0]);
+        let y = probe.forward(&x, Mode::Eval);
+        assert_eq!(y, x);
+        let stats = *handle.lock().unwrap();
+        assert_eq!(stats.fraction_positive, 0.5);
+        assert_eq!(stats.mean_abs, 1.0);
+        assert_eq!(stats.count, 4);
+    }
+
+    #[test]
+    fn backward_is_identity() {
+        let (mut probe, _) = ActivationProbe::new();
+        let g = Tensor::from_vec(vec![2], vec![3.0, -4.0]);
+        assert_eq!(probe.backward(&g), g);
+    }
+}

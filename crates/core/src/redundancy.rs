@@ -1,0 +1,147 @@
+//! Redundancy metrics (Fig. 6 / Fig. 10): why weight clipping helps.
+//!
+//! The paper argues clipping forces the network to spread information over
+//! more weights: the cross-entropy loss demands large logits, clipping caps
+//! individual weights, so *many* weights must contribute — redundancy that
+//! absorbs individual bit errors. These metrics quantify that claim.
+
+use bitrobust_biterror::UniformChip;
+use bitrobust_nn::Model;
+use bitrobust_quant::QuantScheme;
+
+use crate::QuantizedModel;
+
+/// Weight-distribution redundancy metrics for a trained model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RedundancyMetrics {
+    /// Mean absolute bit-error-induced weight perturbation relative to the
+    /// maximum absolute weight ("relative absolute error" in Fig. 10,
+    /// computed at the given bit error rate).
+    pub relative_abs_error: f64,
+    /// `Σ|w| / (max|w| · W)`: how many weights are *relevant* relative to
+    /// the largest ("weight relevance" in Fig. 10, normalized to `[0, 1]`).
+    pub weight_relevance: f64,
+    /// Fraction of exactly-zero quantized weights (log-scale spike of
+    /// Fig. 6 right).
+    pub fraction_zero: f64,
+    /// Fraction of weights with `|w| > 0.5 · max|w|` (large-tail mass).
+    pub fraction_large: f64,
+}
+
+/// Computes redundancy metrics for `model` under `scheme`, measuring the
+/// bit-error perturbation at rate `p` averaged over `n_chips` chips.
+pub fn redundancy_metrics(
+    model: &mut Model,
+    scheme: QuantScheme,
+    p: f64,
+    n_chips: usize,
+    chip_seed_base: u64,
+) -> RedundancyMetrics {
+    let q0 = QuantizedModel::quantize(model, scheme);
+    let clean: Vec<Vec<f32>> = q0.tensors().iter().map(|t| t.dequantize()).collect();
+
+    // Weight-distribution statistics on the clean quantized weights.
+    let mut sum_abs = 0f64;
+    let mut max_abs = 0f64;
+    let mut zeros = 0usize;
+    let mut count = 0usize;
+    for t in &clean {
+        for &w in t {
+            sum_abs += w.abs() as f64;
+            max_abs = max_abs.max(w.abs() as f64);
+            if w == 0.0 {
+                zeros += 1;
+            }
+            count += 1;
+        }
+    }
+    let mut large = 0usize;
+    if max_abs > 0.0 {
+        for t in &clean {
+            for &w in t {
+                if (w.abs() as f64) > 0.5 * max_abs {
+                    large += 1;
+                }
+            }
+        }
+    }
+
+    // Bit-error perturbation magnitude.
+    let mut err_sum = 0f64;
+    let mut err_count = 0usize;
+    for c in 0..n_chips {
+        let mut q = q0.clone();
+        q.inject(&UniformChip::new(chip_seed_base + c as u64).at_rate(p));
+        for (qt, ct) in q.tensors().iter().zip(&clean) {
+            for (d, &cw) in qt.dequantize().iter().zip(ct) {
+                err_sum += (d - cw).abs() as f64;
+                err_count += 1;
+            }
+        }
+    }
+
+    RedundancyMetrics {
+        relative_abs_error: if max_abs > 0.0 {
+            err_sum / err_count.max(1) as f64 / max_abs
+        } else {
+            0.0
+        },
+        weight_relevance: if max_abs > 0.0 { sum_abs / (max_abs * count as f64) } else { 0.0 },
+        fraction_zero: zeros as f64 / count.max(1) as f64,
+        fraction_large: large as f64 / count.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bitrobust_nn::{Linear, Sequential};
+    use rand::SeedableRng;
+
+    fn model_with_weights(f: impl Fn(usize) -> f32) -> Model {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut net = Sequential::new();
+        net.push(Linear::new(32, 32, &mut rng));
+        let mut model = Model::new("m", net);
+        let mut k = 0;
+        model.visit_params(&mut |p| {
+            p.value_mut().map_inplace(|_| {
+                k += 1;
+                f(k)
+            });
+        });
+        model
+    }
+
+    #[test]
+    fn uniform_weights_have_high_relevance() {
+        // All weights equal -> relevance 1.
+        let mut m = model_with_weights(|_| 0.05);
+        let r = redundancy_metrics(&mut m, QuantScheme::rquant(8), 0.01, 2, 0);
+        assert!(r.weight_relevance > 0.95, "relevance {}", r.weight_relevance);
+    }
+
+    #[test]
+    fn spiky_weights_have_low_relevance() {
+        // One dominant weight -> relevance near 0.
+        let mut m = model_with_weights(|k| if k == 1 { 1.0 } else { 0.001 });
+        let r = redundancy_metrics(&mut m, QuantScheme::rquant(8), 0.01, 2, 0);
+        assert!(r.weight_relevance < 0.1, "relevance {}", r.weight_relevance);
+    }
+
+    #[test]
+    fn higher_rate_increases_relative_error() {
+        let mut m = model_with_weights(|k| ((k % 13) as f32 - 6.0) * 0.01);
+        let lo = redundancy_metrics(&mut m, QuantScheme::rquant(8), 0.001, 3, 7);
+        let hi = redundancy_metrics(&mut m, QuantScheme::rquant(8), 0.05, 3, 7);
+        assert!(hi.relative_abs_error > lo.relative_abs_error);
+    }
+
+    #[test]
+    fn fractions_are_probabilities() {
+        let mut m = model_with_weights(|k| (k % 5) as f32 * 0.01);
+        let r = redundancy_metrics(&mut m, QuantScheme::rquant(8), 0.01, 1, 0);
+        assert!((0.0..=1.0).contains(&r.fraction_zero));
+        assert!((0.0..=1.0).contains(&r.fraction_large));
+    }
+}

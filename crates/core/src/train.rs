@@ -1,0 +1,473 @@
+//! Training methods: quantization-aware `NORMAL`/`RQUANT`, `CLIPPING`,
+//! `RANDBET` (Alg. 1 of the paper), and the `PATTBET` baseline.
+
+use bitrobust_biterror::{ChipKind, ProfiledChip, UniformChip};
+use bitrobust_data::{augment_batch, AugmentConfig, Dataset};
+use bitrobust_nn::{CrossEntropyLoss, Mode, Model, MultiStepLr, Sgd};
+use bitrobust_quant::QuantScheme;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::eval::{quantized_error, evaluate, EVAL_BATCH};
+use crate::QuantizedModel;
+
+/// RandBET variants evaluated in Tab. 13.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RandBetVariant {
+    /// Alg. 1: average clean and perturbed gradients in one update.
+    Standard,
+    /// "Curricular": the training bit error rate ramps from `p/20` to `p`
+    /// over the first half of training (as in Koppula et al., 2019).
+    Curricular,
+    /// "Alternating": separate clean and perturbed updates, with perturbed
+    /// updates projected back into the pre-update quantization ranges.
+    Alternating,
+    /// Ablation: train on the perturbed loss only (no clean gradient).
+    /// The paper notes this destabilizes training and hurts clean Err —
+    /// the clean term in Eq. (2) is load-bearing.
+    PerturbedOnly,
+}
+
+/// The fixed error pattern `PATTBET` trains on (Kim et al., 2018 /
+/// Koppula et al., 2019 style co-design baseline).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PattPattern {
+    /// A fixed uniform-random pattern: one [`UniformChip`] at rate `p`.
+    Uniform {
+        /// Chip identity.
+        seed: u64,
+        /// Training bit error rate.
+        p: f64,
+    },
+    /// A profiled chip at the voltage whose measured rate is `rate`.
+    Profiled {
+        /// Which chip structure to synthesize.
+        kind: ChipKind,
+        /// Chip instance seed.
+        seed: u64,
+        /// Target bit error rate (converted to a voltage at train start).
+        rate: f64,
+        /// Restrict to persistent errors (Tab. 16).
+        persistent_only: bool,
+    },
+}
+
+/// The training method (the paper's model names).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrainMethod {
+    /// Plain quantization-aware training (`NORMAL` / `RQUANT`, depending on
+    /// the scheme in [`TrainConfig::scheme`]).
+    Normal,
+    /// Weight clipping to `[-wmax, wmax]` during training (`CLIPPING`).
+    Clipping {
+        /// The clipping bound.
+        wmax: f32,
+    },
+    /// Random bit error training (`RANDBET`, Alg. 1), optionally combined
+    /// with weight clipping.
+    RandBet {
+        /// Optional clipping bound (the paper's `RANDBET_wmax`).
+        wmax: Option<f32>,
+        /// Training bit error rate.
+        p: f64,
+        /// Algorithm variant.
+        variant: RandBetVariant,
+    },
+    /// Fixed-pattern bit error training (`PATTBET`), the non-generalizing
+    /// baseline of Tab. 3 / Tab. 16.
+    PattBet {
+        /// Optional clipping bound.
+        wmax: Option<f32>,
+        /// The fixed pattern.
+        pattern: PattPattern,
+    },
+}
+
+impl TrainMethod {
+    /// The clipping bound, if any.
+    pub fn wmax(&self) -> Option<f32> {
+        match *self {
+            TrainMethod::Normal => None,
+            TrainMethod::Clipping { wmax } => Some(wmax),
+            TrainMethod::RandBet { wmax, .. } => wmax,
+            TrainMethod::PattBet { wmax, .. } => wmax,
+        }
+    }
+}
+
+/// Full training configuration.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Quantization-aware training scheme; `None` trains in float (used for
+    /// the post-training-quantization ablation, Tab. 9 top).
+    pub scheme: Option<QuantScheme>,
+    /// The training method.
+    pub method: TrainMethod,
+    /// Label smoothing target (`Some(0.9)` reproduces the Tab. 2 ablation).
+    pub label_smoothing: Option<f32>,
+    /// Number of epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Initial learning rate (decays ×0.1 after 2/5, 3/5, 4/5 of training).
+    pub lr: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+    /// Data augmentation recipe.
+    pub augment: AugmentConfig,
+    /// Bit error injection starts once the clean loss first drops below
+    /// this threshold (1.75 on MNIST/CIFAR10, 3.5 on CIFAR100).
+    pub warmup_loss: f32,
+    /// RNG seed for shuffling, augmentation, and per-step chips.
+    pub seed: u64,
+}
+
+impl TrainConfig {
+    /// The paper's setup scaled to the synthetic datasets: SGD(0.05, 0.9,
+    /// 5e-4), multi-step decay, CIFAR-style augmentation.
+    pub fn new(scheme: Option<QuantScheme>, method: TrainMethod) -> Self {
+        Self {
+            scheme,
+            method,
+            label_smoothing: None,
+            epochs: 30,
+            batch_size: 64,
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 5e-4,
+            augment: AugmentConfig::cifar(),
+            warmup_loss: 1.75,
+            seed: 0,
+        }
+    }
+}
+
+/// Summary of a completed training run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainReport {
+    /// Mean clean training loss over the final epoch.
+    pub final_loss: f32,
+    /// Clean test error (quantized if a scheme was configured).
+    pub clean_error: f32,
+    /// Mean clean test confidence.
+    pub clean_confidence: f32,
+    /// Epoch at which bit error injection became active (`None` if never).
+    pub bit_errors_started_at: Option<usize>,
+}
+
+enum PattChipState {
+    None,
+    Uniform(UniformChip, f64),
+    Profiled(Box<ProfiledChip>, f64, bool),
+}
+
+/// Trains `model` on `train_ds` according to `cfg`, evaluating on `test_ds`.
+///
+/// Implements Alg. 1 of the paper: per step, clip weights, quantize,
+/// run a clean forward/backward on the dequantized weights, optionally a
+/// perturbed forward/backward on bit-error-injected weights, and apply the
+/// summed gradient to the float weights.
+pub fn train(
+    model: &mut Model,
+    train_ds: &Dataset,
+    test_ds: &Dataset,
+    cfg: &TrainConfig,
+) -> TrainReport {
+    assert!(cfg.epochs > 0, "need at least one epoch");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ 0x7_2A1_17);
+    let loss_fn = match cfg.label_smoothing {
+        Some(tau) => CrossEntropyLoss::with_label_smoothing(tau),
+        None => CrossEntropyLoss::new(),
+    };
+    let mut sgd = Sgd::new(cfg.lr, cfg.momentum, cfg.weight_decay);
+    let schedule = MultiStepLr::paper_schedule(cfg.lr, cfg.epochs);
+
+    let patt_chip = match cfg.method {
+        TrainMethod::PattBet { pattern: PattPattern::Uniform { seed, p }, .. } => {
+            PattChipState::Uniform(UniformChip::new(seed), p)
+        }
+        TrainMethod::PattBet {
+            pattern: PattPattern::Profiled { kind, seed, rate, persistent_only },
+            ..
+        } => {
+            let chip = ProfiledChip::synthesize(kind, seed);
+            let v = chip.voltage_for_rate(rate);
+            PattChipState::Profiled(Box::new(chip), v, persistent_only)
+        }
+        _ => PattChipState::None,
+    };
+
+    let total_steps = cfg.epochs * train_ds.len().div_ceil(cfg.batch_size);
+    let mut step = 0usize;
+    let mut bit_errors_active = false;
+    let mut bit_errors_started_at = None;
+    let mut final_loss = f32::INFINITY;
+
+    for epoch in 0..cfg.epochs {
+        sgd.set_lr(schedule.lr_at(epoch));
+        let mut epoch_loss = 0f64;
+        let mut batches = 0usize;
+        for (mut x, labels) in train_ds.shuffled_batches(cfg.batch_size, &mut rng) {
+            augment_batch(&mut x, &cfg.augment, &mut rng);
+
+            // Alg. 1 line 6: elementwise clipping.
+            if let Some(wmax) = cfg.method.wmax() {
+                model.clip_params(wmax);
+            }
+            let float_params = model.param_tensors();
+
+            // Alg. 1 lines 8-9: quantize and dequantize.
+            let quantized = cfg.scheme.map(|scheme| {
+                let q = QuantizedModel::quantize(model, scheme);
+                q.write_to(model);
+                q
+            });
+
+            // Clean forward (Alg. 1 line 10); the loss also drives the
+            // warm-up latch.
+            model.zero_grads();
+            let logits = model.forward(&x, Mode::Train);
+            let out = loss_fn.compute(&logits, &labels);
+            epoch_loss += out.loss as f64;
+            batches += 1;
+
+            if !bit_errors_active && out.loss < cfg.warmup_loss {
+                bit_errors_active = true;
+                bit_errors_started_at = Some(epoch);
+            }
+
+            let inject_now = bit_errors_active
+                && matches!(
+                    cfg.method,
+                    TrainMethod::RandBet { .. } | TrainMethod::PattBet { .. }
+                );
+
+            // Clean backward (Alg. 1 line 11), unless this step trains on
+            // the perturbed loss alone (the PerturbedOnly ablation).
+            let perturbed_only = inject_now
+                && matches!(
+                    cfg.method,
+                    TrainMethod::RandBet { variant: RandBetVariant::PerturbedOnly, .. }
+                );
+            if !perturbed_only {
+                model.backward(&out.grad);
+            }
+
+            let alternating = matches!(
+                cfg.method,
+                TrainMethod::RandBet { variant: RandBetVariant::Alternating, .. }
+            );
+
+            if inject_now {
+                let q = quantized.as_ref().expect("bit error training requires a quantization scheme");
+                if alternating {
+                    // Variant: apply the clean update first.
+                    model.set_param_tensors(&float_params);
+                    sgd.step(model);
+                    model.zero_grads();
+                    // Record ranges to project the perturbed update into.
+                    let ranges: Vec<_> = q.tensors().iter().map(|t| t.range()).collect();
+                    let after_clean = model.param_tensors();
+                    let q2 = perturb(model, q, &cfg.method, &patt_chip, step, total_steps, &mut rng);
+                    q2.write_to(model);
+                    let logits = model.forward(&x, Mode::Train);
+                    let out = loss_fn.compute(&logits, &labels);
+                    model.backward(&out.grad);
+                    model.set_param_tensors(&after_clean);
+                    sgd.step(model);
+                    // Projection: perturbed updates may not grow the ranges.
+                    let mut idx = 0;
+                    model.visit_params(&mut |p| {
+                        let r = ranges[idx];
+                        p.value_mut().map_inplace(|v| v.clamp(r.lo(), r.hi()));
+                        idx += 1;
+                    });
+                    step += 1;
+                    continue;
+                }
+                // Alg. 1 lines 12-14: perturbed forward/backward.
+                let q2 = perturb(model, q, &cfg.method, &patt_chip, step, total_steps, &mut rng);
+                q2.write_to(model);
+                let logits = model.forward(&x, Mode::Train);
+                let out = loss_fn.compute(&logits, &labels);
+                model.backward(&out.grad);
+            }
+
+            // Alg. 1 line 16: update the float weights with the summed
+            // gradients.
+            model.set_param_tensors(&float_params);
+            sgd.step(model);
+            step += 1;
+        }
+        final_loss = (epoch_loss / batches.max(1) as f64) as f32;
+    }
+
+    // Final projection + evaluation.
+    if let Some(wmax) = cfg.method.wmax() {
+        model.clip_params(wmax);
+    }
+    let result = match cfg.scheme {
+        Some(scheme) => quantized_error(model, scheme, test_ds, EVAL_BATCH, Mode::Eval),
+        None => evaluate(model, test_ds, EVAL_BATCH, Mode::Eval),
+    };
+    model.clear_caches();
+    TrainReport {
+        final_loss,
+        clean_error: result.error,
+        clean_confidence: result.confidence,
+        bit_errors_started_at,
+    }
+}
+
+/// Produces the perturbed quantized image for the current step.
+fn perturb(
+    _model: &mut Model,
+    q: &QuantizedModel,
+    method: &TrainMethod,
+    patt: &PattChipState,
+    step: usize,
+    total_steps: usize,
+    rng: &mut impl Rng,
+) -> QuantizedModel {
+    let mut q2 = q.clone();
+    match (method, patt) {
+        (TrainMethod::RandBet { p, variant, .. }, _) => {
+            let p_eff = match variant {
+                RandBetVariant::Curricular => {
+                    let ramp = (step as f64 / (total_steps as f64 / 2.0)).min(1.0);
+                    p * (0.05 + 0.95 * ramp)
+                }
+                _ => *p,
+            };
+            // A fresh random chip every step: this is what makes RandBET
+            // generalize across chips and voltages.
+            let chip = UniformChip::new(rng.gen());
+            q2.inject(&chip.at_rate(p_eff));
+        }
+        (TrainMethod::PattBet { .. }, PattChipState::Uniform(chip, p)) => {
+            q2.inject(&chip.at_rate(*p));
+        }
+        (TrainMethod::PattBet { .. }, PattChipState::Profiled(chip, v, persistent_only)) => {
+            q2.inject(&chip.at_voltage(*v, 0, *persistent_only));
+        }
+        _ => unreachable!("perturb called for a method without bit errors"),
+    }
+    q2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{build, ArchKind, NormKind};
+    use bitrobust_data::SynthDataset;
+
+    fn quick_cfg(method: TrainMethod) -> TrainConfig {
+        let mut cfg = TrainConfig::new(Some(QuantScheme::rquant(8)), method);
+        cfg.epochs = 3;
+        cfg.batch_size = 128;
+        cfg.augment = AugmentConfig::none();
+        cfg
+    }
+
+    fn mnist_subset() -> (Dataset, Dataset) {
+        let (train, test) = SynthDataset::Mnist.generate(1);
+        // Use a subset to keep unit tests fast.
+        let train_idx: Vec<usize> = (0..600).collect();
+        let test_idx: Vec<usize> = (0..300).collect();
+        let (xt, yt) = train.batch(&train_idx);
+        let (xe, ye) = test.batch(&test_idx);
+        (
+            Dataset::new("train", xt, yt, 10),
+            Dataset::new("test", xe, ye, 10),
+        )
+    }
+
+    #[test]
+    fn normal_training_learns_mnist_subset() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let built = build(ArchKind::Mlp, [1, 14, 14], 10, NormKind::Group, &mut rng);
+        let mut model = built.model;
+        let (train_ds, test_ds) = mnist_subset();
+        let report = train(&mut model, &train_ds, &test_ds, &quick_cfg(TrainMethod::Normal));
+        assert!(report.clean_error < 0.5, "error {} should beat chance", report.clean_error);
+        assert!(report.final_loss < 1.5, "loss {}", report.final_loss);
+    }
+
+    #[test]
+    fn clipping_constrains_weights() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let built = build(ArchKind::Mlp, [1, 14, 14], 10, NormKind::Group, &mut rng);
+        let mut model = built.model;
+        let (train_ds, test_ds) = mnist_subset();
+        let _ = train(
+            &mut model,
+            &train_ds,
+            &test_ds,
+            &quick_cfg(TrainMethod::Clipping { wmax: 0.1 }),
+        );
+        model.visit_params(&mut |p| {
+            assert!(p.value().abs_max() <= 0.1 + 1e-6);
+        });
+    }
+
+    #[test]
+    fn randbet_runs_and_reports_injection_start() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let built = build(ArchKind::Mlp, [1, 14, 14], 10, NormKind::Group, &mut rng);
+        let mut model = built.model;
+        let (train_ds, test_ds) = mnist_subset();
+        let mut cfg = quick_cfg(TrainMethod::RandBet {
+            wmax: Some(0.1),
+            p: 0.01,
+            variant: RandBetVariant::Standard,
+        });
+        cfg.warmup_loss = 100.0; // inject from the start
+        let report = train(&mut model, &train_ds, &test_ds, &cfg);
+        assert_eq!(report.bit_errors_started_at, Some(0));
+        assert!(report.clean_error < 0.6);
+    }
+
+    #[test]
+    fn pattbet_uniform_trains() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let built = build(ArchKind::Mlp, [1, 14, 14], 10, NormKind::Group, &mut rng);
+        let mut model = built.model;
+        let (train_ds, test_ds) = mnist_subset();
+        let mut cfg = quick_cfg(TrainMethod::PattBet {
+            wmax: Some(0.1),
+            pattern: PattPattern::Uniform { seed: 77, p: 0.01 },
+        });
+        cfg.warmup_loss = 100.0;
+        let report = train(&mut model, &train_ds, &test_ds, &cfg);
+        assert!(report.clean_error < 0.6);
+    }
+
+    #[test]
+    fn variants_run() {
+        for variant in [RandBetVariant::Curricular, RandBetVariant::Alternating] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+            let built = build(ArchKind::Mlp, [1, 14, 14], 10, NormKind::Group, &mut rng);
+            let mut model = built.model;
+            let (train_ds, test_ds) = mnist_subset();
+            let mut cfg = quick_cfg(TrainMethod::RandBet { wmax: Some(0.1), p: 0.005, variant });
+            cfg.warmup_loss = 100.0;
+            cfg.epochs = 2;
+            let report = train(&mut model, &train_ds, &test_ds, &cfg);
+            assert!(report.clean_error.is_finite());
+        }
+    }
+
+    #[test]
+    fn float_training_without_scheme_works() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let built = build(ArchKind::Mlp, [1, 14, 14], 10, NormKind::Group, &mut rng);
+        let mut model = built.model;
+        let (train_ds, test_ds) = mnist_subset();
+        let mut cfg = quick_cfg(TrainMethod::Clipping { wmax: 0.1 });
+        cfg.scheme = None;
+        let report = train(&mut model, &train_ds, &test_ds, &cfg);
+        assert!(report.clean_error < 0.6);
+    }
+}

@@ -1,0 +1,169 @@
+//! Training-time augmentation (the paper's crop + Cutout setup, scaled to
+//! the synthetic images; AutoAugment's learned policies are out of scope
+//! and orthogonal to weight robustness).
+
+use bitrobust_tensor::Tensor;
+use rand::Rng;
+
+/// Augmentation configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AugmentConfig {
+    /// Random-crop padding in pixels (0 disables).
+    pub crop_pad: usize,
+    /// Whether to apply random horizontal flips.
+    pub flip: bool,
+    /// Cutout square side length (0 disables).
+    pub cutout: usize,
+}
+
+impl AugmentConfig {
+    /// The CIFAR-style recipe: 2-pixel shifts, flips, 4×4 cutout.
+    pub fn cifar() -> Self {
+        Self { crop_pad: 2, flip: true, cutout: 4 }
+    }
+
+    /// The MNIST-style recipe: small shifts only.
+    pub fn mnist() -> Self {
+        Self { crop_pad: 1, flip: false, cutout: 0 }
+    }
+
+    /// No augmentation.
+    pub fn none() -> Self {
+        Self { crop_pad: 0, flip: false, cutout: 0 }
+    }
+}
+
+/// Applies the augmentation in place to a `[batch, c, h, w]` tensor.
+///
+/// # Panics
+///
+/// Panics if `images` is not 4-D.
+pub fn augment_batch(images: &mut Tensor, cfg: &AugmentConfig, rng: &mut impl Rng) {
+    assert_eq!(images.ndim(), 4, "augment_batch expects [batch, c, h, w]");
+    let (batch, c, h, w) = (images.dim(0), images.dim(1), images.dim(2), images.dim(3));
+    let sample = c * h * w;
+    let data = images.data_mut();
+    let mut scratch = vec![0f32; sample];
+    for b in 0..batch {
+        let img = &mut data[b * sample..(b + 1) * sample];
+        if cfg.crop_pad > 0 {
+            let pad = cfg.crop_pad as isize;
+            let dy = rng.gen_range(-pad..=pad);
+            let dx = rng.gen_range(-pad..=pad);
+            if dy != 0 || dx != 0 {
+                shift_into(img, &mut scratch, c, h, w, dy, dx);
+                img.copy_from_slice(&scratch);
+            }
+        }
+        if cfg.flip && rng.gen::<bool>() {
+            flip_horizontal(img, c, h, w);
+        }
+        if cfg.cutout > 0 {
+            let cy = rng.gen_range(0..h);
+            let cx = rng.gen_range(0..w);
+            cutout(img, c, h, w, cy, cx, cfg.cutout);
+        }
+    }
+}
+
+/// Shifts an image by `(dy, dx)`, zero-filling exposed borders.
+fn shift_into(src: &[f32], dst: &mut [f32], c: usize, h: usize, w: usize, dy: isize, dx: isize) {
+    for ch in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                let sy = y as isize - dy;
+                let sx = x as isize - dx;
+                dst[(ch * h + y) * w + x] =
+                    if (0..h as isize).contains(&sy) && (0..w as isize).contains(&sx) {
+                        src[(ch * h + sy as usize) * w + sx as usize]
+                    } else {
+                        0.0
+                    };
+            }
+        }
+    }
+}
+
+fn flip_horizontal(img: &mut [f32], c: usize, h: usize, w: usize) {
+    for ch in 0..c {
+        for y in 0..h {
+            let row = &mut img[(ch * h + y) * w..(ch * h + y + 1) * w];
+            row.reverse();
+        }
+    }
+}
+
+/// Zeroes a `size × size` square centred at `(cy, cx)` (clipped to bounds).
+fn cutout(img: &mut [f32], c: usize, h: usize, w: usize, cy: usize, cx: usize, size: usize) {
+    let half = size / 2;
+    let y0 = cy.saturating_sub(half);
+    let x0 = cx.saturating_sub(half);
+    let y1 = (cy + half).min(h);
+    let x1 = (cx + half).min(w);
+    for ch in 0..c {
+        for y in y0..y1 {
+            for x in x0..x1 {
+                img[(ch * h + y) * w + x] = 0.0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_config_is_identity() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let orig = Tensor::from_fn(&[2, 1, 4, 4], |i| i as f32);
+        let mut img = orig.clone();
+        augment_batch(&mut img, &AugmentConfig::none(), &mut rng);
+        assert_eq!(img, orig);
+    }
+
+    #[test]
+    fn flip_is_an_involution() {
+        let mut img: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let orig = img.clone();
+        flip_horizontal(&mut img, 1, 4, 4);
+        assert_ne!(img, orig);
+        flip_horizontal(&mut img, 1, 4, 4);
+        assert_eq!(img, orig);
+    }
+
+    #[test]
+    fn shift_moves_content() {
+        let src: Vec<f32> = (0..9).map(|i| i as f32).collect();
+        let mut dst = vec![0f32; 9];
+        shift_into(&src, &mut dst, 1, 3, 3, 1, 0); // down by 1
+        assert_eq!(dst[3], src[0]);
+        assert_eq!(&dst[0..3], &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn cutout_zeroes_a_region() {
+        let mut img = vec![1f32; 36];
+        cutout(&mut img, 1, 6, 6, 3, 3, 4);
+        let zeros = img.iter().filter(|&&v| v == 0.0).count();
+        assert_eq!(zeros, 16);
+    }
+
+    #[test]
+    fn cutout_clips_at_borders() {
+        let mut img = vec![1f32; 16];
+        cutout(&mut img, 1, 4, 4, 0, 0, 4);
+        let zeros = img.iter().filter(|&&v| v == 0.0).count();
+        assert_eq!(zeros, 4); // 2x2 survives clipping
+    }
+
+    #[test]
+    fn augment_changes_most_images_with_cifar_recipe() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let orig = Tensor::from_fn(&[8, 3, 8, 8], |i| (i % 97) as f32);
+        let mut img = orig.clone();
+        augment_batch(&mut img, &AugmentConfig::cifar(), &mut rng);
+        assert_ne!(img, orig);
+    }
+}

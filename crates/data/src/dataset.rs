@@ -1,0 +1,143 @@
+//! In-memory labeled image datasets.
+
+use bitrobust_tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A labeled image-classification dataset held in memory.
+///
+/// Images are `[n, channels, height, width]`, labels are class indices.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    name: String,
+    images: Tensor,
+    labels: Vec<usize>,
+    n_classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes/labels disagree or a label is out of range.
+    pub fn new(name: impl Into<String>, images: Tensor, labels: Vec<usize>, n_classes: usize) -> Self {
+        assert_eq!(images.ndim(), 4, "images must be [n, c, h, w]");
+        assert_eq!(images.dim(0), labels.len(), "image/label count mismatch");
+        assert!(labels.iter().all(|&l| l < n_classes), "label out of range");
+        Self { name: name.into(), images, labels, n_classes }
+    }
+
+    /// Dataset name (e.g. `"synth-cifar10/train"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// `[channels, height, width]` of each image.
+    pub fn image_shape(&self) -> [usize; 3] {
+        [self.images.dim(1), self.images.dim(2), self.images.dim(3)]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// The full image tensor.
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// Gathers the examples at `indices` into a batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let [c, h, w] = self.image_shape();
+        let sample = c * h * w;
+        let mut data = Vec::with_capacity(indices.len() * sample);
+        let mut labels = Vec::with_capacity(indices.len());
+        let src = self.images.data();
+        for &i in indices {
+            assert!(i < self.len(), "index {i} out of range");
+            data.extend_from_slice(&src[i * sample..(i + 1) * sample]);
+            labels.push(self.labels[i]);
+        }
+        (Tensor::from_vec(vec![indices.len(), c, h, w], data), labels)
+    }
+
+    /// Iterates over shuffled mini-batches for one epoch.
+    pub fn shuffled_batches<'a, R: Rng>(
+        &'a self,
+        batch_size: usize,
+        rng: &mut R,
+    ) -> Vec<(Tensor, Vec<usize>)> {
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        indices.shuffle(rng);
+        indices.chunks(batch_size).map(|chunk| self.batch(chunk)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn tiny() -> Dataset {
+        let images = Tensor::from_fn(&[4, 1, 2, 2], |i| i as f32);
+        Dataset::new("tiny", images, vec![0, 1, 0, 1], 2)
+    }
+
+    #[test]
+    fn accessors() {
+        let d = tiny();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.n_classes(), 2);
+        assert_eq!(d.image_shape(), [1, 2, 2]);
+    }
+
+    #[test]
+    fn batch_gathers_in_order() {
+        let d = tiny();
+        let (x, y) = d.batch(&[2, 0]);
+        assert_eq!(x.shape(), &[2, 1, 2, 2]);
+        assert_eq!(y, vec![0, 0]);
+        assert_eq!(x.data()[0], 8.0); // first pixel of sample 2
+        assert_eq!(x.data()[4], 0.0); // first pixel of sample 0
+    }
+
+    #[test]
+    fn shuffled_batches_cover_dataset() {
+        let d = tiny();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let batches = d.shuffled_batches(3, &mut rng);
+        let total: usize = batches.iter().map(|(_, y)| y.len()).sum();
+        assert_eq!(total, 4);
+        assert_eq!(batches[0].1.len(), 3);
+        assert_eq!(batches[1].1.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_bad_labels() {
+        let images = Tensor::zeros(&[1, 1, 2, 2]);
+        let _ = Dataset::new("bad", images, vec![5], 2);
+    }
+}

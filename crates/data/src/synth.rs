@@ -1,0 +1,356 @@
+//! Deterministic synthetic stand-ins for MNIST / CIFAR10 / CIFAR100.
+//!
+//! The reproduced paper's techniques (robust quantization, weight clipping,
+//! random bit error training) act on *weights*; the datasets' role in the
+//! evaluation is to provide three difficulty levels (MNIST ≪ CIFAR10 <
+//! CIFAR100) on which clean accuracy and robust accuracy can be traded
+//! off. These generators preserve that structure without requiring dataset
+//! downloads: each class is a smooth random prototype field; samples are
+//! prototypes under amplitude jitter, spatial shifts, optional flips,
+//! smooth distractor fields, and pixel noise. CIFAR100 prototypes are drawn
+//! from 10 superclass clusters, making classes mutually confusable.
+
+use bitrobust_tensor::Tensor;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::Dataset;
+
+/// Which synthetic dataset to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SynthDataset {
+    /// 1×14×14, 10 well-separated classes (stands in for MNIST).
+    Mnist,
+    /// 3×16×16, 10 moderately confusable classes (stands in for CIFAR10).
+    Cifar10,
+    /// 3×16×16, 100 clustered classes (stands in for CIFAR100).
+    Cifar100,
+}
+
+/// Generation parameters for one synthetic dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct SynthSpec {
+    /// Image channels.
+    pub channels: usize,
+    /// Image height and width.
+    pub size: usize,
+    /// Number of classes.
+    pub n_classes: usize,
+    /// Training examples.
+    pub train: usize,
+    /// Test examples.
+    pub test: usize,
+    /// Pixel noise standard deviation.
+    pub noise: f32,
+    /// Amplitude of the per-sample smooth distractor field.
+    pub distractor: f32,
+    /// Maximum spatial shift (pixels) applied as nuisance.
+    pub max_shift: isize,
+    /// Whether horizontal flips are part of the data distribution.
+    pub flips: bool,
+    /// Number of superclass clusters (1 = independent prototypes).
+    pub clusters: usize,
+    /// Prototype share drawn from the cluster center (vs class-specific).
+    pub cluster_mix: f32,
+}
+
+impl SynthDataset {
+    /// The generation parameters for this dataset.
+    pub fn spec(self) -> SynthSpec {
+        match self {
+            SynthDataset::Mnist => SynthSpec {
+                channels: 1,
+                size: 14,
+                n_classes: 10,
+                train: 2000,
+                test: 1000,
+                noise: 0.40,
+                distractor: 0.35,
+                max_shift: 1,
+                flips: false,
+                clusters: 1,
+                cluster_mix: 0.0,
+            },
+            SynthDataset::Cifar10 => SynthSpec {
+                channels: 3,
+                size: 16,
+                n_classes: 10,
+                train: 3000,
+                test: 1000,
+                noise: 0.45,
+                distractor: 0.75,
+                max_shift: 2,
+                flips: true,
+                clusters: 1,
+                cluster_mix: 0.0,
+            },
+            SynthDataset::Cifar100 => SynthSpec {
+                channels: 3,
+                size: 16,
+                n_classes: 100,
+                train: 6000,
+                test: 1500,
+                noise: 0.32,
+                distractor: 0.45,
+                max_shift: 2,
+                flips: true,
+                clusters: 10,
+                cluster_mix: 0.20,
+            },
+        }
+    }
+
+    /// Canonical name (`"synth-mnist"` etc.).
+    pub fn name(self) -> &'static str {
+        match self {
+            SynthDataset::Mnist => "synth-mnist",
+            SynthDataset::Cifar10 => "synth-cifar10",
+            SynthDataset::Cifar100 => "synth-cifar100",
+        }
+    }
+
+    /// Generates the train/test pair deterministically from `seed`.
+    pub fn generate(self, seed: u64) -> (Dataset, Dataset) {
+        let spec = self.spec();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xDA7A_5E7 ^ (self as u64) << 32);
+
+        // Class prototypes: smooth fields, optionally clustered.
+        let centers: Vec<Vec<f32>> = (0..spec.clusters)
+            .map(|_| smooth_field(spec.channels, spec.size, 3, 1.0, &mut rng))
+            .collect();
+        let prototypes: Vec<Vec<f32>> = (0..spec.n_classes)
+            .map(|class| {
+                let own = smooth_field(spec.channels, spec.size, 4, 1.0, &mut rng);
+                if spec.clusters > 1 {
+                    let center = &centers[class % spec.clusters];
+                    own.iter()
+                        .zip(center)
+                        .map(|(o, c)| spec.cluster_mix * c + (1.0 - spec.cluster_mix) * o)
+                        .collect()
+                } else {
+                    own
+                }
+            })
+            .collect();
+
+        let train = self.sample_split("train", &spec, &prototypes, spec.train, &mut rng);
+        let test = self.sample_split("test", &spec, &prototypes, spec.test, &mut rng);
+        (train, test)
+    }
+
+    fn sample_split(
+        self,
+        split: &str,
+        spec: &SynthSpec,
+        prototypes: &[Vec<f32>],
+        n: usize,
+        rng: &mut impl Rng,
+    ) -> Dataset {
+        let sample_len = spec.channels * spec.size * spec.size;
+        let mut data = Vec::with_capacity(n * sample_len);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % spec.n_classes; // balanced classes
+            labels.push(class);
+            let amplitude = 0.8 + 0.4 * rng.gen::<f32>();
+            let dx = rng.gen_range(-spec.max_shift..=spec.max_shift);
+            let dy = rng.gen_range(-spec.max_shift..=spec.max_shift);
+            let flip = spec.flips && rng.gen::<bool>();
+            let distractor = smooth_field(spec.channels, spec.size, 4, spec.distractor, rng);
+            let proto = &prototypes[class];
+            for c in 0..spec.channels {
+                for y in 0..spec.size {
+                    for x in 0..spec.size {
+                        let sx = if flip { spec.size - 1 - x } else { x };
+                        let py = y as isize + dy;
+                        let px = sx as isize + dx;
+                        let base = if (0..spec.size as isize).contains(&py)
+                            && (0..spec.size as isize).contains(&px)
+                        {
+                            proto[(c * spec.size + py as usize) * spec.size + px as usize]
+                        } else {
+                            0.0
+                        };
+                        let d = distractor[(c * spec.size + y) * spec.size + x];
+                        let noise = spec.noise * gaussian(rng);
+                        data.push(amplitude * base + d + noise);
+                    }
+                }
+            }
+        }
+        let images =
+            Tensor::from_vec(vec![n, spec.channels, spec.size, spec.size], data);
+        Dataset::new(format!("{}/{split}", self.name()), images, labels, spec.n_classes)
+    }
+}
+
+/// A smooth random field: coarse Gaussian grid, bilinearly upsampled.
+fn smooth_field(
+    channels: usize,
+    size: usize,
+    grid: usize,
+    amplitude: f32,
+    rng: &mut impl Rng,
+) -> Vec<f32> {
+    let mut out = vec![0f32; channels * size * size];
+    for c in 0..channels {
+        let coarse: Vec<f32> = (0..grid * grid).map(|_| amplitude * gaussian(rng)).collect();
+        for y in 0..size {
+            for x in 0..size {
+                // Map pixel to coarse-grid coordinates.
+                let gy = y as f32 / (size - 1) as f32 * (grid - 1) as f32;
+                let gx = x as f32 / (size - 1) as f32 * (grid - 1) as f32;
+                let (y0, x0) = (gy.floor() as usize, gx.floor() as usize);
+                let (y1, x1) = ((y0 + 1).min(grid - 1), (x0 + 1).min(grid - 1));
+                let (fy, fx) = (gy - y0 as f32, gx - x0 as f32);
+                let v = coarse[y0 * grid + x0] * (1.0 - fy) * (1.0 - fx)
+                    + coarse[y0 * grid + x1] * (1.0 - fy) * fx
+                    + coarse[y1 * grid + x0] * fy * (1.0 - fx)
+                    + coarse[y1 * grid + x1] * fy * fx;
+                out[(c * size + y) * size + x] = v;
+            }
+        }
+    }
+    out
+}
+
+fn gaussian(rng: &mut impl Rng) -> f32 {
+    loop {
+        let u1: f64 = rng.gen();
+        let u2: f64 = rng.gen();
+        if u1 > f64::MIN_POSITIVE {
+            let r = (-2.0 * u1.ln()).sqrt();
+            return (r * (2.0 * std::f64::consts::PI * u2).cos()) as f32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (a_train, _) = SynthDataset::Cifar10.generate(7);
+        let (b_train, _) = SynthDataset::Cifar10.generate(7);
+        assert_eq!(a_train.images(), b_train.images());
+        assert_eq!(a_train.labels(), b_train.labels());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (a, _) = SynthDataset::Mnist.generate(1);
+        let (b, _) = SynthDataset::Mnist.generate(2);
+        assert_ne!(a.images(), b.images());
+    }
+
+    #[test]
+    fn specs_have_expected_shapes() {
+        let (train, test) = SynthDataset::Mnist.generate(0);
+        assert_eq!(train.image_shape(), [1, 14, 14]);
+        assert_eq!(train.len(), 2000);
+        assert_eq!(test.len(), 1000);
+        assert_eq!(train.n_classes(), 10);
+
+        let (train, _) = SynthDataset::Cifar100.generate(0);
+        assert_eq!(train.image_shape(), [3, 16, 16]);
+        assert_eq!(train.n_classes(), 100);
+    }
+
+    #[test]
+    fn classes_are_balanced() {
+        let (train, _) = SynthDataset::Cifar10.generate(3);
+        let mut counts = vec![0usize; 10];
+        for &l in train.labels() {
+            counts[l] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 300));
+    }
+
+    #[test]
+    fn nearest_prototype_classification_beats_chance() {
+        // The class signal must be recoverable: classify test samples by
+        // correlation with per-class training means.
+        let (train, test) = SynthDataset::Cifar10.generate(5);
+        let [c, h, w] = train.image_shape();
+        let dim = c * h * w;
+        let mut means = vec![vec![0f32; dim]; 10];
+        let mut counts = vec![0usize; 10];
+        for i in 0..train.len() {
+            let label = train.labels()[i];
+            counts[label] += 1;
+            for d in 0..dim {
+                means[label][d] += train.images().data()[i * dim + d];
+            }
+        }
+        for (m, &cnt) in means.iter_mut().zip(&counts) {
+            for v in m.iter_mut() {
+                *v /= cnt as f32;
+            }
+        }
+        let mut correct = 0;
+        for i in 0..test.len() {
+            let img = &test.images().data()[i * dim..(i + 1) * dim];
+            let mut best = 0;
+            let mut best_score = f32::NEG_INFINITY;
+            for (k, m) in means.iter().enumerate() {
+                let score: f32 = img.iter().zip(m).map(|(a, b)| a * b).sum();
+                if score > best_score {
+                    best_score = score;
+                    best = k;
+                }
+            }
+            if best == test.labels()[i] {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / test.len() as f64;
+        assert!(acc > 0.3, "nearest-mean accuracy {acc} too close to chance (0.1)");
+    }
+
+    #[test]
+    fn cifar100_is_harder_than_cifar10_for_nearest_mean() {
+        // Confusable clustered prototypes + 100 classes must reduce the
+        // linear separability relative to cifar10.
+        fn nearest_mean_acc(ds: SynthDataset, seed: u64) -> f64 {
+            let (train, test) = ds.generate(seed);
+            let [c, h, w] = train.image_shape();
+            let dim = c * h * w;
+            let k = train.n_classes();
+            let mut means = vec![vec![0f32; dim]; k];
+            let mut counts = vec![0usize; k];
+            for i in 0..train.len() {
+                let label = train.labels()[i];
+                counts[label] += 1;
+                for d in 0..dim {
+                    means[label][d] += train.images().data()[i * dim + d];
+                }
+            }
+            for (m, &cnt) in means.iter_mut().zip(&counts) {
+                for v in m.iter_mut() {
+                    *v /= cnt.max(1) as f32;
+                }
+            }
+            let mut correct = 0;
+            for i in 0..test.len() {
+                let img = &test.images().data()[i * dim..(i + 1) * dim];
+                let mut best = 0;
+                let mut best_score = f32::NEG_INFINITY;
+                for (kk, m) in means.iter().enumerate() {
+                    let score: f32 = img.iter().zip(m).map(|(a, b)| a * b).sum();
+                    if score > best_score {
+                        best_score = score;
+                        best = kk;
+                    }
+                }
+                if best == test.labels()[i] {
+                    correct += 1;
+                }
+            }
+            correct as f64 / test.len() as f64
+        }
+        let c10 = nearest_mean_acc(SynthDataset::Cifar10, 9);
+        let c100 = nearest_mean_acc(SynthDataset::Cifar100, 9);
+        assert!(c100 < c10, "cifar100 ({c100}) must be harder than cifar10 ({c10})");
+    }
+}

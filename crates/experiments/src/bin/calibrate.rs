@@ -1,0 +1,52 @@
+//! Calibration utility: reports training throughput, clean accuracy, and
+//! baseline robustness for each synthetic dataset. Useful for sizing epoch
+//! budgets before running the full experiment suite.
+
+use std::time::Instant;
+
+use bitrobust_core::{robust_eval_uniform, ArchKind, NormKind, TrainMethod};
+use bitrobust_experiments::zoo::ZooSpec;
+use bitrobust_experiments::{dataset_pair, zoo_model, DatasetKind, ExpOptions, Table};
+use bitrobust_nn::Mode;
+use bitrobust_quant::QuantScheme;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let mut table = Table::new(&["dataset", "arch", "params", "train s", "Err %", "RErr p=0.5% %"]);
+
+    for kind in [DatasetKind::Mnist, DatasetKind::Cifar10, DatasetKind::Cifar100] {
+        let (train_ds, test_ds) = dataset_pair(kind, opts.seed);
+        let mut spec = ZooSpec::new(kind, Some(QuantScheme::rquant(8)), TrainMethod::Normal);
+        spec.epochs = opts.epochs(kind.default_epochs());
+        spec.seed = opts.seed;
+        let start = Instant::now();
+        let (mut model, report) = zoo_model(&spec, &train_ds, &test_ds, opts.no_cache);
+        let train_time = start.elapsed().as_secs_f64();
+        let robust = robust_eval_uniform(
+            &mut model,
+            QuantScheme::rquant(8),
+            &test_ds,
+            0.005,
+            opts.chips.min(10),
+            1000,
+            128,
+            Mode::Eval,
+        );
+        let arch_name = match spec.arch {
+            ArchKind::SimpleNet => "simplenet",
+            ArchKind::WideSimpleNet => "wide-simplenet",
+            ArchKind::ResNetMini => "resnet-mini",
+            ArchKind::Mlp => "mlp",
+        };
+        assert_eq!(spec.norm, NormKind::Group);
+        table.row_owned(vec![
+            kind.name().to_string(),
+            arch_name.to_string(),
+            format!("{}", model.num_params()),
+            format!("{train_time:.1}"),
+            format!("{:.2}", 100.0 * report.clean_error),
+            format!("{:.2}±{:.2}", 100.0 * robust.mean_error, 100.0 * robust.std_error),
+        ]);
+    }
+    println!("{}", table.render());
+}

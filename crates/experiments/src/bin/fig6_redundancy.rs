@@ -1,0 +1,91 @@
+//! **Fig. 6 / Fig. 10** — Why weight clipping works: redundancy.
+//!
+//! For `RQUANT`, `CLIPPING`, and `RANDBET` (without clipping) models:
+//! clean vs perturbed confidence, weight-distribution redundancy metrics
+//! (relative absolute error, weight relevance, zero/large weight
+//! fractions), and the "ReLU relevance" measured by the activation probe.
+
+use bitrobust_core::{
+    evaluate, quantized_error, redundancy_metrics, robust_eval_uniform, RandBetVariant,
+    TrainMethod, EVAL_BATCH,
+};
+use bitrobust_experiments::zoo::ZooSpec;
+use bitrobust_experiments::{dataset_pair, pct, zoo_model, DatasetKind, ExpOptions, Table, CHIP_SEED};
+use bitrobust_nn::Mode;
+use bitrobust_quant::QuantScheme;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let (train_ds, test_ds) = dataset_pair(DatasetKind::Cifar10, opts.seed);
+    let scheme = QuantScheme::rquant(8);
+    let p = 0.01;
+
+    let configs: Vec<(&str, TrainMethod)> = vec![
+        ("RQUANT", TrainMethod::Normal),
+        ("CLIPPING 0.1", TrainMethod::Clipping { wmax: 0.1 }),
+        ("CLIPPING 0.05", TrainMethod::Clipping { wmax: 0.05 }),
+        (
+            "RANDBET p=1% (no clip)",
+            TrainMethod::RandBet { wmax: None, p, variant: RandBetVariant::Standard },
+        ),
+    ];
+
+    let mut table = Table::new(&[
+        "model",
+        "Err %",
+        "Conf %",
+        "Conf p=1%",
+        "RErr p=1%",
+        "rel abs err",
+        "weight relevance",
+        "zero frac",
+        "ReLU relevance",
+    ]);
+    for (name, method) in configs {
+        let mut spec = ZooSpec::new(DatasetKind::Cifar10, Some(scheme), method);
+        spec.epochs = opts.epochs(spec.epochs);
+        spec.seed = opts.seed;
+        let (mut model, report) = zoo_model(&spec, &train_ds, &test_ds, opts.no_cache);
+
+        let robust = robust_eval_uniform(
+            &mut model, scheme, &test_ds, p, opts.chips, CHIP_SEED, EVAL_BATCH, Mode::Eval,
+        );
+        let red = redundancy_metrics(&mut model, scheme, p, opts.chips.min(5), CHIP_SEED);
+
+        // ReLU relevance via a probe-equipped fresh forward: rebuild the
+        // architecture, load the trained weights, run the test set.
+        let relu_relevance = {
+            let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0);
+            let built = bitrobust_core::build(
+                spec.arch,
+                spec.dataset.image_shape(),
+                spec.dataset.n_classes(),
+                spec.norm,
+                &mut rng,
+            );
+            let mut probed = built.model;
+            probed.set_param_tensors(&model.param_tensors());
+            let _ = quantized_error(&mut probed, scheme, &test_ds, EVAL_BATCH, Mode::Eval);
+            let fraction = built.probe.lock().unwrap().fraction_positive;
+            fraction
+        };
+        let clean = evaluate(&mut model, &test_ds, EVAL_BATCH, Mode::Eval);
+        let _ = clean;
+
+        table.row_owned(vec![
+            name.into(),
+            pct(report.clean_error as f64),
+            pct(report.clean_confidence as f64),
+            pct(robust.mean_confidence as f64),
+            pct(robust.mean_error as f64),
+            format!("{:.4}", red.relative_abs_error),
+            format!("{:.3}", red.weight_relevance),
+            format!("{:.4}", red.fraction_zero),
+            format!("{:.3}", relu_relevance),
+        ]);
+    }
+    println!("Fig. 6 / Fig. 10 (CIFAR10 stand-in, m = 8 bit, p = 1%):\n{}", table.render());
+    println!("Expected shape (paper): clipping keeps perturbed confidence close to clean,");
+    println!("raises weight relevance (more weights doing work), and lowers the relative");
+    println!("perturbation; RANDBET alone is less effective at preserving confidences.");
+}

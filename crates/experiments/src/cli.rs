@@ -1,0 +1,90 @@
+//! Minimal command-line options shared by all experiment binaries.
+
+/// Options parsed from the command line.
+///
+/// Every experiment binary accepts:
+///
+/// * `--quick` — fewer epochs and chips (smoke-test mode);
+/// * `--chips N` — number of random chips for RErr averaging;
+/// * `--seed S` — base RNG seed;
+/// * `--no-cache` — ignore the model zoo cache and retrain.
+#[derive(Debug, Clone)]
+pub struct ExpOptions {
+    /// Reduced-effort mode for smoke tests.
+    pub quick: bool,
+    /// Number of random chips per RErr estimate.
+    pub chips: usize,
+    /// Base seed.
+    pub seed: u64,
+    /// Skip the on-disk model cache.
+    pub no_cache: bool,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        Self { quick: false, chips: 20, seed: 0, no_cache: false }
+    }
+}
+
+impl ExpOptions {
+    /// Parses `std::env::args`, ignoring unknown flags.
+    pub fn from_args() -> Self {
+        let mut opts = Self::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => {
+                    opts.quick = true;
+                    opts.chips = opts.chips.min(5);
+                }
+                "--no-cache" => opts.no_cache = true,
+                "--chips" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        opts.chips = v;
+                        i += 1;
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        opts.seed = v;
+                        i += 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        opts
+    }
+
+    /// Scales an epoch budget down in quick mode.
+    pub fn epochs(&self, full: usize) -> usize {
+        if self.quick {
+            (full / 3).max(2)
+        } else {
+            full
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let o = ExpOptions::default();
+        assert!(!o.quick);
+        assert_eq!(o.chips, 20);
+    }
+
+    #[test]
+    fn quick_reduces_epochs() {
+        let mut o = ExpOptions::default();
+        assert_eq!(o.epochs(30), 30);
+        o.quick = true;
+        assert_eq!(o.epochs(30), 10);
+        assert_eq!(o.epochs(3), 2);
+    }
+}

@@ -1,0 +1,19 @@
+//! # bitrobust-experiments
+//!
+//! Shared infrastructure for the per-table / per-figure reproduction
+//! binaries (see `DESIGN.md` §5 for the experiment index): a disk-backed
+//! zoo of trained models, table formatting helpers, and the common
+//! command-line options.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod protocol;
+pub mod table;
+pub mod zoo;
+
+pub use cli::ExpOptions;
+pub use protocol::{p_grid_cifar, p_grid_cifar100, p_grid_mnist, rerr_sweep, CHIP_SEED};
+pub use table::{pct, pct_pm, Table};
+pub use zoo::{dataset_pair, zoo_model, DatasetKind, ZooSpec};

@@ -1,0 +1,352 @@
+//! A disk-backed zoo of trained models.
+//!
+//! Reproducing the paper requires dozens of trained models (quantization
+//! schemes × clipping levels × RandBET rates × datasets × precisions), and
+//! several tables share models. The zoo trains each configuration once and
+//! caches the parameters under `target/zoo/`, keyed by the full training
+//! configuration; subsequent experiment binaries reload in milliseconds.
+
+use std::fs;
+use std::path::PathBuf;
+
+use bitrobust_core::{
+    build, train, ArchKind, NormKind, PattPattern, RandBetVariant, TrainConfig, TrainMethod,
+    TrainReport,
+};
+use bitrobust_data::{AugmentConfig, Dataset, SynthDataset};
+use bitrobust_nn::Model;
+use bitrobust_quant::{Granularity, IntegerRepr, QuantScheme, RangeMode, Rounding};
+use rand::SeedableRng;
+
+/// The dataset a zoo model is trained on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// The MNIST stand-in.
+    Mnist,
+    /// The CIFAR10 stand-in (the paper's main benchmark).
+    Cifar10,
+    /// The CIFAR100 stand-in.
+    Cifar100,
+}
+
+impl DatasetKind {
+    /// The synthetic generator.
+    pub fn synth(self) -> SynthDataset {
+        match self {
+            DatasetKind::Mnist => SynthDataset::Mnist,
+            DatasetKind::Cifar10 => SynthDataset::Cifar10,
+            DatasetKind::Cifar100 => SynthDataset::Cifar100,
+        }
+    }
+
+    /// Image shape `[c, h, w]`.
+    pub fn image_shape(self) -> [usize; 3] {
+        let spec = self.synth().spec();
+        [spec.channels, spec.size, spec.size]
+    }
+
+    /// Number of classes.
+    pub fn n_classes(self) -> usize {
+        self.synth().spec().n_classes
+    }
+
+    /// Default architecture (the paper: SimpleNet on MNIST/CIFAR10, a wide
+    /// model on CIFAR100).
+    pub fn default_arch(self) -> ArchKind {
+        match self {
+            DatasetKind::Mnist | DatasetKind::Cifar10 => ArchKind::SimpleNet,
+            DatasetKind::Cifar100 => ArchKind::WideSimpleNet,
+        }
+    }
+
+    /// Default epoch budget (scaled from the paper's 100/250).
+    pub fn default_epochs(self) -> usize {
+        match self {
+            DatasetKind::Mnist => 12,
+            DatasetKind::Cifar10 => 20,
+            DatasetKind::Cifar100 => 18,
+        }
+    }
+
+    /// RandBET warm-up loss threshold (1.75 / 3.5 in the paper).
+    pub fn warmup_loss(self) -> f32 {
+        match self {
+            DatasetKind::Cifar100 => 3.5,
+            _ => 1.75,
+        }
+    }
+
+    /// Augmentation recipe.
+    pub fn augment(self) -> AugmentConfig {
+        match self {
+            DatasetKind::Mnist => AugmentConfig::mnist(),
+            _ => AugmentConfig::cifar(),
+        }
+    }
+
+    /// Short name used in keys and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::Mnist => "mnist",
+            DatasetKind::Cifar10 => "cifar10",
+            DatasetKind::Cifar100 => "cifar100",
+        }
+    }
+}
+
+/// Generates the (train, test) pair for a dataset kind.
+pub fn dataset_pair(kind: DatasetKind, seed: u64) -> (Dataset, Dataset) {
+    kind.synth().generate(seed)
+}
+
+/// A fully specified training configuration for the zoo.
+#[derive(Debug, Clone)]
+pub struct ZooSpec {
+    /// Dataset.
+    pub dataset: DatasetKind,
+    /// Architecture.
+    pub arch: ArchKind,
+    /// Normalization.
+    pub norm: NormKind,
+    /// Quantization scheme during training (`None` = float training).
+    pub scheme: Option<QuantScheme>,
+    /// Training method.
+    pub method: TrainMethod,
+    /// Label smoothing target.
+    pub label_smoothing: Option<f32>,
+    /// Epochs.
+    pub epochs: usize,
+    /// Seed (init, shuffling, per-step chips).
+    pub seed: u64,
+}
+
+impl ZooSpec {
+    /// A standard spec: default architecture/epochs for the dataset.
+    pub fn new(dataset: DatasetKind, scheme: Option<QuantScheme>, method: TrainMethod) -> Self {
+        Self {
+            dataset,
+            arch: dataset.default_arch(),
+            norm: NormKind::Group,
+            scheme,
+            method,
+            label_smoothing: None,
+            epochs: dataset.default_epochs(),
+            seed: 0,
+        }
+    }
+
+    /// A stable, filename-safe cache key encoding the full configuration.
+    pub fn key(&self) -> String {
+        let arch = match self.arch {
+            ArchKind::SimpleNet => "simplenet",
+            ArchKind::WideSimpleNet => "widesimplenet",
+            ArchKind::ResNetMini => "resnetmini",
+            ArchKind::Mlp => "mlp",
+        };
+        let norm = match self.norm {
+            NormKind::Group => "gn",
+            NormKind::Batch => "bn",
+        };
+        let scheme = match &self.scheme {
+            None => "float".to_string(),
+            Some(s) => {
+                let g = match s.granularity {
+                    Granularity::Global => "g",
+                    Granularity::PerTensor => "l",
+                };
+                let r = match s.range_mode {
+                    RangeMode::Symmetric => "s",
+                    RangeMode::Asymmetric => "a",
+                };
+                let i = match s.repr {
+                    IntegerRepr::Signed => "i",
+                    IntegerRepr::Unsigned => "u",
+                };
+                let o = match s.rounding {
+                    Rounding::Truncate => "t",
+                    Rounding::Nearest => "n",
+                };
+                format!("q{}{g}{r}{i}{o}", s.bits())
+            }
+        };
+        let method = match &self.method {
+            TrainMethod::Normal => "normal".to_string(),
+            TrainMethod::Clipping { wmax } => format!("clip{wmax:.3}"),
+            TrainMethod::RandBet { wmax, p, variant } => {
+                let v = match variant {
+                    RandBetVariant::Standard => "std",
+                    RandBetVariant::Curricular => "cur",
+                    RandBetVariant::Alternating => "alt",
+                    RandBetVariant::PerturbedOnly => "ponly",
+                };
+                format!("randbet-w{}-p{p:.4}-{v}", wmax.map_or("none".into(), |w| format!("{w:.3}")))
+            }
+            TrainMethod::PattBet { wmax, pattern } => {
+                let pat = match pattern {
+                    PattPattern::Uniform { seed, p } => format!("u{seed}p{p:.4}"),
+                    PattPattern::Profiled { kind, seed, rate, persistent_only } => format!(
+                        "{}s{seed}r{rate:.4}{}",
+                        kind.name(),
+                        if *persistent_only { "pers" } else { "all" }
+                    ),
+                };
+                format!("pattbet-w{}-{pat}", wmax.map_or("none".into(), |w| format!("{w:.3}")))
+            }
+        };
+        let ls = self.label_smoothing.map_or("ls0".to_string(), |t| format!("ls{t:.2}"));
+        format!(
+            "{}-{arch}-{norm}-{scheme}-{method}-{ls}-e{}-s{}",
+            self.dataset.name(),
+            self.epochs,
+            self.seed
+        )
+    }
+
+    fn train_config(&self) -> TrainConfig {
+        let mut cfg = TrainConfig::new(self.scheme, self.method);
+        cfg.label_smoothing = self.label_smoothing;
+        cfg.epochs = self.epochs;
+        cfg.warmup_loss = self.dataset.warmup_loss();
+        cfg.augment = self.dataset.augment();
+        cfg.seed = self.seed;
+        cfg
+    }
+}
+
+fn zoo_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("BITROBUST_ZOO") {
+        return PathBuf::from(dir);
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/zoo")
+}
+
+/// Returns the trained model for `spec`, training and caching it if needed.
+///
+/// Models using BatchNorm bypass the cache (their running statistics are
+/// not serialized).
+///
+/// # Panics
+///
+/// Panics on cache I/O errors other than "not found" (corrupt cache files
+/// should be deleted rather than silently retrained).
+pub fn zoo_model(
+    spec: &ZooSpec,
+    train_ds: &Dataset,
+    test_ds: &Dataset,
+    no_cache: bool,
+) -> (Model, TrainReport) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(spec.seed ^ 0xA2C4);
+    let built = build(
+        spec.arch,
+        spec.dataset.image_shape(),
+        spec.dataset.n_classes(),
+        spec.norm,
+        &mut rng,
+    );
+    let mut model = built.model;
+
+    let cacheable = spec.norm != NormKind::Batch;
+    let dir = zoo_dir();
+    let params_path = dir.join(format!("{}.brts", spec.key()));
+    let meta_path = dir.join(format!("{}.meta", spec.key()));
+
+    if cacheable && !no_cache && params_path.exists() && meta_path.exists() {
+        let file = fs::File::open(&params_path).expect("open cached params");
+        model.load_params(std::io::BufReader::new(file)).expect("read cached params");
+        let report = read_meta(&fs::read_to_string(&meta_path).expect("read cached meta"));
+        return (model, report);
+    }
+
+    let report = train(&mut model, train_ds, test_ds, &spec.train_config());
+
+    if cacheable && !no_cache {
+        fs::create_dir_all(&dir).expect("create zoo dir");
+        let file = fs::File::create(&params_path).expect("create params cache");
+        model.save_params(std::io::BufWriter::new(file)).expect("write params cache");
+        fs::write(&meta_path, write_meta(&report)).expect("write meta cache");
+    }
+    (model, report)
+}
+
+fn write_meta(r: &TrainReport) -> String {
+    format!(
+        "final_loss={}\nclean_error={}\nclean_confidence={}\nstarted_at={}\n",
+        r.final_loss,
+        r.clean_error,
+        r.clean_confidence,
+        r.bit_errors_started_at.map_or(-1i64, |e| e as i64)
+    )
+}
+
+fn read_meta(text: &str) -> TrainReport {
+    let mut final_loss = 0.0;
+    let mut clean_error = 0.0;
+    let mut clean_confidence = 0.0;
+    let mut started_at = -1i64;
+    for line in text.lines() {
+        if let Some((k, v)) = line.split_once('=') {
+            match k {
+                "final_loss" => final_loss = v.parse().unwrap_or(0.0),
+                "clean_error" => clean_error = v.parse().unwrap_or(0.0),
+                "clean_confidence" => clean_confidence = v.parse().unwrap_or(0.0),
+                "started_at" => started_at = v.parse().unwrap_or(-1),
+                _ => {}
+            }
+        }
+    }
+    TrainReport {
+        final_loss,
+        clean_error,
+        clean_confidence,
+        bit_errors_started_at: if started_at >= 0 { Some(started_at as usize) } else { None },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_distinct_and_stable() {
+        let a = ZooSpec::new(DatasetKind::Cifar10, Some(QuantScheme::rquant(8)), TrainMethod::Normal);
+        let b = ZooSpec::new(
+            DatasetKind::Cifar10,
+            Some(QuantScheme::rquant(8)),
+            TrainMethod::Clipping { wmax: 0.1 },
+        );
+        assert_ne!(a.key(), b.key());
+        assert_eq!(a.key(), a.key());
+        assert!(a.key().contains("cifar10"));
+        assert!(b.key().contains("clip0.100"));
+    }
+
+    #[test]
+    fn keys_distinguish_schemes() {
+        let rq = ZooSpec::new(DatasetKind::Cifar10, Some(QuantScheme::rquant(8)), TrainMethod::Normal);
+        let nm = ZooSpec::new(DatasetKind::Cifar10, Some(QuantScheme::normal(8)), TrainMethod::Normal);
+        let fl = ZooSpec::new(DatasetKind::Cifar10, None, TrainMethod::Normal);
+        assert_ne!(rq.key(), nm.key());
+        assert_ne!(rq.key(), fl.key());
+    }
+
+    #[test]
+    fn meta_round_trip() {
+        let r = TrainReport {
+            final_loss: 0.5,
+            clean_error: 0.043,
+            clean_confidence: 0.97,
+            bit_errors_started_at: Some(3),
+        };
+        let back = read_meta(&write_meta(&r));
+        assert_eq!(back, r);
+        let r2 = TrainReport { bit_errors_started_at: None, ..r };
+        assert_eq!(read_meta(&write_meta(&r2)), r2);
+    }
+
+    #[test]
+    fn dataset_kind_metadata() {
+        assert_eq!(DatasetKind::Cifar100.n_classes(), 100);
+        assert_eq!(DatasetKind::Mnist.image_shape(), [1, 14, 14]);
+        assert_eq!(DatasetKind::Cifar100.warmup_loss(), 3.5);
+    }
+}

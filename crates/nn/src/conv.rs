@@ -1,0 +1,380 @@
+//! 2-D convolution via im2col, parallelized over the batch.
+
+use std::cell::RefCell;
+
+use bitrobust_tensor::{
+    matmul_accumulate, matmul_nt_accumulate, matmul_tn_accumulate, parallel_for_disjoint_chunks,
+    Tensor,
+};
+use rand::Rng;
+
+use crate::{init, Layer, Mode, Param, ParamKind};
+
+thread_local! {
+    /// Per-worker im2col scratch, reused across layer calls.
+    static COL_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A 2-D convolution over `[batch, in_ch, h, w]` inputs (NCHW).
+///
+/// The forward pass lowers each sample to a `[in_ch*kh*kw, oh*ow]` column
+/// matrix (im2col) and multiplies by the `[out_ch, in_ch*kh*kw]` weight;
+/// samples are processed in parallel on the workspace thread pool. The
+/// backward pass recomputes im2col rather than caching it, trading ~10%
+/// compute for a large reduction in peak memory.
+///
+/// # Examples
+///
+/// ```
+/// use bitrobust_nn::{Conv2d, Layer, Mode};
+/// use bitrobust_tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng); // 3x3, stride 1, pad 1
+/// let x = Tensor::zeros(&[2, 3, 16, 16]);
+/// let y = conv.forward(&x, Mode::Eval);
+/// assert_eq!(y.shape(), &[2, 8, 16, 16]);
+/// ```
+#[derive(Debug)]
+pub struct Conv2d {
+    weight: Param,
+    bias: Param,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    input_cache: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with He-initialized weights and zero bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new(
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(kernel > 0, "kernel size must be positive");
+        assert!(stride > 0, "stride must be positive");
+        Self {
+            weight: Param::new("weight", ParamKind::Weight, init::he_conv(out_ch, in_ch, kernel, kernel, rng)),
+            bias: Param::new("bias", ParamKind::Bias, Tensor::zeros(&[out_ch])),
+            kernel,
+            stride,
+            padding,
+            input_cache: None,
+        }
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.weight.value().dim(1)
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.weight.value().dim(0)
+    }
+
+    /// Output spatial size for a given input spatial size.
+    pub fn output_size(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.padding - self.kernel) / self.stride + 1;
+        let ow = (w + 2 * self.padding - self.kernel) / self.stride + 1;
+        (oh, ow)
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        assert_eq!(input.ndim(), 4, "Conv2d expects [batch, ch, h, w]");
+        let (batch, ic, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+        assert_eq!(ic, self.in_channels(), "Conv2d channel mismatch");
+        let (oh, ow) = self.output_size(h, w);
+        let oc = self.out_channels();
+        let k = ic * self.kernel * self.kernel;
+
+        if mode.is_train() {
+            self.input_cache = Some(input.clone());
+        }
+
+        let mut out = Tensor::zeros(&[batch, oc, oh, ow]);
+        let sample_in = ic * h * w;
+        let sample_out = oc * oh * ow;
+        let weight = self.weight.value().data();
+        let bias = self.bias.value().data();
+        let x = input.data();
+        let (kernel, stride, padding) = (self.kernel, self.stride, self.padding);
+
+        parallel_for_disjoint_chunks(out.data_mut(), sample_out, |s, out_s| {
+            COL_SCRATCH.with(|scratch| {
+                let mut cols = scratch.borrow_mut();
+                cols.resize(k * oh * ow, 0.0);
+                let x_s = &x[s * sample_in..(s + 1) * sample_in];
+                im2col(x_s, ic, h, w, kernel, stride, padding, oh, ow, &mut cols);
+                // out_s = W [oc, k] · cols [k, oh*ow]
+                for v in out_s.iter_mut() {
+                    *v = 0.0;
+                }
+                matmul_accumulate(out_s, weight, &cols, oc, k, oh * ow);
+                for c in 0..oc {
+                    let b = bias[c];
+                    for v in &mut out_s[c * oh * ow..(c + 1) * oh * ow] {
+                        *v += b;
+                    }
+                }
+            });
+        });
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self.input_cache.as_ref().expect("backward before training forward");
+        let (batch, ic, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+        let (oh, ow) = self.output_size(h, w);
+        let oc = self.out_channels();
+        let k = ic * self.kernel * self.kernel;
+        assert_eq!(grad_output.shape(), &[batch, oc, oh, ow], "grad_output shape mismatch");
+
+        let sample_in = ic * h * w;
+        let sample_out = oc * oh * ow;
+        let x = input.data();
+        let dy = grad_output.data();
+        let (kernel, stride, padding) = (self.kernel, self.stride, self.padding);
+
+        // Pass A: per-sample partial dW/db into a scratch buffer, reduced
+        // serially afterwards (the per-sample partials are small).
+        let part_len = oc * k + oc;
+        let mut partials = vec![0f32; batch * part_len];
+        parallel_for_disjoint_chunks(&mut partials, part_len, |s, part| {
+            COL_SCRATCH.with(|scratch| {
+                let mut cols = scratch.borrow_mut();
+                cols.resize(k * oh * ow, 0.0);
+                let x_s = &x[s * sample_in..(s + 1) * sample_in];
+                im2col(x_s, ic, h, w, kernel, stride, padding, oh, ow, &mut cols);
+                let dy_s = &dy[s * sample_out..(s + 1) * sample_out];
+                let (dw_part, db_part) = part.split_at_mut(oc * k);
+                // dW_s = dY_s [oc, ohw] · cols [k, ohw]ᵀ
+                matmul_nt_accumulate(dw_part, dy_s, &cols, oc, oh * ow, k);
+                for c in 0..oc {
+                    db_part[c] = dy_s[c * oh * ow..(c + 1) * oh * ow].iter().sum();
+                }
+            });
+        });
+        {
+            let dw = self.weight.grad_mut().data_mut();
+            for s in 0..batch {
+                let dw_part = &partials[s * part_len..s * part_len + oc * k];
+                for (a, &b) in dw.iter_mut().zip(dw_part) {
+                    *a += b;
+                }
+            }
+        }
+        {
+            let db = self.bias.grad_mut().data_mut();
+            for s in 0..batch {
+                let db_part = &partials[s * part_len + oc * k..(s + 1) * part_len];
+                for (a, &b) in db.iter_mut().zip(db_part) {
+                    *a += b;
+                }
+            }
+        }
+
+        // Pass B: per-sample dX = col2im(Wᵀ · dY_s).
+        let weight = self.weight.value().data();
+        let mut dx = Tensor::zeros(&[batch, ic, h, w]);
+        parallel_for_disjoint_chunks(dx.data_mut(), sample_in, |s, dx_s| {
+            COL_SCRATCH.with(|scratch| {
+                let mut dcols = scratch.borrow_mut();
+                dcols.resize(k * oh * ow, 0.0);
+                for v in dcols.iter_mut() {
+                    *v = 0.0;
+                }
+                let dy_s = &dy[s * sample_out..(s + 1) * sample_out];
+                // dcols = W [oc, k]ᵀ · dY_s [oc, ohw]
+                matmul_tn_accumulate(&mut dcols, weight, dy_s, k, oc, oh * ow);
+                col2im(&dcols, ic, h, w, kernel, stride, padding, oh, ow, dx_s);
+            });
+        });
+        dx
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        visitor(&mut self.weight);
+        visitor(&mut self.bias);
+    }
+
+    fn layer_type(&self) -> &'static str {
+        "Conv2d"
+    }
+
+    fn clear_cache(&mut self) {
+        self.input_cache = None;
+    }
+}
+
+/// Lowers one `[ic, h, w]` sample into columns `[ic*k*k, oh*ow]`.
+#[allow(clippy::too_many_arguments)]
+fn im2col(
+    x: &[f32],
+    ic: usize,
+    h: usize,
+    w: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    oh: usize,
+    ow: usize,
+    cols: &mut [f32],
+) {
+    let ohw = oh * ow;
+    for c in 0..ic {
+        let x_c = &x[c * h * w..(c + 1) * h * w];
+        for ky in 0..kernel {
+            for kx in 0..kernel {
+                let row = ((c * kernel + ky) * kernel + kx) * ohw;
+                for oy in 0..oh {
+                    let iy = (oy * stride + ky) as isize - padding as isize;
+                    let out_row = row + oy * ow;
+                    if iy < 0 || iy >= h as isize {
+                        cols[out_row..out_row + ow].iter_mut().for_each(|v| *v = 0.0);
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..ow {
+                        let ix = (ox * stride + kx) as isize - padding as isize;
+                        cols[out_row + ox] = if ix < 0 || ix >= w as isize {
+                            0.0
+                        } else {
+                            x_c[iy * w + ix as usize]
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scatters column gradients `[ic*k*k, oh*ow]` back into one `[ic, h, w]`
+/// input-gradient sample (accumulating overlaps).
+#[allow(clippy::too_many_arguments)]
+fn col2im(
+    dcols: &[f32],
+    ic: usize,
+    h: usize,
+    w: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    oh: usize,
+    ow: usize,
+    dx: &mut [f32],
+) {
+    for v in dx.iter_mut() {
+        *v = 0.0;
+    }
+    let ohw = oh * ow;
+    for c in 0..ic {
+        let dx_c = &mut dx[c * h * w..(c + 1) * h * w];
+        for ky in 0..kernel {
+            for kx in 0..kernel {
+                let row = ((c * kernel + ky) * kernel + kx) * ohw;
+                for oy in 0..oh {
+                    let iy = (oy * stride + ky) as isize - padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..ow {
+                        let ix = (ox * stride + kx) as isize - padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        dx_c[iy * w + ix as usize] += dcols[row + oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::{check_layer_gradients, GradCheckConfig};
+    use rand::SeedableRng;
+
+    /// Direct (quadruple-loop) convolution as a reference.
+    fn naive_conv(x: &Tensor, w: &Tensor, b: &Tensor, stride: usize, padding: usize) -> Tensor {
+        let (batch, ic, h, wid) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+        let (oc, _, kh, kw) = (w.dim(0), w.dim(1), w.dim(2), w.dim(3));
+        let oh = (h + 2 * padding - kh) / stride + 1;
+        let ow = (wid + 2 * padding - kw) / stride + 1;
+        let mut out = Tensor::zeros(&[batch, oc, oh, ow]);
+        for s in 0..batch {
+            for o in 0..oc {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = b.data()[o];
+                        for c in 0..ic {
+                            for ky in 0..kh {
+                                for kx in 0..kw {
+                                    let iy = (oy * stride + ky) as isize - padding as isize;
+                                    let ix = (ox * stride + kx) as isize - padding as isize;
+                                    if iy >= 0 && iy < h as isize && ix >= 0 && ix < wid as isize {
+                                        acc += x.at(&[s, c, iy as usize, ix as usize])
+                                            * w.at(&[o, c, ky, kx]);
+                                    }
+                                }
+                            }
+                        }
+                        out.set(&[s, o, oy, ox], acc);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn forward_matches_naive_conv() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for &(stride, padding) in &[(1usize, 0usize), (1, 1), (2, 1)] {
+            let mut conv = Conv2d::new(3, 4, 3, stride, padding, &mut rng);
+            let x = Tensor::randn(&[2, 3, 7, 7], 1.0, &mut rng);
+            let y = conv.forward(&x, Mode::Eval);
+            let y_ref = naive_conv(&x, conv.weight.value(), conv.bias.value(), stride, padding);
+            assert_eq!(y.shape(), y_ref.shape());
+            for (a, b) in y.data().iter().zip(y_ref.data()) {
+                assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        check_layer_gradients(&mut conv, &[2, 2, 5, 5], &GradCheckConfig::default(), &mut rng);
+    }
+
+    #[test]
+    fn strided_gradients_match_finite_differences() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut conv = Conv2d::new(2, 2, 3, 2, 1, &mut rng);
+        check_layer_gradients(&mut conv, &[1, 2, 6, 6], &GradCheckConfig::default(), &mut rng);
+    }
+
+    #[test]
+    fn output_size_formula() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let conv = Conv2d::new(1, 1, 3, 2, 1, &mut rng);
+        assert_eq!(conv.output_size(16, 16), (8, 8));
+        assert_eq!(conv.output_size(7, 9), (4, 5));
+    }
+}

@@ -1,0 +1,38 @@
+//! Weight initialization (He et al., 2015), as used by the paper's setup.
+
+use bitrobust_tensor::Tensor;
+use rand::Rng;
+
+/// He-normal initialization for a convolution weight `[oc, ic, kh, kw]`.
+///
+/// Standard deviation is `sqrt(2 / fan_in)` with `fan_in = ic * kh * kw`.
+pub fn he_conv(oc: usize, ic: usize, kh: usize, kw: usize, rng: &mut impl Rng) -> Tensor {
+    let fan_in = (ic * kh * kw) as f32;
+    Tensor::randn(&[oc, ic, kh, kw], (2.0 / fan_in).sqrt(), rng)
+}
+
+/// He-normal initialization for a linear weight `[out, in]`.
+pub fn he_linear(out: usize, inp: usize, rng: &mut impl Rng) -> Tensor {
+    Tensor::randn(&[out, inp], (2.0 / inp as f32).sqrt(), rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn he_conv_std_scales_with_fan_in() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let w = he_conv(64, 32, 3, 3, &mut rng);
+        let std = (w.data().iter().map(|v| v * v).sum::<f32>() / w.numel() as f32).sqrt();
+        let expected = (2.0f32 / (32.0 * 9.0)).sqrt();
+        assert!((std - expected).abs() / expected < 0.1, "std {std} vs {expected}");
+    }
+
+    #[test]
+    fn he_linear_shape() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        assert_eq!(he_linear(10, 64, &mut rng).shape(), &[10, 64]);
+    }
+}

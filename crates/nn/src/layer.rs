@@ -1,0 +1,73 @@
+//! The layer abstraction used by every network in the workspace.
+
+use bitrobust_tensor::Tensor;
+
+use crate::Param;
+
+/// Forward-pass mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Training: caches activations for backward, uses batch statistics, and
+    /// updates running statistics in normalization layers.
+    Train,
+    /// Inference with accumulated statistics (the deployment configuration).
+    Eval,
+    /// Inference that recomputes normalization statistics from the current
+    /// batch. Used to reproduce the paper's Tab. 10, which shows BatchNorm's
+    /// accumulated statistics are what breaks under weight bit errors.
+    EvalBatchStats,
+}
+
+impl Mode {
+    /// Whether this mode caches intermediate state for a later backward pass.
+    pub fn is_train(self) -> bool {
+        matches!(self, Mode::Train)
+    }
+}
+
+/// A differentiable layer with hand-written backprop.
+///
+/// Contract:
+///
+/// * `forward` in [`Mode::Train`] must cache whatever `backward` needs;
+///   `backward` may only be called after a training-mode forward and consumes
+///   that cache conceptually (calling it twice without a new forward is a
+///   logic error, though layers are not required to detect it).
+/// * `backward` receives `dL/d(output)` and returns `dL/d(input)`;
+///   it **accumulates** parameter gradients (`+=`) so that multi-pass
+///   training schemes (e.g. random bit error training, which averages a
+///   clean and a perturbed gradient) work without extra buffers.
+/// * `visit_params` yields parameters in a deterministic order; the order
+///   defines the global parameter indexing used for quantization, bit error
+///   injection offsets, and serialization.
+pub trait Layer: Send {
+    /// Computes the layer output.
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor;
+
+    /// Propagates gradients; returns `dL/d(input)` and accumulates parameter
+    /// gradients.
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+
+    /// Visits all trainable parameters in deterministic order.
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        let _ = visitor;
+    }
+
+    /// A short human-readable layer type name (e.g. `"Conv2d"`).
+    fn layer_type(&self) -> &'static str;
+
+    /// Releases cached activations to free memory (optional).
+    fn clear_cache(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_train_detection() {
+        assert!(Mode::Train.is_train());
+        assert!(!Mode::Eval.is_train());
+        assert!(!Mode::EvalBatchStats.is_train());
+    }
+}

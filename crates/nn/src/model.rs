@@ -1,0 +1,224 @@
+//! The trainable model wrapper.
+
+use std::io::{self, Read, Write};
+
+use bitrobust_tensor::{read_tensors, write_tensors, Tensor};
+
+use crate::{Layer, Mode, Param, Sequential};
+
+/// A named network with convenience accessors over its parameters.
+///
+/// `Model` wraps a [`Sequential`] root and provides the operations the
+/// robustness pipeline needs: snapshotting parameter tensors (so quantized
+/// or bit-error-perturbed weights can be swapped in and out around forward
+/// passes), clipping, gradient zeroing, and (de)serialization.
+///
+/// Parameter order is the deterministic visit order of the layer tree; this
+/// order defines the linear weight-to-memory mapping used for bit error
+/// injection.
+pub struct Model {
+    name: String,
+    root: Sequential,
+}
+
+impl std::fmt::Debug for Model {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Model").field("name", &self.name).field("root", &self.root).finish()
+    }
+}
+
+impl Model {
+    /// Wraps a layer chain as a model.
+    pub fn new(name: impl Into<String>, root: Sequential) -> Self {
+        Self { name: name.into(), root }
+    }
+
+    /// The model's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        self.root.forward(input, mode)
+    }
+
+    /// Backward pass; returns the input gradient and accumulates parameter
+    /// gradients.
+    pub fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        self.root.backward(grad_output)
+    }
+
+    /// Visits all parameters in deterministic order.
+    pub fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        self.root.visit_params(visitor);
+    }
+
+    /// Total number of trainable scalars.
+    pub fn num_params(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.numel());
+        n
+    }
+
+    /// Number of parameter tensors.
+    pub fn num_param_tensors(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |_| n += 1);
+        n
+    }
+
+    /// Clones all parameter tensors in visit order.
+    pub fn param_tensors(&mut self) -> Vec<Tensor> {
+        let mut out = Vec::new();
+        self.visit_params(&mut |p| out.push(p.value().clone()));
+        out
+    }
+
+    /// Overwrites all parameter tensors from `values` (visit order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the count or any shape differs.
+    pub fn set_param_tensors(&mut self, values: &[Tensor]) {
+        let mut index = 0;
+        self.visit_params(&mut |p| {
+            let v = values.get(index).expect("fewer tensors than parameters");
+            assert_eq!(v.shape(), p.value().shape(), "parameter {index} shape mismatch");
+            p.value_mut().data_mut().copy_from_slice(v.data());
+            index += 1;
+        });
+        assert_eq!(index, values.len(), "more tensors than parameters");
+    }
+
+    /// Zeroes all accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Projects every parameter onto `[-wmax, wmax]` (the paper's weight
+    /// clipping, Alg. 1 line 6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wmax` is not positive.
+    pub fn clip_params(&mut self, wmax: f32) {
+        assert!(wmax > 0.0, "wmax must be positive");
+        self.visit_params(&mut |p| {
+            p.value_mut().map_inplace(|v| v.clamp(-wmax, wmax));
+        });
+    }
+
+    /// Releases all cached activations.
+    pub fn clear_caches(&mut self) {
+        self.root.clear_cache();
+    }
+
+    /// Serializes all parameters to `w` (names are `p{index}.{param name}`).
+    ///
+    /// Note: non-parameter buffers (BatchNorm running statistics) are not
+    /// serialized; models using BatchNorm should be re-calibrated or saved
+    /// through a higher-level mechanism.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the writer.
+    pub fn save_params<W: Write>(&mut self, w: W) -> io::Result<()> {
+        let mut entries = Vec::new();
+        let mut index = 0;
+        self.visit_params(&mut |p| {
+            entries.push((format!("p{index}.{}", p.name()), p.value().clone()));
+            index += 1;
+        });
+        write_tensors(w, &entries)
+    }
+
+    /// Restores parameters previously written by [`Model::save_params`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O failure or malformed input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor count or shapes do not match this model.
+    pub fn load_params<R: Read>(&mut self, r: R) -> io::Result<()> {
+        let entries = read_tensors(r)?;
+        let values: Vec<Tensor> = entries.into_iter().map(|(_, t)| t).collect();
+        self.set_param_tensors(&values);
+        Ok(())
+    }
+
+    /// A compact per-layer summary (layer types and parameter counts).
+    pub fn summary(&mut self) -> String {
+        let n_params = self.num_params();
+        let types: Vec<&str> = self.root.layers().map(|l| l.layer_type()).collect();
+        format!("{}: {} layers, {} params [{}]", self.name, types.len(), n_params, types.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Linear, Relu};
+    use rand::SeedableRng;
+
+    fn toy_model(seed: u64) -> Model {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut net = Sequential::new();
+        net.push(Linear::new(4, 8, &mut rng));
+        net.push(Relu::new());
+        net.push(Linear::new(8, 3, &mut rng));
+        Model::new("toy", net)
+    }
+
+    #[test]
+    fn param_snapshot_round_trip() {
+        let mut m = toy_model(1);
+        let snapshot = m.param_tensors();
+        assert_eq!(snapshot.len(), 4);
+        let mut m2 = toy_model(2);
+        let x = Tensor::full(&[1, 4], 0.5);
+        let y1 = m.forward(&x, Mode::Eval);
+        m2.set_param_tensors(&snapshot);
+        let y2 = m2.forward(&x, Mode::Eval);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn num_params_counts_scalars() {
+        let mut m = toy_model(3);
+        assert_eq!(m.num_params(), 4 * 8 + 8 + 8 * 3 + 3);
+        assert_eq!(m.num_param_tensors(), 4);
+    }
+
+    #[test]
+    fn clip_params_bounds_all_values() {
+        let mut m = toy_model(4);
+        m.visit_params(&mut |p| p.value_mut().map_inplace(|_| 5.0));
+        m.clip_params(0.1);
+        m.visit_params(&mut |p| {
+            assert!(p.value().abs_max() <= 0.1);
+        });
+    }
+
+    #[test]
+    fn save_and_load_params() {
+        let mut m = toy_model(5);
+        let mut buf = Vec::new();
+        m.save_params(&mut buf).unwrap();
+        let mut m2 = toy_model(6);
+        m2.load_params(&buf[..]).unwrap();
+        let x = Tensor::full(&[2, 4], -0.3);
+        assert_eq!(m.forward(&x, Mode::Eval), m2.forward(&x, Mode::Eval));
+    }
+
+    #[test]
+    fn summary_mentions_layers_and_params() {
+        let mut m = toy_model(7);
+        let s = m.summary();
+        assert!(s.contains("Linear"));
+        assert!(s.contains("Relu"));
+        assert!(s.contains(&format!("{}", 4 * 8 + 8 + 8 * 3 + 3)));
+    }
+}

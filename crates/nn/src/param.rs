@@ -1,0 +1,111 @@
+//! Trainable parameters.
+
+use bitrobust_tensor::Tensor;
+
+/// What role a parameter plays in its layer.
+///
+/// The distinction matters downstream: the paper quantizes *weights and
+/// biases of each layer separately* (per-layer quantization), clips all
+/// parameters to `[-wmax, wmax]`, and reparameterizes normalization scales
+/// (see `GroupNorm`) so clipping does not pin them below one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParamKind {
+    /// Convolution / linear weight matrices.
+    Weight,
+    /// Additive biases.
+    Bias,
+    /// Normalization scale offsets (stored as `alpha' = alpha - 1`).
+    NormScale,
+    /// Normalization shifts.
+    NormBias,
+}
+
+/// A named, trainable tensor with its accumulated gradient.
+///
+/// Gradients accumulate across backward passes (`+=`), which is what lets
+/// random bit error training average a clean and a perturbed gradient in a
+/// single optimizer step; call [`Param::zero_grad`] between steps.
+#[derive(Debug, Clone)]
+pub struct Param {
+    name: String,
+    kind: ParamKind,
+    value: Tensor,
+    grad: Tensor,
+}
+
+impl Param {
+    /// Creates a parameter with zeroed gradient.
+    pub fn new(name: impl Into<String>, kind: ParamKind, value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Self { name: name.into(), kind, value, grad }
+    }
+
+    /// The parameter's name within its layer (e.g. `"weight"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The parameter's role.
+    pub fn kind(&self) -> ParamKind {
+        self.kind
+    }
+
+    /// Current value.
+    pub fn value(&self) -> &Tensor {
+        &self.value
+    }
+
+    /// Mutable value (used by optimizers and by quantize/perturb swaps).
+    pub fn value_mut(&mut self) -> &mut Tensor {
+        &mut self.value
+    }
+
+    /// Accumulated gradient.
+    pub fn grad(&self) -> &Tensor {
+        &self.grad
+    }
+
+    /// Mutable gradient (layers accumulate into this during backward).
+    pub fn grad_mut(&mut self) -> &mut Tensor {
+        &mut self.grad
+    }
+
+    /// Simultaneous access to value and gradient, for optimizer updates.
+    pub fn value_and_grad_mut(&mut self) -> (&mut Tensor, &Tensor) {
+        (&mut self.value, &self.grad)
+    }
+
+    /// Number of scalar entries.
+    pub fn numel(&self) -> usize {
+        self.value.numel()
+    }
+
+    /// Resets the accumulated gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad_of_matching_shape() {
+        let p = Param::new("weight", ParamKind::Weight, Tensor::full(&[2, 3], 1.0));
+        assert_eq!(p.grad().shape(), &[2, 3]);
+        assert_eq!(p.grad().sum(), 0.0);
+        assert_eq!(p.numel(), 6);
+        assert_eq!(p.name(), "weight");
+        assert_eq!(p.kind(), ParamKind::Weight);
+    }
+
+    #[test]
+    fn zero_grad_clears_accumulation() {
+        let mut p = Param::new("b", ParamKind::Bias, Tensor::zeros(&[4]));
+        p.grad_mut().axpy(1.0, &Tensor::full(&[4], 2.0));
+        assert_eq!(p.grad().sum(), 8.0);
+        p.zero_grad();
+        assert_eq!(p.grad().sum(), 0.0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based tests of NN invariants.
+
+use bitrobust_nn::{CrossEntropyLoss, Layer, Linear, Mode, Relu, Sequential};
+use bitrobust_tensor::Tensor;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+proptest! {
+    /// Cross-entropy logit gradients sum to zero per example (softmax
+    /// shift invariance), with or without label smoothing.
+    #[test]
+    fn ce_grad_rows_sum_to_zero(logits in prop::collection::vec(-5.0f32..5.0, 12),
+                                smooth in prop::bool::ANY) {
+        let t = Tensor::from_vec(vec![3, 4], logits);
+        let loss = if smooth {
+            CrossEntropyLoss::with_label_smoothing(0.9)
+        } else {
+            CrossEntropyLoss::new()
+        };
+        let out = loss.compute(&t, &[0, 1, 3]);
+        for r in 0..3 {
+            let s: f32 = out.grad.row(r).iter().sum();
+            prop_assert!(s.abs() < 1e-5, "row {} sums to {}", r, s);
+        }
+    }
+
+    /// Loss is shift-invariant: adding a constant to all logits of an
+    /// example changes nothing.
+    #[test]
+    fn ce_loss_shift_invariant(base in prop::collection::vec(-3.0f32..3.0, 5),
+                               shift in -10.0f32..10.0) {
+        let loss = CrossEntropyLoss::new();
+        let t1 = Tensor::from_vec(vec![1, 5], base.clone());
+        let shifted: Vec<f32> = base.iter().map(|v| v + shift).collect();
+        let t2 = Tensor::from_vec(vec![1, 5], shifted);
+        let l1 = loss.compute(&t1, &[2]).loss;
+        let l2 = loss.compute(&t2, &[2]).loss;
+        prop_assert!((l1 - l2).abs() < 1e-4);
+    }
+
+    /// ReLU is idempotent: relu(relu(x)) = relu(x).
+    #[test]
+    fn relu_idempotent(data in prop::collection::vec(-2.0f32..2.0, 16)) {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![4, 4], data);
+        let once = relu.forward(&x, Mode::Eval);
+        let twice = relu.forward(&once, Mode::Eval);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// A linear network is homogeneous: scaling the input scales the
+    /// pre-bias output linearly. (Checks the matmul path through layers.)
+    #[test]
+    fn linear_scales_with_input(scale in 0.1f32..3.0) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut net = Sequential::new();
+        let mut fc = Linear::new(6, 4, &mut rng);
+        // Zero the bias so homogeneity is exact.
+        fc.visit_params(&mut |p| {
+            if p.name() == "bias" {
+                p.value_mut().fill(0.0);
+            }
+        });
+        net.push(fc);
+        let x = Tensor::rand_uniform(&[2, 6], -1.0, 1.0, &mut rng);
+        let y1 = net.forward(&x, Mode::Eval);
+        let xs = x.map(|v| v * scale);
+        let y2 = net.forward(&xs, Mode::Eval);
+        for (a, b) in y1.data().iter().zip(y2.data()) {
+            prop_assert!((a * scale - b).abs() < 1e-3 * (1.0 + a.abs() * scale));
+        }
+    }
+}

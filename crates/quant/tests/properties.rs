@@ -1,0 +1,98 @@
+//! Property-based tests of the fixed-point quantization invariants.
+
+use bitrobust_quant::{QuantScheme, Rounding};
+use proptest::prelude::*;
+
+fn weight_vec() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-2.0f32..2.0, 1..200)
+}
+
+fn any_scheme() -> impl Strategy<Value = QuantScheme> {
+    (prop::sample::select(vec![2u8, 3, 4, 8]), 0..5usize).prop_map(|(bits, which)| match which {
+        0 => QuantScheme::normal(bits),
+        1 => QuantScheme::rquant(bits),
+        2 => QuantScheme::symmetric(bits),
+        3 => QuantScheme::asymmetric_signed(bits),
+        _ => QuantScheme::asymmetric_unsigned(bits),
+    })
+}
+
+proptest! {
+    /// The reconstruction error is bounded by the quantization step:
+    /// Δ/2 for rounding, Δ for truncation.
+    #[test]
+    fn round_trip_error_is_bounded(weights in weight_vec(), scheme in any_scheme()) {
+        let q = scheme.quantize(&weights);
+        let back = q.dequantize();
+        let range = scheme.range_for(&weights);
+        let delta = range.span() / (2.0 * scheme.max_level() as f32);
+        let bound = match scheme.rounding {
+            Rounding::Nearest => 0.5 * delta,
+            Rounding::Truncate => delta,
+        } + 1e-5 + range.span() * 1e-6;
+        for (w, b) in weights.iter().zip(&back) {
+            prop_assert!((w - b).abs() <= bound,
+                "{}: |{} - {}| > {}", scheme.describe(), w, b, bound);
+        }
+    }
+
+    /// Only the low `m` bits are ever set in stored words.
+    #[test]
+    fn dead_bits_stay_zero(weights in weight_vec(), scheme in any_scheme()) {
+        let q = scheme.quantize(&weights);
+        let dead = !scheme.live_mask();
+        prop_assert!(q.words().iter().all(|&w| w & dead == 0));
+    }
+
+    /// Quantization is idempotent under rounding: re-quantizing the
+    /// dequantized weights reproduces the same words.
+    #[test]
+    fn requantization_is_idempotent_for_rounding(weights in weight_vec()) {
+        for bits in [2u8, 4, 8] {
+            let scheme = QuantScheme::rquant(bits);
+            let q1 = scheme.quantize(&weights);
+            let back = q1.dequantize();
+            let q2 = scheme.quantize_with_range(&back, q1.range());
+            prop_assert_eq!(q1.hamming_distance(&q2), 0);
+        }
+    }
+
+    /// Dequantized values are monotone in the stored level (unsigned repr):
+    /// a numerically larger word decodes to a larger weight.
+    #[test]
+    fn unsigned_decoding_is_monotone(lo in -2.0f32..0.0, span in 0.1f32..2.0) {
+        let scheme = QuantScheme::rquant(8);
+        let range = bitrobust_quant::QuantRange::new(lo, lo + span);
+        let mut last = f32::NEG_INFINITY;
+        for word in 0u8..=255 {
+            let v = scheme.dequantize_word(word, range);
+            prop_assert!(v >= last, "word {} decodes to {} < {}", word, v, last);
+            last = v;
+        }
+    }
+
+    /// A single bit flip always changes the decoded value by a power of two
+    /// times the step (unsigned representation).
+    #[test]
+    fn flip_magnitude_is_a_power_of_two_steps(weights in weight_vec(), bit in 0u8..8) {
+        let scheme = QuantScheme::rquant(8);
+        let q = scheme.quantize(&weights);
+        let range = q.range();
+        let delta = range.span() / (2.0 * scheme.max_level() as f32);
+        let word = q.words()[0];
+        let flipped = word ^ (1 << bit);
+        let before = scheme.dequantize_word(word, range);
+        let after = scheme.dequantize_word(flipped, range);
+        let expected = delta * (1u32 << bit) as f32;
+        prop_assert!(((after - before).abs() - expected).abs() <= expected * 1e-3 + 1e-6);
+    }
+
+    /// The derived range always contains every weight.
+    #[test]
+    fn range_contains_all_weights(weights in weight_vec(), scheme in any_scheme()) {
+        let range = scheme.range_for(&weights);
+        for &w in &weights {
+            prop_assert!(w >= range.lo() - 1e-6 && w <= range.hi() + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! Per-cell SRAM array simulation.
+//!
+//! Process variation makes each bit cell fail at a different supply voltage.
+//! We model a cell by a *failure-voltage threshold* `vth` (the cell is
+//! faulty at any operating voltage `v <= vth`) plus a *stuck value* (what a
+//! faulty cell reads back). Thresholds are drawn through the inverse
+//! survival function of the [`VoltageErrorModel`], which reproduces the
+//! measured exponential rate curve in expectation and gives the paper's
+//! "inherited errors" property for free: the faulty set at a higher voltage
+//! is always a subset of the faulty set at a lower one.
+
+use rand::Rng;
+
+use crate::VoltageErrorModel;
+
+/// Spatial/behavioural structure of a chip's faults, beyond the i.i.d.
+/// baseline.
+///
+/// Chip 2 of the paper (Fig. 3 right, Fig. 8) shows bit errors strongly
+/// aligned along memory columns and biased toward 0-to-1 flips; this profile
+/// reproduces those behaviours for synthesized chips.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellProfile {
+    /// Fraction of columns that are "weak" (fail at elevated voltages).
+    pub weak_column_frac: f64,
+    /// Threshold boost (in normalized volts) applied to cells in weak
+    /// columns. Zero yields an i.i.d. array.
+    pub column_boost: f64,
+    /// Probability that a faulty cell is stuck at 1 (reads 1 regardless of
+    /// the stored value, i.e. produces 0-to-1 flips). 0.5 = unbiased.
+    pub stuck_one_bias: f64,
+    /// Fraction of faulty cells whose failure is persistent across accesses;
+    /// the rest are transient (fail on ~half of the accesses).
+    pub persistent_frac: f64,
+}
+
+impl CellProfile {
+    /// An i.i.d., unbiased profile (the paper's chip 1 is close to this).
+    pub fn uniform() -> Self {
+        Self { weak_column_frac: 0.0, column_boost: 0.0, stuck_one_bias: 0.5, persistent_frac: 0.45 }
+    }
+
+    /// A column-aligned, 0-to-1-biased profile in the spirit of the paper's
+    /// chip 2: a few weak columns whose cells fail at markedly elevated
+    /// voltages, producing the vertical stripes of Fig. 3 (right).
+    pub fn column_aligned() -> Self {
+        Self { weak_column_frac: 0.08, column_boost: 0.08, stuck_one_bias: 0.75, persistent_frac: 0.6 }
+    }
+
+    /// Validates field ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range fractions or negative boost.
+    pub fn validate(&self) {
+        assert!((0.0..=1.0).contains(&self.weak_column_frac), "weak_column_frac in [0,1]");
+        assert!(self.column_boost >= 0.0, "column_boost must be non-negative");
+        assert!((0.0..=1.0).contains(&self.stuck_one_bias), "stuck_one_bias in [0,1]");
+        assert!((0.0..=1.0).contains(&self.persistent_frac), "persistent_frac in [0,1]");
+    }
+}
+
+impl Default for CellProfile {
+    fn default() -> Self {
+        Self::uniform()
+    }
+}
+
+/// A simulated SRAM array of `rows × cols` bit cells.
+///
+/// # Examples
+///
+/// ```
+/// use bitrobust_sram::{CellProfile, SramArray, VoltageErrorModel};
+/// use rand::SeedableRng;
+///
+/// let model = VoltageErrorModel::chandramoorthy14nm();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let array = SramArray::sample(512, 64, &model, &CellProfile::uniform(), &mut rng);
+/// let p = array.bit_error_rate_at(0.8);
+/// assert!(p > 0.005 && p < 0.1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SramArray {
+    rows: usize,
+    cols: usize,
+    vth: Vec<f32>,
+    stuck: Vec<bool>,
+    persistent: Vec<bool>,
+}
+
+impl SramArray {
+    /// Samples an array from the voltage model and cell profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols == 0` or the profile is invalid.
+    pub fn sample(
+        rows: usize,
+        cols: usize,
+        model: &VoltageErrorModel,
+        profile: &CellProfile,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(rows > 0 && cols > 0, "array must have cells");
+        profile.validate();
+        let n = rows * cols;
+        // Weak columns share a per-column threshold boost, so their cells
+        // fail together as voltage drops — the stripes of Fig. 3 (right).
+        let col_boost: Vec<f64> = (0..cols)
+            .map(|_| {
+                if rng.gen::<f64>() < profile.weak_column_frac {
+                    profile.column_boost * (0.3 + 0.7 * rng.gen::<f64>())
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let mut vth = Vec::with_capacity(n);
+        let mut stuck = Vec::with_capacity(n);
+        let mut persistent = Vec::with_capacity(n);
+        for i in 0..n {
+            let col = i % cols;
+            let t = model.sample_threshold(rng.gen::<f64>()) + col_boost[col];
+            vth.push(t as f32);
+            stuck.push(rng.gen::<f64>() < profile.stuck_one_bias);
+            persistent.push(rng.gen::<f64>() < profile.persistent_frac);
+        }
+        Self { rows, cols, vth, stuck, persistent }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of bit cells.
+    pub fn n_cells(&self) -> usize {
+        self.vth.len()
+    }
+
+    /// Whether cell `i` (row-major) is faulty at normalized voltage `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn is_faulty_at(&self, i: usize, v: f64) -> bool {
+        self.vth[i] as f64 >= v
+    }
+
+    /// The value a faulty cell reads back (`true` = 1).
+    pub fn stuck_value(&self, i: usize) -> bool {
+        self.stuck[i]
+    }
+
+    /// Whether cell `i`'s failure is persistent across accesses.
+    pub fn is_persistent(&self, i: usize) -> bool {
+        self.persistent[i]
+    }
+
+    /// Number of faulty cells at voltage `v`.
+    pub fn fault_count_at(&self, v: f64) -> usize {
+        self.vth.iter().filter(|&&t| t as f64 >= v).count()
+    }
+
+    /// Measured bit error rate at voltage `v` (faulty cells / total cells,
+    /// the definition used for the paper's profiling in App. A).
+    pub fn bit_error_rate_at(&self, v: f64) -> f64 {
+        self.fault_count_at(v) as f64 / self.n_cells() as f64
+    }
+
+    /// Per-kind fault statistics at voltage `v` (the App. C.1 table).
+    pub fn stats_at(&self, v: f64) -> FaultStats {
+        let mut p01 = 0usize; // stuck at 1: flips stored 0 -> 1
+        let mut p10 = 0usize;
+        let mut persistent = 0usize;
+        for i in 0..self.n_cells() {
+            if self.is_faulty_at(i, v) {
+                if self.stuck[i] {
+                    p01 += 1;
+                } else {
+                    p10 += 1;
+                }
+                if self.persistent[i] {
+                    persistent += 1;
+                }
+            }
+        }
+        let n = self.n_cells() as f64;
+        FaultStats {
+            rate: (p01 + p10) as f64 / n,
+            rate_0_to_1: p01 as f64 / n,
+            rate_1_to_0: p10 as f64 / n,
+            rate_persistent: persistent as f64 / n,
+        }
+    }
+}
+
+/// Fault statistics of an array at one voltage, mirroring the per-chip table
+/// of the paper's App. C.1 (`p`, `p0t1`, `p1t0`, `psa`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultStats {
+    /// Overall bit error rate.
+    pub rate: f64,
+    /// Rate of 0-to-1 flips (stuck-at-1 cells).
+    pub rate_0_to_1: f64,
+    /// Rate of 1-to-0 flips (stuck-at-0 cells).
+    pub rate_1_to_0: f64,
+    /// Rate of persistent errors.
+    pub rate_persistent: f64,
+}
+
+/// Average measured bit error rate over several arrays at each voltage —
+/// the blue curve of Fig. 1.
+pub fn characterize(arrays: &[SramArray], voltages: &[f64]) -> Vec<(f64, f64)> {
+    voltages
+        .iter()
+        .map(|&v| {
+            let total: usize = arrays.iter().map(|a| a.fault_count_at(v)).sum();
+            let cells: usize = arrays.iter().map(|a| a.n_cells()).sum();
+            (v, total as f64 / cells.max(1) as f64)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn test_array(seed: u64, profile: CellProfile) -> SramArray {
+        let model = VoltageErrorModel::chandramoorthy14nm();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        SramArray::sample(256, 64, &model, &profile, &mut rng)
+    }
+
+    #[test]
+    fn measured_rate_tracks_model() {
+        let model = VoltageErrorModel::chandramoorthy14nm();
+        let a = test_array(1, CellProfile::uniform());
+        for &v in &[0.78, 0.82, 0.86] {
+            let measured = a.bit_error_rate_at(v);
+            let expected = model.rate_at(v);
+            assert!(
+                (measured - expected).abs() < expected * 0.5 + 2e-4,
+                "v={v}: {measured} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn faults_inherit_across_voltages() {
+        let a = test_array(2, CellProfile::uniform());
+        for i in 0..a.n_cells() {
+            if a.is_faulty_at(i, 0.88) {
+                assert!(a.is_faulty_at(i, 0.80), "fault at high voltage must persist at low");
+            }
+        }
+    }
+
+    #[test]
+    fn column_profile_concentrates_faults() {
+        // At a voltage where the baseline rate is small, the weak columns of
+        // a column-aligned chip should hold a far larger share of the faults
+        // than any columns of a uniform chip.
+        fn top5_share(a: &SramArray, v: f64) -> f64 {
+            let mut per_col = vec![0usize; a.cols()];
+            for i in 0..a.n_cells() {
+                if a.is_faulty_at(i, v) {
+                    per_col[i % a.cols()] += 1;
+                }
+            }
+            per_col.sort_unstable_by(|x, y| y.cmp(x));
+            let total: usize = per_col.iter().sum();
+            if total == 0 {
+                return 0.0;
+            }
+            per_col[..5].iter().sum::<usize>() as f64 / total as f64
+        }
+        let model = VoltageErrorModel::chandramoorthy14nm();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+        let aligned = SramArray::sample(1024, 64, &model, &CellProfile::column_aligned(), &mut rng);
+        let uniform = SramArray::sample(1024, 64, &model, &CellProfile::uniform(), &mut rng);
+        let v = 0.80;
+        let aligned_share = top5_share(&aligned, v);
+        let uniform_share = top5_share(&uniform, v);
+        assert!(
+            aligned_share > 2.0 * uniform_share,
+            "aligned {aligned_share} vs uniform {uniform_share}"
+        );
+        assert!(aligned_share > 0.3, "top-5 columns should dominate, got {aligned_share}");
+    }
+
+    #[test]
+    fn stuck_bias_skews_flip_direction() {
+        let a = test_array(4, CellProfile::column_aligned());
+        let stats = a.stats_at(0.78);
+        assert!(stats.rate_0_to_1 > stats.rate_1_to_0, "profile is 0-to-1 biased");
+        assert!((stats.rate_0_to_1 + stats.rate_1_to_0 - stats.rate).abs() < 1e-12);
+    }
+
+    #[test]
+    fn characterize_averages_over_arrays() {
+        let arrays: Vec<SramArray> = (0..4).map(|s| test_array(s, CellProfile::uniform())).collect();
+        let curve = characterize(&arrays, &[0.8, 0.85, 0.9]);
+        assert_eq!(curve.len(), 3);
+        assert!(curve[0].1 > curve[1].1 && curve[1].1 > curve[2].1);
+    }
+
+    #[test]
+    fn stats_rates_are_consistent() {
+        let a = test_array(5, CellProfile::uniform());
+        let s = a.stats_at(0.8);
+        assert!(s.rate_persistent <= s.rate);
+        assert!(s.rate <= 1.0);
+    }
+}

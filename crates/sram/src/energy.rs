@@ -1,0 +1,120 @@
+//! Voltage → energy-per-access model (Fig. 1, red curve).
+//!
+//! Dynamic SRAM power scales with `V²`; a small voltage-independent floor
+//! accounts for leakage and peripheral overhead at constant clock frequency
+//! (the paper's energy numbers come from Cadence Spectre simulations at a
+//! fixed clock — see App. A). `E(V)/E(Vmin) = c + (1-c)(V/Vmin)²` with
+//! `c = 0.1` matches the published curve within reading accuracy.
+
+use crate::VoltageErrorModel;
+
+/// Normalized SRAM energy-per-access model.
+///
+/// # Examples
+///
+/// ```
+/// use bitrobust_sram::{EnergyModel, VoltageErrorModel};
+///
+/// let energy = EnergyModel::default();
+/// let volts = VoltageErrorModel::chandramoorthy14nm();
+/// // Tolerating p = 1% bit errors buys roughly 30% energy per access.
+/// let saving = energy.saving_at_rate(0.01, &volts);
+/// assert!((0.25..0.40).contains(&saving), "saving = {saving}");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    leakage_frac: f64,
+}
+
+impl EnergyModel {
+    /// Creates an energy model with the given leakage/overhead floor
+    /// (fraction of the `Vmin` energy that does not scale with `V²`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= leakage_frac < 1`.
+    pub fn new(leakage_frac: f64) -> Self {
+        assert!((0.0..1.0).contains(&leakage_frac), "leakage fraction must be in [0, 1)");
+        Self { leakage_frac }
+    }
+
+    /// Energy per access at normalized voltage `v`, relative to `Vmin`.
+    pub fn energy_at(&self, v: f64) -> f64 {
+        self.leakage_frac + (1.0 - self.leakage_frac) * v * v
+    }
+
+    /// Relative energy saving from operating at normalized voltage `v`
+    /// instead of `Vmin` (positive = saving).
+    pub fn saving_at(&self, v: f64) -> f64 {
+        1.0 - self.energy_at(v)
+    }
+
+    /// Relative energy saving available to a DNN robust to bit error rate
+    /// `p`: the saving at the lowest voltage whose error rate is `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p <= 1`.
+    pub fn saving_at_rate(&self, p: f64, voltage_model: &VoltageErrorModel) -> f64 {
+        self.saving_at(voltage_model.voltage_for_rate(p))
+    }
+
+    /// The leakage/overhead floor.
+    pub fn leakage_frac(&self) -> f64 {
+        self.leakage_frac
+    }
+}
+
+impl Default for EnergyModel {
+    /// The Fig. 1 calibration (`c = 0.1`).
+    fn default() -> Self {
+        Self::new(0.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_is_one_at_vmin() {
+        let e = EnergyModel::default();
+        assert!((e.energy_at(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_matches_fig1_at_low_voltage() {
+        // Fig. 1 shows ~0.6 normalized energy at 0.75 Vmin.
+        let e = EnergyModel::default();
+        let val = e.energy_at(0.75);
+        assert!((0.55..0.65).contains(&val), "energy {val}");
+    }
+
+    #[test]
+    fn saving_is_monotone_in_error_rate() {
+        let e = EnergyModel::default();
+        let v = VoltageErrorModel::chandramoorthy14nm();
+        let mut last = 0.0;
+        for &p in &[1e-4, 1e-3, 1e-2, 0.05, 0.1] {
+            let s = e.saving_at_rate(p, &v);
+            assert!(s > last, "tolerating more errors must save more energy");
+            last = s;
+        }
+    }
+
+    #[test]
+    fn twenty_percent_saving_around_p_between_01_and_1_percent() {
+        // Fig. 2's headline: <1% accuracy loss at ~20% energy saving.
+        let e = EnergyModel::default();
+        let v = VoltageErrorModel::chandramoorthy14nm();
+        let s_low = e.saving_at_rate(0.001, &v);
+        let s_high = e.saving_at_rate(0.01, &v);
+        assert!(s_low < 0.20 + 0.08 && s_high > 0.20, "{s_low} .. {s_high}");
+    }
+
+    #[test]
+    #[should_panic(expected = "leakage fraction")]
+    fn rejects_invalid_leakage() {
+        let _ = EnergyModel::new(1.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! # bitrobust-sram
+//!
+//! A low-voltage SRAM simulator for the Rust reproduction of *"Bit Error
+//! Robustness for Energy-Efficient DNN Accelerators"* (Stutz et al.,
+//! MLSys 2021).
+//!
+//! DNN accelerators scale their scratchpad supply voltage below `Vmin` to
+//! save energy; the price is an exponentially growing bit error rate in the
+//! stored weights (the paper's Fig. 1). This crate provides the three
+//! models that figure rests on:
+//!
+//! * [`VoltageErrorModel`] — voltage → bit error rate, calibrated to the
+//!   published 14 nm measurements;
+//! * [`EnergyModel`] — voltage → energy per access (`c + (1-c)V²`);
+//! * [`SramArray`] — per-cell failure thresholds with spatial structure
+//!   ([`CellProfile`]), stuck values, and persistence, from which
+//!   `bitrobust-biterror` builds profiled chips.
+//!
+//! # Examples
+//!
+//! Fig. 1 in five lines — the energy available at each tolerated error rate:
+//!
+//! ```
+//! use bitrobust_sram::{EnergyModel, VoltageErrorModel};
+//!
+//! let volts = VoltageErrorModel::chandramoorthy14nm();
+//! let energy = EnergyModel::default();
+//! for p in [1e-4, 1e-3, 1e-2] {
+//!     let v = volts.voltage_for_rate(p);
+//!     println!("p={p:.4} -> V/Vmin={v:.3}, saving={:.1}%", 100.0 * energy.saving_at(v));
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cells;
+mod energy;
+mod voltage;
+
+pub use cells::{characterize, CellProfile, FaultStats, SramArray};
+pub use energy::EnergyModel;
+pub use voltage::VoltageErrorModel;

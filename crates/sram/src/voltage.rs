@@ -1,0 +1,190 @@
+//! Voltage → bit-error-rate model.
+//!
+//! Measurements on 14 nm SRAM arrays (Chandramoorthy et al., 2019; Fig. 1 of
+//! the reproduced paper) show the bit cell failure probability rising
+//! *exponentially* as the supply voltage drops below `Vmin`, the lowest
+//! voltage with error-free operation. We model
+//!
+//! ```text
+//! p(v) = p_low · 10^(−β · (v − v_low))        v normalized by Vmin
+//! ```
+//!
+//! calibrated so that `p(0.75) = 20%` and `p(1.0) ≈ 1e-6` (error-free at
+//! `Vmin` within measurement resolution), matching the published curve's
+//! end points and its straight-line shape on a log axis.
+
+/// Exponential voltage-to-bit-error-rate model (voltages normalized by
+/// `Vmin`).
+///
+/// # Examples
+///
+/// ```
+/// use bitrobust_sram::VoltageErrorModel;
+///
+/// let model = VoltageErrorModel::chandramoorthy14nm();
+/// let p = model.rate_at(0.85);
+/// assert!(p > 1e-4 && p < 0.05);
+/// let v = model.voltage_for_rate(0.01);
+/// assert!((model.rate_at(v) - 0.01).abs() / 0.01 < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VoltageErrorModel {
+    v_low: f64,
+    p_low: f64,
+    beta: f64,
+}
+
+impl VoltageErrorModel {
+    /// Creates a model from a low-voltage anchor point and decay slope.
+    ///
+    /// `p_low` is the bit error rate at normalized voltage `v_low`; `beta`
+    /// is the base-10 decades of error-rate reduction per unit voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p_low <= 1`, `v_low > 0`, and `beta > 0`.
+    pub fn new(v_low: f64, p_low: f64, beta: f64) -> Self {
+        assert!(p_low > 0.0 && p_low <= 1.0, "p_low must be in (0, 1]");
+        assert!(v_low > 0.0, "v_low must be positive");
+        assert!(beta > 0.0, "beta must be positive");
+        Self { v_low, p_low, beta }
+    }
+
+    /// Calibration matching Fig. 1 of the paper (32 × 4 KB arrays, 14 nm):
+    /// 20% bit error rate at `0.75·Vmin`, error-free (≈1e-6) at `Vmin`.
+    pub fn chandramoorthy14nm() -> Self {
+        let v_low = 0.75;
+        let p_low = 0.20;
+        let p_min: f64 = 1e-6;
+        let beta = (p_low / p_min).log10() / (1.0 - v_low);
+        Self::new(v_low, p_low, beta)
+    }
+
+    /// Bit error probability at normalized voltage `v`.
+    ///
+    /// The exponential extends in both directions (clamped to `[0, 1]`), so
+    /// voltages above `Vmin` quickly give negligible rates and voltages far
+    /// below `v_low` saturate toward 1.
+    pub fn rate_at(&self, v: f64) -> f64 {
+        (self.p_low * 10f64.powf(-self.beta * (v - self.v_low))).clamp(0.0, 1.0)
+    }
+
+    /// The normalized voltage at which the bit error rate equals `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p <= 1`.
+    pub fn voltage_for_rate(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p <= 1.0, "rate must be in (0, 1]");
+        self.v_low - (p / self.p_low).log10() / self.beta
+    }
+
+    /// Samples a per-cell failure-voltage threshold: the cell is faulty at
+    /// any operating voltage `v <= vth`. Sampling through the inverse
+    /// survival function guarantees that an array of such cells reproduces
+    /// `rate_at(v)` in expectation **and** that the faulty set at a higher
+    /// voltage is a subset of the faulty set at any lower voltage — the
+    /// paper's "inherited errors" property (Sec. 3).
+    pub fn sample_threshold(&self, u: f64) -> f64 {
+        let u = u.clamp(f64::MIN_POSITIVE, 1.0);
+        self.v_low - (u / self.p_low).log10() / self.beta
+    }
+
+    /// Anchor voltage of the calibration (normalized by `Vmin`).
+    pub fn v_low(&self) -> f64 {
+        self.v_low
+    }
+
+    /// Bit error rate at the anchor voltage.
+    pub fn p_low(&self) -> f64 {
+        self.p_low
+    }
+
+    /// Decades of error-rate decay per unit normalized voltage.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+}
+
+impl Default for VoltageErrorModel {
+    fn default() -> Self {
+        Self::chandramoorthy14nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_is_monotonically_decreasing_in_voltage() {
+        let m = VoltageErrorModel::chandramoorthy14nm();
+        let mut last = f64::INFINITY;
+        for i in 0..60 {
+            let v = 0.70 + i as f64 * 0.006;
+            let p = m.rate_at(v);
+            assert!(p <= last, "rate must fall as voltage rises");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn calibration_end_points() {
+        let m = VoltageErrorModel::chandramoorthy14nm();
+        assert!((m.rate_at(0.75) - 0.20).abs() < 1e-9);
+        assert!(m.rate_at(1.0) <= 1.1e-6);
+    }
+
+    #[test]
+    fn voltage_for_rate_inverts_rate_at() {
+        let m = VoltageErrorModel::chandramoorthy14nm();
+        for &p in &[0.15, 0.01, 1e-3, 1e-4] {
+            let v = m.voltage_for_rate(p);
+            assert!((m.rate_at(v) - p).abs() / p < 1e-6);
+        }
+    }
+
+    #[test]
+    fn one_percent_rate_sits_near_081_vmin() {
+        // The headline calibration: robustness to p = 1% buys ~30% energy,
+        // i.e. an operating point near 0.8 Vmin.
+        let m = VoltageErrorModel::chandramoorthy14nm();
+        let v = m.voltage_for_rate(0.01);
+        assert!((0.78..=0.84).contains(&v), "v = {v}");
+    }
+
+    #[test]
+    fn thresholds_reproduce_rate_in_expectation() {
+        let m = VoltageErrorModel::chandramoorthy14nm();
+        // Deterministic low-discrepancy u values.
+        let n = 200_000;
+        let mut faulty = 0u32;
+        let v = 0.85;
+        for i in 0..n {
+            let u = (i as f64 + 0.5) / n as f64;
+            if m.sample_threshold(u) >= v {
+                faulty += 1;
+            }
+        }
+        let measured = faulty as f64 / n as f64;
+        let expected = m.rate_at(v);
+        assert!((measured - expected).abs() / expected < 0.05, "{measured} vs {expected}");
+    }
+
+    #[test]
+    fn subset_property_of_thresholds() {
+        // A cell faulty at v1 (vth >= v1) is also faulty at any v2 < v1.
+        let m = VoltageErrorModel::chandramoorthy14nm();
+        let vth = m.sample_threshold(0.37);
+        let (v_high, v_low) = (0.9, 0.8);
+        if vth >= v_high {
+            assert!(vth >= v_low);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be in")]
+    fn voltage_for_rate_rejects_zero() {
+        let _ = VoltageErrorModel::chandramoorthy14nm().voltage_for_rate(0.0);
+    }
+}

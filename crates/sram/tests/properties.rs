@@ -1,0 +1,53 @@
+//! Property-based tests of the SRAM voltage/energy models.
+
+use bitrobust_sram::{EnergyModel, VoltageErrorModel};
+use proptest::prelude::*;
+
+proptest! {
+    /// Bit error rate is monotone decreasing in voltage.
+    #[test]
+    fn rate_monotone_in_voltage(v1 in 0.6f64..1.1, v2 in 0.6f64..1.1) {
+        let m = VoltageErrorModel::chandramoorthy14nm();
+        let (lo, hi) = if v1 <= v2 { (v1, v2) } else { (v2, v1) };
+        prop_assert!(m.rate_at(lo) >= m.rate_at(hi));
+    }
+
+    /// voltage_for_rate inverts rate_at wherever the rate is in range.
+    #[test]
+    fn inverse_round_trip(p in 1e-6f64..0.2) {
+        let m = VoltageErrorModel::chandramoorthy14nm();
+        let v = m.voltage_for_rate(p);
+        prop_assert!((m.rate_at(v) - p).abs() / p < 1e-6);
+    }
+
+    /// Threshold sampling respects the survival function: a cell with
+    /// latent u is faulty at v iff u <= rate(v).
+    #[test]
+    fn threshold_sampling_consistent(u in 1e-9f64..1.0, v in 0.7f64..1.05) {
+        let m = VoltageErrorModel::chandramoorthy14nm();
+        let vth = m.sample_threshold(u);
+        let faulty = vth >= v;
+        let should_be = u <= m.rate_at(v);
+        prop_assert_eq!(faulty, should_be, "u={}, v={}, vth={}", u, v, vth);
+    }
+
+    /// Energy is monotone increasing in voltage and bounded by [c, 1] on
+    /// [0, 1].
+    #[test]
+    fn energy_monotone_and_bounded(v1 in 0.0f64..1.0, v2 in 0.0f64..1.0) {
+        let e = EnergyModel::default();
+        let (lo, hi) = if v1 <= v2 { (v1, v2) } else { (v2, v1) };
+        prop_assert!(e.energy_at(lo) <= e.energy_at(hi));
+        prop_assert!(e.energy_at(lo) >= e.leakage_frac());
+        prop_assert!(e.energy_at(hi) <= 1.0 + 1e-12);
+    }
+
+    /// Tolerating a higher error rate always saves at least as much energy.
+    #[test]
+    fn saving_monotone_in_rate(p1 in 1e-6f64..0.2, p2 in 1e-6f64..0.2) {
+        let volts = VoltageErrorModel::chandramoorthy14nm();
+        let energy = EnergyModel::default();
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(energy.saving_at_rate(lo, &volts) <= energy.saving_at_rate(hi, &volts) + 1e-12);
+    }
+}

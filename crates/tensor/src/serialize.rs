@@ -1,0 +1,143 @@
+//! A tiny self-describing binary format for named tensor collections.
+//!
+//! Used to persist trained models in the experiment zoo and for the
+//! save/load round-trip tests. The format is little-endian:
+//!
+//! ```text
+//! magic  "BRTS"          4 bytes
+//! version u32            currently 1
+//! count   u32            number of entries
+//! entry*: name_len u32, name bytes (utf-8),
+//!         ndim u32, dims u32*, data f32*
+//! ```
+
+use std::io::{self, Read, Write};
+
+use crate::Tensor;
+
+const MAGIC: &[u8; 4] = b"BRTS";
+const VERSION: u32 = 1;
+
+/// Writes named tensors to `w` in the `BRTS` format.
+///
+/// # Errors
+///
+/// Returns any I/O error from the underlying writer.
+pub fn write_tensors<W: Write>(mut w: W, entries: &[(String, Tensor)]) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    write_u32(&mut w, VERSION)?;
+    write_u32(&mut w, entries.len() as u32)?;
+    for (name, tensor) in entries {
+        let bytes = name.as_bytes();
+        write_u32(&mut w, bytes.len() as u32)?;
+        w.write_all(bytes)?;
+        write_u32(&mut w, tensor.ndim() as u32)?;
+        for &d in tensor.shape() {
+            write_u32(&mut w, d as u32)?;
+        }
+        for &v in tensor.data() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads named tensors from `r` in the `BRTS` format.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure, bad magic, unsupported version, invalid
+/// UTF-8 names, or truncated payloads.
+pub fn read_tensors<R: Read>(mut r: R) -> io::Result<Vec<(String, Tensor)>> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a BRTS tensor file"));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported BRTS version {version}"),
+        ));
+    }
+    let count = read_u32(&mut r)? as usize;
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name_len = read_u32(&mut r)? as usize;
+        let mut name_bytes = vec![0u8; name_len];
+        r.read_exact(&mut name_bytes)?;
+        let name = String::from_utf8(name_bytes)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "tensor name is not utf-8"))?;
+        let ndim = read_u32(&mut r)? as usize;
+        let mut shape = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            shape.push(read_u32(&mut r)? as usize);
+        }
+        let numel: usize = shape.iter().product();
+        let mut data = vec![0f32; numel];
+        let mut buf = [0u8; 4];
+        for v in &mut data {
+            r.read_exact(&mut buf)?;
+            *v = f32::from_le_bytes(buf);
+        }
+        entries.push((name, Tensor::from_vec(shape, data)));
+    }
+    Ok(entries)
+}
+
+fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_names_shapes_values() {
+        let entries = vec![
+            ("conv1.weight".to_string(), Tensor::from_fn(&[4, 3, 3, 3], |i| i as f32 * 0.5)),
+            ("conv1.bias".to_string(), Tensor::from_vec(vec![4], vec![-1.0, 0.0, 1.0, 2.0])),
+            ("empty".to_string(), Tensor::zeros(&[0])),
+        ];
+        let mut buf = Vec::new();
+        write_tensors(&mut buf, &entries).unwrap();
+        let back = read_tensors(&buf[..]).unwrap();
+        assert_eq!(back.len(), 3);
+        for ((n0, t0), (n1, t1)) in entries.iter().zip(&back) {
+            assert_eq!(n0, n1);
+            assert_eq!(t0, t1);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_tensors(&b"NOPE\0\0\0\0"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_truncated_payload() {
+        let entries = vec![("w".to_string(), Tensor::from_vec(vec![4], vec![1.0; 4]))];
+        let mut buf = Vec::new();
+        write_tensors(&mut buf, &entries).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_tensors(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_future_version() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        assert!(read_tensors(&buf[..]).is_err());
+    }
+}

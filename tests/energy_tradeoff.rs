@@ -1,0 +1,80 @@
+//! Integration tests of the energy/robustness trade-off analysis (the
+//! Fig. 1 + Fig. 2 combination behind the paper's headline claims).
+
+use bitrobust_core::{best_saving_within, deviation_bound, energy_tradeoff};
+use bitrobust_sram::{characterize, CellProfile, EnergyModel, SramArray, VoltageErrorModel};
+use rand::SeedableRng;
+
+#[test]
+fn fig1_curves_have_the_published_shape() {
+    let volts = VoltageErrorModel::chandramoorthy14nm();
+    let energy = EnergyModel::default();
+    // Exponential: each 0.05 V drop multiplies the rate by a constant.
+    let r1 = volts.rate_at(0.90) / volts.rate_at(0.95);
+    let r2 = volts.rate_at(0.85) / volts.rate_at(0.90);
+    assert!((r1 - r2).abs() / r1 < 1e-6, "log-linear rate curve");
+    // Energy falls roughly quadratically: ~40% lower at 0.75 Vmin.
+    let e = energy.energy_at(0.75);
+    assert!((0.55..0.65).contains(&e));
+}
+
+#[test]
+fn headline_savings_match_the_paper() {
+    let volts = VoltageErrorModel::chandramoorthy14nm();
+    let energy = EnergyModel::default();
+    // "DNNs robust to p = 1% allow to reduce SRAM energy by roughly 30%".
+    let saving_1pct = energy.saving_at_rate(0.01, &volts);
+    assert!((0.25..0.40).contains(&saving_1pct), "saving at p=1%: {saving_1pct}");
+    // Around p ~ 0.1%, savings are ~20%.
+    let saving_01pct = energy.saving_at_rate(0.001, &volts);
+    assert!((0.15..0.30).contains(&saving_01pct), "saving at p=0.1%: {saving_01pct}");
+}
+
+#[test]
+fn measured_arrays_track_the_analytic_curve() {
+    let volts = VoltageErrorModel::chandramoorthy14nm();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let arrays: Vec<SramArray> =
+        (0..8).map(|_| SramArray::sample(512, 64, &volts, &CellProfile::uniform(), &mut rng)).collect();
+    for (v, measured) in characterize(&arrays, &[0.78, 0.82, 0.86]) {
+        let expected = volts.rate_at(v);
+        assert!(
+            (measured - expected).abs() < expected * 0.3 + 1e-4,
+            "v={v}: {measured} vs {expected}"
+        );
+    }
+}
+
+#[test]
+fn tradeoff_pipeline_finds_the_knee() {
+    let volts = VoltageErrorModel::chandramoorthy14nm();
+    let energy = EnergyModel::default();
+    // A plausible RErr curve: flat until ~0.5%, then rising sharply.
+    let curve = [
+        (1e-4, 0.050),
+        (1e-3, 0.055),
+        (5e-3, 0.065),
+        (1e-2, 0.075),
+        (2.5e-2, 0.200),
+    ];
+    let points = energy_tradeoff(&curve, &volts, &energy);
+    // Budget 3%: should pick p=1%, not the catastrophic 2.5%.
+    let best = best_saving_within(&points, 0.05, 0.03).unwrap();
+    assert_eq!(best.p, 1e-2);
+    assert!(best.energy_saving > 0.25);
+    // Tiny budget: much smaller saving.
+    let tight = best_saving_within(&points, 0.05, 0.006).unwrap();
+    assert!(tight.p < best.p && tight.energy_saving < best.energy_saving);
+}
+
+#[test]
+fn guarantee_bound_is_meaningful_at_experiment_scale() {
+    // At our evaluation scale (1000 test examples, 10-500 chips) the Prop. 1
+    // bound is loose but finite and improves with more patterns.
+    let b10 = deviation_bound(1000, 10, 0.01);
+    let b500 = deviation_bound(1000, 500, 0.01);
+    assert!(b500 < b10);
+    // With only 10 patterns the bound is vacuous (> 1); 500 patterns make
+    // it informative.
+    assert!(b500 > 0.0 && b500 < 1.0);
+}

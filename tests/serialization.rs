@@ -1,0 +1,79 @@
+//! Serialization round-trips across the workspace: tensors, models, and
+//! the quantized-weight path.
+
+use bitrobust_core::{build, ArchKind, NormKind, QuantizedModel};
+use bitrobust_nn::Mode;
+use bitrobust_quant::QuantScheme;
+use bitrobust_tensor::{read_tensors, write_tensors, Tensor};
+use rand::SeedableRng;
+
+#[test]
+fn model_save_load_preserves_outputs() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let built = build(ArchKind::SimpleNet, [3, 16, 16], 10, NormKind::Group, &mut rng);
+    let mut model = built.model;
+    let x = Tensor::randn(&[2, 3, 16, 16], 1.0, &mut rng);
+    let y_before = model.forward(&x, Mode::Eval);
+
+    let mut buf = Vec::new();
+    model.save_params(&mut buf).unwrap();
+
+    let mut rng2 = rand::rngs::StdRng::seed_from_u64(999); // different init
+    let built2 = build(ArchKind::SimpleNet, [3, 16, 16], 10, NormKind::Group, &mut rng2);
+    let mut model2 = built2.model;
+    model2.load_params(&buf[..]).unwrap();
+    let y_after = model2.forward(&x, Mode::Eval);
+    assert_eq!(y_before, y_after);
+}
+
+#[test]
+fn quantized_weights_survive_save_load() {
+    // Quantize → save float params → load → quantize again: identical words.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let built = build(ArchKind::Mlp, [1, 14, 14], 10, NormKind::Group, &mut rng);
+    let mut model = built.model;
+    let q1 = QuantizedModel::quantize(&mut model, QuantScheme::rquant(8));
+
+    let mut buf = Vec::new();
+    model.save_params(&mut buf).unwrap();
+    let built2 = build(ArchKind::Mlp, [1, 14, 14], 10, NormKind::Group, &mut rng);
+    let mut model2 = built2.model;
+    model2.load_params(&buf[..]).unwrap();
+    let q2 = QuantizedModel::quantize(&mut model2, QuantScheme::rquant(8));
+    assert_eq!(q1.hamming_distance(&q2), 0);
+}
+
+#[test]
+fn tensor_file_round_trip_with_many_entries() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let entries: Vec<(String, Tensor)> = (0..20)
+        .map(|i| {
+            let shape = vec![1 + i % 4, 2 + i % 3];
+            (format!("tensor{i}"), Tensor::randn(&shape, 1.0, &mut rng))
+        })
+        .collect();
+    let mut buf = Vec::new();
+    write_tensors(&mut buf, &entries).unwrap();
+    let back = read_tensors(&buf[..]).unwrap();
+    assert_eq!(entries.len(), back.len());
+    for ((n0, t0), (n1, t1)) in entries.iter().zip(&back) {
+        assert_eq!(n0, n1);
+        assert_eq!(t0, t1);
+    }
+}
+
+#[test]
+fn load_rejects_model_shape_mismatch() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let built = build(ArchKind::Mlp, [1, 14, 14], 10, NormKind::Group, &mut rng);
+    let mut model = built.model;
+    let mut buf = Vec::new();
+    model.save_params(&mut buf).unwrap();
+
+    let built_other = build(ArchKind::Mlp, [3, 16, 16], 10, NormKind::Group, &mut rng);
+    let mut other = built_other.model;
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        other.load_params(&buf[..]).unwrap();
+    }));
+    assert!(result.is_err(), "shape mismatch must be rejected");
+}
