@@ -24,7 +24,8 @@ fn bench_dequantize(c: &mut Criterion) {
     let weights: Vec<f32> = (0..65_536).map(|i| ((i % 997) as f32 - 498.0) * 1e-3).collect();
     let mut group = c.benchmark_group("dequantize_64k");
     group.throughput(Throughput::Elements(weights.len() as u64));
-    for (name, scheme) in [("rquant8", QuantScheme::rquant(8)), ("normal8", QuantScheme::normal(8))] {
+    for (name, scheme) in [("rquant8", QuantScheme::rquant(8)), ("normal8", QuantScheme::normal(8))]
+    {
         let q = scheme.quantize(&weights);
         let mut out = vec![0f32; weights.len()];
         group.bench_function(BenchmarkId::from_parameter(name), |b| {

@@ -171,7 +171,12 @@ impl ProfiledChip {
     /// `map_offset` is a bit-cell offset applied before the linear mapping;
     /// `persistent_only` restricts injection to persistent faults (used for
     /// the PattBET-on-profiled-errors experiments, Tab. 16).
-    pub fn at_voltage(&self, v: f64, map_offset: usize, persistent_only: bool) -> ProfiledInjector<'_> {
+    pub fn at_voltage(
+        &self,
+        v: f64,
+        map_offset: usize,
+        persistent_only: bool,
+    ) -> ProfiledInjector<'_> {
         ProfiledInjector { chip: self, voltage: v, map_offset, persistent_only }
     }
 }

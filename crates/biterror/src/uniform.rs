@@ -111,7 +111,10 @@ mod tests {
         for wi in 0..5000 {
             for bit in 0..8 {
                 if chip.flips(p_low, wi, bit) {
-                    assert!(chip.flips(p_high, wi, bit), "low-rate flips must persist at high rate");
+                    assert!(
+                        chip.flips(p_high, wi, bit),
+                        "low-rate flips must persist at high rate"
+                    );
                 }
             }
         }
@@ -146,7 +149,7 @@ mod tests {
     fn respects_bit_width() {
         let chip = UniformChip::new(4);
         let mut words = vec![0u8; 10_000];
-        chip.at_rate(0.5, ).inject(&mut words, 4, 0);
+        chip.at_rate(0.5).inject(&mut words, 4, 0);
         assert!(words.iter().all(|&w| w & 0xF0 == 0), "must not touch dead bits");
         assert!(words.iter().any(|&w| w != 0));
     }

@@ -71,7 +71,9 @@ pub fn build(
         // roughly `wmax * Σ|features|`, so the classifier head keeps a wide
         // feature vector (the paper's SimpleNet feeds 256 features into the
         // classifier for the same reason).
-        ArchKind::SimpleNet => simplenet(image_shape, n_classes, norm, &[16, 16, 32, 32, 64, 96], rng),
+        ArchKind::SimpleNet => {
+            simplenet(image_shape, n_classes, norm, &[16, 16, 32, 32, 64, 96], rng)
+        }
         ArchKind::WideSimpleNet => {
             simplenet(image_shape, n_classes, norm, &[24, 24, 48, 48, 96, 128], rng)
         }
@@ -90,7 +92,7 @@ fn norm_layer(norm: NormKind, channels: usize, net: &mut Sequential) {
 fn group_count(channels: usize) -> usize {
     // Largest divisor of `channels` not exceeding 8 (GroupNorm default
     // spirit at our widths).
-    (1..=8.min(channels)).rev().find(|g| channels % g == 0).unwrap_or(1)
+    (1..=8.min(channels)).rev().find(|&g| channels.is_multiple_of(g)).unwrap_or(1)
 }
 
 /// Conv + Norm + ReLU block.

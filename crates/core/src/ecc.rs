@@ -68,7 +68,11 @@ pub struct EccStats {
 ///
 /// Panics if the two models have different structure or
 /// `cfg.weights_per_word == 0`.
-pub fn apply_secded(clean: &QuantizedModel, dirty: &mut QuantizedModel, cfg: &SecdedConfig) -> EccStats {
+pub fn apply_secded(
+    clean: &QuantizedModel,
+    dirty: &mut QuantizedModel,
+    cfg: &SecdedConfig,
+) -> EccStats {
     assert!(cfg.weights_per_word > 0, "weights_per_word must be positive");
     assert_eq!(clean.tensors().len(), dirty.tensors().len(), "model structure mismatch");
     let mut stats = EccStats::default();
@@ -104,9 +108,7 @@ fn correct_tensor(
             0 => {}
             1 => {
                 // Single error: SECDED corrects it exactly.
-                for i in start..end {
-                    words[i] = clean_words[i];
-                }
+                words[start..end].copy_from_slice(&clean_words[start..end]);
                 stats.corrected_words += 1;
             }
             _ => {
@@ -116,9 +118,7 @@ fn correct_tensor(
                         stats.residual_bit_errors += errors as usize;
                     }
                     DoubleErrorPolicy::ZeroWord => {
-                        for i in start..end {
-                            words[i] = zero_word_level;
-                        }
+                        words[start..end].fill(zero_word_level);
                         // Zeroing is not "errors" but it is information loss;
                         // count the bits that differ from clean.
                         for i in start..end {

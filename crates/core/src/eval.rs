@@ -80,8 +80,7 @@ impl RobustEval {
         assert!(!results.is_empty(), "need at least one error pattern");
         let n = results.len() as f64;
         let mean = results.iter().map(|r| r.error as f64).sum::<f64>() / n;
-        let var =
-            results.iter().map(|r| (r.error as f64 - mean).powi(2)).sum::<f64>() / n.max(1.0);
+        let var = results.iter().map(|r| (r.error as f64 - mean).powi(2)).sum::<f64>() / n.max(1.0);
         let conf = results.iter().map(|r| r.confidence as f64).sum::<f64>() / n;
         Self {
             mean_error: mean as f32,
@@ -124,6 +123,7 @@ pub fn robust_eval<I: ErrorInjector>(
 /// [`robust_eval`] against `n_chips` uniform random chips at rate `p`
 /// (the paper's default protocol: 50 chips, fixed seeds, shared across all
 /// models and rates so results are comparable).
+#[allow(clippy::too_many_arguments)] // mirrors the paper's evaluation protocol knobs
 pub fn robust_eval_uniform(
     model: &mut Model,
     scheme: QuantScheme,
@@ -193,7 +193,8 @@ mod tests {
     #[test]
     fn zero_rate_matches_quantized_error() {
         let (mut model, test) = tiny_setup();
-        let clean = quantized_error(&mut model, QuantScheme::rquant(8), &test, EVAL_BATCH, Mode::Eval);
+        let clean =
+            quantized_error(&mut model, QuantScheme::rquant(8), &test, EVAL_BATCH, Mode::Eval);
         let robust = robust_eval_uniform(
             &mut model,
             QuantScheme::rquant(8),

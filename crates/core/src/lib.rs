@@ -81,6 +81,4 @@ pub use eval::{
 pub use probe::{ActivationProbe, ProbeHandle, ProbeStats};
 pub use qmodel::QuantizedModel;
 pub use redundancy::{redundancy_metrics, RedundancyMetrics};
-pub use train::{
-    train, PattPattern, RandBetVariant, TrainConfig, TrainMethod, TrainReport,
-};
+pub use train::{train, PattPattern, RandBetVariant, TrainConfig, TrainMethod, TrainReport};

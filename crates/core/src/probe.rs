@@ -46,11 +46,8 @@ impl Layer for ActivationProbe {
         if n > 0 {
             let positive = input.data().iter().filter(|&&v| v > 0.0).count();
             let mean_abs = input.data().iter().map(|v| v.abs() as f64).sum::<f64>() / n as f64;
-            *self.stats.lock().expect("probe mutex poisoned") = ProbeStats {
-                fraction_positive: positive as f64 / n as f64,
-                mean_abs,
-                count: n,
-            };
+            *self.stats.lock().expect("probe mutex poisoned") =
+                ProbeStats { fraction_positive: positive as f64 / n as f64, mean_abs, count: n };
         }
         input.clone()
     }

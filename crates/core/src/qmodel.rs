@@ -135,7 +135,11 @@ impl QuantizedModel {
         let mut index = 0;
         model.visit_params(&mut |p| {
             assert!(index < self.tensors.len(), "model has more parameters than snapshot");
-            assert_eq!(p.value().shape(), &self.shapes[index][..], "parameter {index} shape mismatch");
+            assert_eq!(
+                p.value().shape(),
+                &self.shapes[index][..],
+                "parameter {index} shape mismatch"
+            );
             self.tensors[index].dequantize_into(p.value_mut().data_mut());
             index += 1;
         });

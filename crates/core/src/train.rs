@@ -8,7 +8,7 @@ use bitrobust_quant::QuantScheme;
 use rand::Rng;
 use rand::SeedableRng;
 
-use crate::eval::{quantized_error, evaluate, EVAL_BATCH};
+use crate::eval::{evaluate, quantized_error, EVAL_BATCH};
 use crate::QuantizedModel;
 
 /// RandBET variants evaluated in Tab. 13.
@@ -176,7 +176,7 @@ pub fn train(
     cfg: &TrainConfig,
 ) -> TrainReport {
     assert!(cfg.epochs > 0, "need at least one epoch");
-    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ 0x7_2A1_17);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ 0x0072_A117);
     let loss_fn = match cfg.label_smoothing {
         Some(tau) => CrossEntropyLoss::with_label_smoothing(tau),
         None => CrossEntropyLoss::new(),
@@ -239,10 +239,7 @@ pub fn train(
             }
 
             let inject_now = bit_errors_active
-                && matches!(
-                    cfg.method,
-                    TrainMethod::RandBet { .. } | TrainMethod::PattBet { .. }
-                );
+                && matches!(cfg.method, TrainMethod::RandBet { .. } | TrainMethod::PattBet { .. });
 
             // Clean backward (Alg. 1 line 11), unless this step trains on
             // the perturbed loss alone (the PerturbedOnly ablation).
@@ -261,7 +258,8 @@ pub fn train(
             );
 
             if inject_now {
-                let q = quantized.as_ref().expect("bit error training requires a quantization scheme");
+                let q =
+                    quantized.as_ref().expect("bit error training requires a quantization scheme");
                 if alternating {
                     // Variant: apply the clean update first.
                     model.set_param_tensors(&float_params);
@@ -270,7 +268,8 @@ pub fn train(
                     // Record ranges to project the perturbed update into.
                     let ranges: Vec<_> = q.tensors().iter().map(|t| t.range()).collect();
                     let after_clean = model.param_tensors();
-                    let q2 = perturb(model, q, &cfg.method, &patt_chip, step, total_steps, &mut rng);
+                    let q2 =
+                        perturb(model, q, &cfg.method, &patt_chip, step, total_steps, &mut rng);
                     q2.write_to(model);
                     let logits = model.forward(&x, Mode::Train);
                     let out = loss_fn.compute(&logits, &labels);
@@ -378,10 +377,7 @@ mod tests {
         let test_idx: Vec<usize> = (0..300).collect();
         let (xt, yt) = train.batch(&train_idx);
         let (xe, ye) = test.batch(&test_idx);
-        (
-            Dataset::new("train", xt, yt, 10),
-            Dataset::new("test", xe, ye, 10),
-        )
+        (Dataset::new("train", xt, yt, 10), Dataset::new("test", xe, ye, 10))
     }
 
     #[test]
@@ -401,12 +397,8 @@ mod tests {
         let built = build(ArchKind::Mlp, [1, 14, 14], 10, NormKind::Group, &mut rng);
         let mut model = built.model;
         let (train_ds, test_ds) = mnist_subset();
-        let _ = train(
-            &mut model,
-            &train_ds,
-            &test_ds,
-            &quick_cfg(TrainMethod::Clipping { wmax: 0.1 }),
-        );
+        let _ =
+            train(&mut model, &train_ds, &test_ds, &quick_cfg(TrainMethod::Clipping { wmax: 0.1 }));
         model.visit_params(&mut |p| {
             assert!(p.value().abs_max() <= 0.1 + 1e-6);
         });

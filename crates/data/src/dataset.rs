@@ -21,7 +21,12 @@ impl Dataset {
     /// # Panics
     ///
     /// Panics if shapes/labels disagree or a label is out of range.
-    pub fn new(name: impl Into<String>, images: Tensor, labels: Vec<usize>, n_classes: usize) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        images: Tensor,
+        labels: Vec<usize>,
+        n_classes: usize,
+    ) -> Self {
         assert_eq!(images.ndim(), 4, "images must be [n, c, h, w]");
         assert_eq!(images.dim(0), labels.len(), "image/label count mismatch");
         assert!(labels.iter().all(|&l| l < n_classes), "label out of range");
@@ -83,8 +88,8 @@ impl Dataset {
     }
 
     /// Iterates over shuffled mini-batches for one epoch.
-    pub fn shuffled_batches<'a, R: Rng>(
-        &'a self,
+    pub fn shuffled_batches<R: Rng>(
+        &self,
         batch_size: usize,
         rng: &mut R,
     ) -> Vec<(Tensor, Vec<usize>)> {

@@ -112,7 +112,7 @@ impl SynthDataset {
     /// Generates the train/test pair deterministically from `seed`.
     pub fn generate(self, seed: u64) -> (Dataset, Dataset) {
         let spec = self.spec();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xDA7A_5E7 ^ (self as u64) << 32);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x0DA7_A5E7 ^ (self as u64) << 32);
 
         // Class prototypes: smooth fields, optionally clustered.
         let centers: Vec<Vec<f32>> = (0..spec.clusters)
@@ -178,8 +178,7 @@ impl SynthDataset {
                 }
             }
         }
-        let images =
-            Tensor::from_vec(vec![n, spec.channels, spec.size, spec.size], data);
+        let images = Tensor::from_vec(vec![n, spec.channels, spec.size, spec.size], data);
         Dataset::new(format!("{}/{split}", self.name()), images, labels, spec.n_classes)
     }
 }
@@ -260,7 +259,7 @@ mod tests {
     #[test]
     fn classes_are_balanced() {
         let (train, _) = SynthDataset::Cifar10.generate(3);
-        let mut counts = vec![0usize; 10];
+        let mut counts = [0usize; 10];
         for &l in train.labels() {
             counts[l] += 1;
         }
@@ -279,8 +278,9 @@ mod tests {
         for i in 0..train.len() {
             let label = train.labels()[i];
             counts[label] += 1;
-            for d in 0..dim {
-                means[label][d] += train.images().data()[i * dim + d];
+            let sample = &train.images().data()[i * dim..(i + 1) * dim];
+            for (m, &v) in means[label].iter_mut().zip(sample) {
+                *m += v;
             }
         }
         for (m, &cnt) in means.iter_mut().zip(&counts) {
@@ -322,8 +322,9 @@ mod tests {
             for i in 0..train.len() {
                 let label = train.labels()[i];
                 counts[label] += 1;
-                for d in 0..dim {
-                    means[label][d] += train.images().data()[i * dim + d];
+                let sample = &train.images().data()[i * dim..(i + 1) * dim];
+                for (m, &v) in means[label].iter_mut().zip(sample) {
+                    *m += v;
                 }
             }
             for (m, &cnt) in means.iter_mut().zip(&counts) {

@@ -49,7 +49,8 @@ fn main() {
             cfg.warmup_loss = f32::INFINITY;
             cfg.augment = spec.dataset.augment();
             cfg.seed = spec.seed;
-            let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(spec.seed ^ 0xA2C4);
+            let mut rng =
+                <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(spec.seed ^ 0xA2C4);
             let built = bitrobust_core::build(
                 spec.arch,
                 spec.dataset.image_shape(),
@@ -64,14 +65,16 @@ fn main() {
             zoo_model(&spec, &train_ds, &test_ds, opts.no_cache)
         };
         let sweep = rerr_sweep(&mut model, scheme, &test_ds, &ps, opts.chips);
-        let started = report
-            .bit_errors_started_at
-            .map_or("never".to_string(), |e| format!("epoch {e}"));
+        let started =
+            report.bit_errors_started_at.map_or("never".to_string(), |e| format!("epoch {e}"));
         let mut row = vec![name.to_string(), pct(report.clean_error as f64), started];
         row.extend(sweep.iter().map(|r| pct_pm(r.mean_error as f64, r.std_error as f64)));
         table.row_owned(row);
     }
-    println!("RandBET design-choice ablations (CIFAR10 stand-in, wmax=0.1, p=1%):\n{}", table.render());
+    println!(
+        "RandBET design-choice ablations (CIFAR10 stand-in, wmax=0.1, p=1%):\n{}",
+        table.render()
+    );
     println!("Expected shape: dropping the clean loss term costs clean Err; skipping the");
     println!("warm-up slows or destabilizes convergence.");
 }

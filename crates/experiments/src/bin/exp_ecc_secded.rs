@@ -13,7 +13,9 @@ use bitrobust_core::{
     QuantizedModel, RandBetVariant, SecdedConfig, TrainMethod, EVAL_BATCH,
 };
 use bitrobust_experiments::zoo::ZooSpec;
-use bitrobust_experiments::{dataset_pair, pct, zoo_model, DatasetKind, ExpOptions, Table, CHIP_SEED};
+use bitrobust_experiments::{
+    dataset_pair, pct, zoo_model, DatasetKind, ExpOptions, Table, CHIP_SEED,
+};
 use bitrobust_nn::Mode;
 use bitrobust_quant::QuantScheme;
 
@@ -60,7 +62,14 @@ fn main() {
     let mut row = vec!["RQUANT, no ECC".to_string()];
     for &p in &ps {
         let r = robust_eval_uniform(
-            &mut rquant, scheme, &test_ds, p, opts.chips, CHIP_SEED, EVAL_BATCH, Mode::Eval,
+            &mut rquant,
+            scheme,
+            &test_ds,
+            p,
+            opts.chips,
+            CHIP_SEED,
+            EVAL_BATCH,
+            Mode::Eval,
         );
         row.push(pct(r.mean_error as f64));
     }
@@ -80,7 +89,14 @@ fn main() {
     let mut row = vec!["RANDBET 0.1 p=1%, no ECC".to_string()];
     for &p in &ps {
         let r = robust_eval_uniform(
-            &mut randbet, scheme, &test_ds, p, opts.chips, CHIP_SEED, EVAL_BATCH, Mode::Eval,
+            &mut randbet,
+            scheme,
+            &test_ds,
+            p,
+            opts.chips,
+            CHIP_SEED,
+            EVAL_BATCH,
+            Mode::Eval,
         );
         row.push(pct(r.mean_error as f64));
     }

@@ -22,7 +22,11 @@ fn main() {
         .collect();
 
     println!("Fig. 1: bit error rate p and normalized energy vs voltage");
-    println!("({} arrays of 512x64 bit cells, {} cells total)\n", arrays.len(), arrays.len() * 512 * 64);
+    println!(
+        "({} arrays of 512x64 bit cells, {} cells total)\n",
+        arrays.len(),
+        arrays.len() * 512 * 64
+    );
 
     let voltages: Vec<f64> = (0..=10).map(|i| 0.75 + i as f64 * 0.025).collect();
     let measured = characterize(&arrays, &voltages);

@@ -44,7 +44,10 @@ fn main() {
         let chip = ProfiledChip::synthesize(kind, opts.seed);
         let v_hi = chip.voltage_for_rate(0.01);
         let v_lo = chip.voltage_for_rate(0.03);
-        println!("{} fault map (rows 0..32, cols 0..64; '#' faulty at p=3%, '+' also at p=1%):", kind.name());
+        println!(
+            "{} fault map (rows 0..32, cols 0..64; '#' faulty at p=3%, '+' also at p=1%):",
+            kind.name()
+        );
         print_map(&chip, v_hi, v_lo);
         println!();
     }

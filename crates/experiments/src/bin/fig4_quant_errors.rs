@@ -21,7 +21,8 @@ fn main() {
 
     // One reference model trained with robust quantization, one with
     // 4-bit clipping (the right panel of Fig. 4).
-    let mut spec8 = ZooSpec::new(DatasetKind::Cifar10, Some(QuantScheme::rquant(8)), TrainMethod::Normal);
+    let mut spec8 =
+        ZooSpec::new(DatasetKind::Cifar10, Some(QuantScheme::rquant(8)), TrainMethod::Normal);
     spec8.epochs = opts.epochs(spec8.epochs);
     let (mut model8, _) = zoo_model(&spec8, &train_ds, &test_ds, opts.no_cache);
 
@@ -35,13 +36,8 @@ fn main() {
 
     let p = 0.025;
     println!("Fig. 4: weight perturbations under p = {:.1}% random bit errors\n", 100.0 * p);
-    let mut table = Table::new(&[
-        "scheme",
-        "max |err|",
-        "mean |err|",
-        "mean rel err",
-        "affected %",
-    ]);
+    let mut table =
+        Table::new(&["scheme", "max |err|", "mean |err|", "mean rel err", "affected %"]);
 
     let schemes8 = [
         ("global, m=8 (Eq.1 qmax=global)", QuantScheme::eq1_global(8)),
@@ -58,7 +54,12 @@ fn main() {
     println!("clipping shrinks absolute errors but relative errors grow.");
 }
 
-fn stats_row(name: &str, model: &mut bitrobust_nn::Model, scheme: QuantScheme, p: f64) -> Vec<String> {
+fn stats_row(
+    name: &str,
+    model: &mut bitrobust_nn::Model,
+    scheme: QuantScheme,
+    p: f64,
+) -> Vec<String> {
     let q0 = QuantizedModel::quantize(model, scheme);
     let clean: Vec<f32> = q0.tensors().iter().flat_map(|t| t.dequantize()).collect();
     let mut q = q0.clone();

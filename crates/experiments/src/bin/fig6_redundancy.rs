@@ -10,7 +10,9 @@ use bitrobust_core::{
     TrainMethod, EVAL_BATCH,
 };
 use bitrobust_experiments::zoo::ZooSpec;
-use bitrobust_experiments::{dataset_pair, pct, zoo_model, DatasetKind, ExpOptions, Table, CHIP_SEED};
+use bitrobust_experiments::{
+    dataset_pair, pct, zoo_model, DatasetKind, ExpOptions, Table, CHIP_SEED,
+};
 use bitrobust_nn::Mode;
 use bitrobust_quant::QuantScheme;
 
@@ -48,7 +50,14 @@ fn main() {
         let (mut model, report) = zoo_model(&spec, &train_ds, &test_ds, opts.no_cache);
 
         let robust = robust_eval_uniform(
-            &mut model, scheme, &test_ds, p, opts.chips, CHIP_SEED, EVAL_BATCH, Mode::Eval,
+            &mut model,
+            scheme,
+            &test_ds,
+            p,
+            opts.chips,
+            CHIP_SEED,
+            EVAL_BATCH,
+            Mode::Eval,
         );
         let red = redundancy_metrics(&mut model, scheme, p, opts.chips.min(5), CHIP_SEED);
 

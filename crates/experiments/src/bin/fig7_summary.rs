@@ -45,12 +45,20 @@ fn run_dataset(kind: DatasetKind, opts: &ExpOptions) {
         (
             format!("RANDBET 0.1 p={:.2}% 8bit", 100.0 * p_train_low),
             QuantScheme::rquant(8),
-            TrainMethod::RandBet { wmax: Some(0.1), p: p_train_low, variant: RandBetVariant::Standard },
+            TrainMethod::RandBet {
+                wmax: Some(0.1),
+                p: p_train_low,
+                variant: RandBetVariant::Standard,
+            },
         ),
         (
             format!("RANDBET 0.05 p={:.2}% 8bit", 100.0 * p_train),
             QuantScheme::rquant(8),
-            TrainMethod::RandBet { wmax: Some(0.05), p: p_train, variant: RandBetVariant::Standard },
+            TrainMethod::RandBet {
+                wmax: Some(0.05),
+                p: p_train,
+                variant: RandBetVariant::Standard,
+            },
         ),
     ];
     // Low-precision best models (skip for CIFAR100 to bound runtime; the
@@ -60,7 +68,11 @@ fn run_dataset(kind: DatasetKind, opts: &ExpOptions) {
             runs.push((
                 format!("RANDBET 0.05 p={:.2}% {m}bit", 100.0 * p_train),
                 QuantScheme::rquant(m),
-                TrainMethod::RandBet { wmax: Some(0.05), p: p_train, variant: RandBetVariant::Standard },
+                TrainMethod::RandBet {
+                    wmax: Some(0.05),
+                    p: p_train,
+                    variant: RandBetVariant::Standard,
+                },
             ));
         }
     }

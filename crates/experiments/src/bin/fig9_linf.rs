@@ -42,7 +42,10 @@ fn main() {
         }
         table.row_owned(row);
     }
-    println!("Fig. 9 — RErr under relative L-inf weight noise (CIFAR10 stand-in):\n{}", table.render());
+    println!(
+        "Fig. 9 — RErr under relative L-inf weight noise (CIFAR10 stand-in):\n{}",
+        table.render()
+    );
     println!("Expected shape (paper): clipping improves robustness here too; note L-inf noise");
     println!("affects all weights, unlike sparse random bit errors.");
 }

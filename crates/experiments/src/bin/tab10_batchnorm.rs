@@ -7,7 +7,9 @@
 
 use bitrobust_core::{robust_eval_uniform, NormKind, TrainMethod, EVAL_BATCH};
 use bitrobust_experiments::zoo::ZooSpec;
-use bitrobust_experiments::{dataset_pair, pct, pct_pm, zoo_model, DatasetKind, ExpOptions, Table, CHIP_SEED};
+use bitrobust_experiments::{
+    dataset_pair, pct, pct_pm, zoo_model, DatasetKind, ExpOptions, Table, CHIP_SEED,
+};
 use bitrobust_nn::Mode;
 use bitrobust_quant::QuantScheme;
 
@@ -17,16 +19,16 @@ fn main() {
     let scheme = QuantScheme::rquant(8);
     let ps = [1e-3, 5e-3];
 
-    let mut table = Table::new(&[
-        "model",
-        "Err %",
-        "RErr p=0.1%",
-        "RErr p=0.5%",
-    ]);
+    let mut table = Table::new(&["model", "Err %", "RErr p=0.1%", "RErr p=0.5%"]);
 
     let configs: Vec<(String, NormKind, TrainMethod, Mode)> = vec![
         ("GN NORMAL".into(), NormKind::Group, TrainMethod::Normal, Mode::Eval),
-        ("GN CLIPPING 0.1".into(), NormKind::Group, TrainMethod::Clipping { wmax: 0.1 }, Mode::Eval),
+        (
+            "GN CLIPPING 0.1".into(),
+            NormKind::Group,
+            TrainMethod::Clipping { wmax: 0.1 },
+            Mode::Eval,
+        ),
         ("BN NORMAL (accum stats)".into(), NormKind::Batch, TrainMethod::Normal, Mode::Eval),
         (
             "BN CLIPPING 0.1 (accum stats)".into(),
@@ -34,7 +36,12 @@ fn main() {
             TrainMethod::Clipping { wmax: 0.1 },
             Mode::Eval,
         ),
-        ("BN NORMAL (batch stats)".into(), NormKind::Batch, TrainMethod::Normal, Mode::EvalBatchStats),
+        (
+            "BN NORMAL (batch stats)".into(),
+            NormKind::Batch,
+            TrainMethod::Normal,
+            Mode::EvalBatchStats,
+        ),
         (
             "BN CLIPPING 0.1 (batch stats)".into(),
             NormKind::Batch,
@@ -65,7 +72,9 @@ fn main() {
         let r: Vec<_> = ps
             .iter()
             .map(|&p| {
-                robust_eval_uniform(model, scheme, &test_ds, p, opts.chips, CHIP_SEED, EVAL_BATCH, mode)
+                robust_eval_uniform(
+                    model, scheme, &test_ds, p, opts.chips, CHIP_SEED, EVAL_BATCH, mode,
+                )
             })
             .collect();
         table.row_owned(vec![

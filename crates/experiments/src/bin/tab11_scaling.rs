@@ -14,7 +14,9 @@
 
 use bitrobust_core::{robust_eval_uniform, TrainMethod, EVAL_BATCH};
 use bitrobust_experiments::zoo::ZooSpec;
-use bitrobust_experiments::{dataset_pair, pct, pct_pm, zoo_model, DatasetKind, ExpOptions, Table, CHIP_SEED};
+use bitrobust_experiments::{
+    dataset_pair, pct, pct_pm, zoo_model, DatasetKind, ExpOptions, Table, CHIP_SEED,
+};
 use bitrobust_nn::{Mode, ParamKind};
 use bitrobust_quant::QuantScheme;
 
@@ -73,7 +75,16 @@ fn main() {
         let r: Vec<_> = ps
             .iter()
             .map(|&p| {
-                robust_eval_uniform(model, scheme, &test_ds, p, opts.chips, CHIP_SEED, EVAL_BATCH, Mode::Eval)
+                robust_eval_uniform(
+                    model,
+                    scheme,
+                    &test_ds,
+                    p,
+                    opts.chips,
+                    CHIP_SEED,
+                    EVAL_BATCH,
+                    Mode::Eval,
+                )
             })
             .collect();
         table.row_owned(vec![

@@ -10,7 +10,9 @@ use bitrobust_core::{
     deviation_bound, robust_eval_uniform, RandBetVariant, TrainMethod, EVAL_BATCH,
 };
 use bitrobust_experiments::zoo::ZooSpec;
-use bitrobust_experiments::{dataset_pair, pct_pm, zoo_model, DatasetKind, ExpOptions, Table, CHIP_SEED};
+use bitrobust_experiments::{
+    dataset_pair, pct_pm, zoo_model, DatasetKind, ExpOptions, Table, CHIP_SEED,
+};
 use bitrobust_nn::Mode;
 use bitrobust_quant::QuantScheme;
 
@@ -31,21 +33,32 @@ fn main() {
         ),
     ];
 
-    let mut table = Table::new(&[
-        "model",
-        &format!("RErr l={l_small}"),
-        &format!("RErr l={l_large}"),
-    ]);
+    let mut table =
+        Table::new(&["model", &format!("RErr l={l_small}"), &format!("RErr l={l_large}")]);
     for (name, method) in methods {
         let mut spec = ZooSpec::new(DatasetKind::Cifar10, Some(scheme), method);
         spec.epochs = opts.epochs(spec.epochs);
         spec.seed = opts.seed;
         let (mut model, _) = zoo_model(&spec, &train_ds, &test_ds, opts.no_cache);
         let small = robust_eval_uniform(
-            &mut model, scheme, &test_ds, p, l_small, CHIP_SEED, EVAL_BATCH, Mode::Eval,
+            &mut model,
+            scheme,
+            &test_ds,
+            p,
+            l_small,
+            CHIP_SEED,
+            EVAL_BATCH,
+            Mode::Eval,
         );
         let large = robust_eval_uniform(
-            &mut model, scheme, &test_ds, p, l_large, CHIP_SEED, EVAL_BATCH, Mode::Eval,
+            &mut model,
+            scheme,
+            &test_ds,
+            p,
+            l_large,
+            CHIP_SEED,
+            EVAL_BATCH,
+            Mode::Eval,
         );
         table.row_owned(vec![
             name.into(),

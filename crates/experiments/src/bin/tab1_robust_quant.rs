@@ -50,11 +50,8 @@ fn main() {
     ];
     let mut table = Table::new(&header_refs);
     for (name, scheme) in &schemes4 {
-        let mut spec = ZooSpec::new(
-            DatasetKind::Cifar10,
-            Some(*scheme),
-            TrainMethod::Clipping { wmax: 0.1 },
-        );
+        let mut spec =
+            ZooSpec::new(DatasetKind::Cifar10, Some(*scheme), TrainMethod::Clipping { wmax: 0.1 });
         spec.epochs = opts.epochs(spec.epochs);
         spec.seed = opts.seed;
         let (mut model, report) = zoo_model(&spec, &train_ds, &test_ds, opts.no_cache);
@@ -64,6 +61,8 @@ fn main() {
         table.row_owned(row);
     }
     println!("Tab. 1 (m = 4 bit, trained with CLIPPING 0.1):\n{}", table.render());
-    println!("Expected shape (paper): global catastrophic even at tiny p; per-layer fixes small p;");
+    println!(
+        "Expected shape (paper): global catastrophic even at tiny p; per-layer fixes small p;"
+    );
     println!("asymmetric+signed degrades at large p; unsigned + rounding (RQuant) is most robust.");
 }

@@ -29,14 +29,8 @@ fn main() {
         ("CLIPPING 0.05 +LS".into(), TrainMethod::Clipping { wmax: 0.05 }, Some(0.9)),
     ];
 
-    let mut table = Table::new(&[
-        "model",
-        "Err %",
-        "Conf %",
-        "Conf p=1%",
-        "RErr p=0.1%",
-        "RErr p=1%",
-    ]);
+    let mut table =
+        Table::new(&["model", "Err %", "Conf %", "Conf p=1%", "RErr p=0.1%", "RErr p=1%"]);
     for (name, method, ls) in configs {
         let mut spec = ZooSpec::new(DatasetKind::Cifar10, Some(scheme), method);
         spec.label_smoothing = ls;
@@ -44,10 +38,24 @@ fn main() {
         spec.seed = opts.seed;
         let (mut model, report) = zoo_model(&spec, &train_ds, &test_ds, opts.no_cache);
         let r_small = robust_eval_uniform(
-            &mut model, scheme, &test_ds, 1e-3, opts.chips, CHIP_SEED, EVAL_BATCH, Mode::Eval,
+            &mut model,
+            scheme,
+            &test_ds,
+            1e-3,
+            opts.chips,
+            CHIP_SEED,
+            EVAL_BATCH,
+            Mode::Eval,
         );
         let r_large = robust_eval_uniform(
-            &mut model, scheme, &test_ds, 1e-2, opts.chips, CHIP_SEED, EVAL_BATCH, Mode::Eval,
+            &mut model,
+            scheme,
+            &test_ds,
+            1e-2,
+            opts.chips,
+            CHIP_SEED,
+            EVAL_BATCH,
+            Mode::Eval,
         );
         table.row_owned(vec![
             name,

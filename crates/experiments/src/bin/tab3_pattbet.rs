@@ -17,7 +17,9 @@ use bitrobust_core::{
     robust_eval, robust_eval_uniform, PattPattern, RandBetVariant, TrainMethod, EVAL_BATCH,
 };
 use bitrobust_experiments::zoo::ZooSpec;
-use bitrobust_experiments::{dataset_pair, pct, zoo_model, DatasetKind, ExpOptions, Table, CHIP_SEED};
+use bitrobust_experiments::{
+    dataset_pair, pct, zoo_model, DatasetKind, ExpOptions, Table, CHIP_SEED,
+};
 use bitrobust_nn::Mode;
 use bitrobust_quant::QuantScheme;
 
@@ -46,7 +48,11 @@ fn main() {
         ),
         (
             format!("RANDBET 0.15 p={:.1}%", 100.0 * p_train),
-            TrainMethod::RandBet { wmax: Some(0.15), p: p_train, variant: RandBetVariant::Standard },
+            TrainMethod::RandBet {
+                wmax: Some(0.15),
+                p: p_train,
+                variant: RandBetVariant::Standard,
+            },
         ),
     ];
 
@@ -68,17 +74,41 @@ fn main() {
         // rates are subsets of the trained pattern by construction.
         let fixed = UniformChip::new(FIXED_CHIP_SEED);
         let same_low = robust_eval(
-            &mut model, scheme, &test_ds, &[fixed.at_rate(p_low)], EVAL_BATCH, Mode::Eval,
+            &mut model,
+            scheme,
+            &test_ds,
+            &[fixed.at_rate(p_low)],
+            EVAL_BATCH,
+            Mode::Eval,
         );
         let same_train = robust_eval(
-            &mut model, scheme, &test_ds, &[fixed.at_rate(p_train)], EVAL_BATCH, Mode::Eval,
+            &mut model,
+            scheme,
+            &test_ds,
+            &[fixed.at_rate(p_train)],
+            EVAL_BATCH,
+            Mode::Eval,
         );
         // Evaluation on unseen random patterns.
         let rand_low = robust_eval_uniform(
-            &mut model, scheme, &test_ds, p_low, opts.chips, CHIP_SEED, EVAL_BATCH, Mode::Eval,
+            &mut model,
+            scheme,
+            &test_ds,
+            p_low,
+            opts.chips,
+            CHIP_SEED,
+            EVAL_BATCH,
+            Mode::Eval,
         );
         let rand_train = robust_eval_uniform(
-            &mut model, scheme, &test_ds, p_train, opts.chips, CHIP_SEED, EVAL_BATCH, Mode::Eval,
+            &mut model,
+            scheme,
+            &test_ds,
+            p_train,
+            opts.chips,
+            CHIP_SEED,
+            EVAL_BATCH,
+            Mode::Eval,
         );
         table.row_owned(vec![
             name,
@@ -89,7 +119,10 @@ fn main() {
             pct(rand_train.mean_error as f64),
         ]);
     }
-    println!("Tab. 3 (CIFAR10 stand-in, m = 8 bit, fixed pattern seed {FIXED_CHIP_SEED}):\n{}", table.render());
+    println!(
+        "Tab. 3 (CIFAR10 stand-in, m = 8 bit, fixed pattern seed {FIXED_CHIP_SEED}):\n{}",
+        table.render()
+    );
     println!("Expected shape (paper): PATTBET is good on its trained pattern but degrades on the");
     println!("same pattern at lower rate and fails on random patterns; RANDBET handles all.");
 }

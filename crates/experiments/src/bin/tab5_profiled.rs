@@ -48,10 +48,10 @@ fn main() {
             for &rate in rates {
                 let v = chip.voltage_for_rate(rate);
                 // Different weight-to-memory mappings: vary the offset.
-                let injectors: Vec<_> = (0..n_offsets)
-                    .map(|k| chip.at_voltage(v, k * 131_071, false))
-                    .collect();
-                let r = robust_eval(&mut model, scheme, &test_ds, &injectors, EVAL_BATCH, Mode::Eval);
+                let injectors: Vec<_> =
+                    (0..n_offsets).map(|k| chip.at_voltage(v, k * 131_071, false)).collect();
+                let r =
+                    robust_eval(&mut model, scheme, &test_ds, &injectors, EVAL_BATCH, Mode::Eval);
                 row.push(pct(r.mean_error as f64));
             }
             table.row_owned(row);

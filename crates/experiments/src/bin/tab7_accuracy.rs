@@ -39,16 +39,25 @@ fn main() {
 
     // Architecture / normalization comparison, m = 8.
     let mut table = Table::new(&["architecture", "norm", "Err %"]);
-    for (arch, arch_name) in [(ArchKind::SimpleNet, "simplenet"), (ArchKind::ResNetMini, "resnet-mini")] {
+    for (arch, arch_name) in
+        [(ArchKind::SimpleNet, "simplenet"), (ArchKind::ResNetMini, "resnet-mini")]
+    {
         for (norm, norm_name) in [(NormKind::Group, "GN"), (NormKind::Batch, "BN")] {
-            let mut spec =
-                ZooSpec::new(DatasetKind::Cifar10, Some(QuantScheme::rquant(8)), TrainMethod::Normal);
+            let mut spec = ZooSpec::new(
+                DatasetKind::Cifar10,
+                Some(QuantScheme::rquant(8)),
+                TrainMethod::Normal,
+            );
             spec.arch = arch;
             spec.norm = norm;
             spec.epochs = opts.epochs(spec.epochs);
             spec.seed = opts.seed;
             let (_, report) = zoo_model(&spec, &train_ds, &test_ds, opts.no_cache);
-            table.row_owned(vec![arch_name.into(), norm_name.into(), pct(report.clean_error as f64)]);
+            table.row_owned(vec![
+                arch_name.into(),
+                norm_name.into(),
+                pct(report.clean_error as f64),
+            ]);
         }
     }
     println!("Tab. 7 (right) — architecture comparison (m = 8):\n{}", table.render());
@@ -56,7 +65,9 @@ fn main() {
     // CIFAR100 stand-in: default vs wide model.
     let (train100, test100) = dataset_pair(DatasetKind::Cifar100, opts.seed);
     let mut table = Table::new(&["model", "Err %"]);
-    for (arch, name) in [(ArchKind::SimpleNet, "simplenet"), (ArchKind::WideSimpleNet, "wide (WRN sub)")] {
+    for (arch, name) in
+        [(ArchKind::SimpleNet, "simplenet"), (ArchKind::WideSimpleNet, "wide (WRN sub)")]
+    {
         let mut spec =
             ZooSpec::new(DatasetKind::Cifar100, Some(QuantScheme::rquant(8)), TrainMethod::Normal);
         spec.arch = arch;

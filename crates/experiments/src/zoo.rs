@@ -179,7 +179,10 @@ impl ZooSpec {
                     RandBetVariant::Alternating => "alt",
                     RandBetVariant::PerturbedOnly => "ponly",
                 };
-                format!("randbet-w{}-p{p:.4}-{v}", wmax.map_or("none".into(), |w| format!("{w:.3}")))
+                format!(
+                    "randbet-w{}-p{p:.4}-{v}",
+                    wmax.map_or("none".into(), |w| format!("{w:.3}"))
+                )
             }
             TrainMethod::PattBet { wmax, pattern } => {
                 let pat = match pattern {
@@ -236,13 +239,8 @@ pub fn zoo_model(
     no_cache: bool,
 ) -> (Model, TrainReport) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(spec.seed ^ 0xA2C4);
-    let built = build(
-        spec.arch,
-        spec.dataset.image_shape(),
-        spec.dataset.n_classes(),
-        spec.norm,
-        &mut rng,
-    );
+    let built =
+        build(spec.arch, spec.dataset.image_shape(), spec.dataset.n_classes(), spec.norm, &mut rng);
     let mut model = built.model;
 
     let cacheable = spec.norm != NormKind::Batch;
@@ -308,7 +306,8 @@ mod tests {
 
     #[test]
     fn keys_are_distinct_and_stable() {
-        let a = ZooSpec::new(DatasetKind::Cifar10, Some(QuantScheme::rquant(8)), TrainMethod::Normal);
+        let a =
+            ZooSpec::new(DatasetKind::Cifar10, Some(QuantScheme::rquant(8)), TrainMethod::Normal);
         let b = ZooSpec::new(
             DatasetKind::Cifar10,
             Some(QuantScheme::rquant(8)),
@@ -322,8 +321,10 @@ mod tests {
 
     #[test]
     fn keys_distinguish_schemes() {
-        let rq = ZooSpec::new(DatasetKind::Cifar10, Some(QuantScheme::rquant(8)), TrainMethod::Normal);
-        let nm = ZooSpec::new(DatasetKind::Cifar10, Some(QuantScheme::normal(8)), TrainMethod::Normal);
+        let rq =
+            ZooSpec::new(DatasetKind::Cifar10, Some(QuantScheme::rquant(8)), TrainMethod::Normal);
+        let nm =
+            ZooSpec::new(DatasetKind::Cifar10, Some(QuantScheme::normal(8)), TrainMethod::Normal);
         let fl = ZooSpec::new(DatasetKind::Cifar10, None, TrainMethod::Normal);
         assert_ne!(rq.key(), nm.key());
         assert_ne!(rq.key(), fl.key());

@@ -63,7 +63,11 @@ impl Conv2d {
         assert!(kernel > 0, "kernel size must be positive");
         assert!(stride > 0, "stride must be positive");
         Self {
-            weight: Param::new("weight", ParamKind::Weight, init::he_conv(out_ch, in_ch, kernel, kernel, rng)),
+            weight: Param::new(
+                "weight",
+                ParamKind::Weight,
+                init::he_conv(out_ch, in_ch, kernel, kernel, rng),
+            ),
             bias: Param::new("bias", ParamKind::Bias, Tensor::zeros(&[out_ch])),
             kernel,
             stride,

@@ -53,12 +53,8 @@ pub fn check_layer_gradients(
     let mut x_probe = x.clone();
     let coords = probe_coords(x.numel(), cfg.max_coords);
     for &i in &coords {
-        let numeric = central_difference(
-            |xp| loss_of(layer, xp, &projection),
-            &mut x_probe,
-            i,
-            cfg.eps,
-        );
+        let numeric =
+            central_difference(|xp| loss_of(layer, xp, &projection), &mut x_probe, i, cfg.eps);
         let analytic = dx.data()[i];
         assert_close(analytic, numeric, cfg.tol, &format!("input coord {i}"));
     }
@@ -67,12 +63,11 @@ pub fn check_layer_gradients(
     // one parameter at a time through the visitor.
     let mut analytic_grads: Vec<Tensor> = Vec::new();
     layer.visit_params(&mut |p| analytic_grads.push(p.grad().clone()));
-    let n_params = analytic_grads.len();
-    for pi in 0..n_params {
-        let coords = probe_coords(analytic_grads[pi].numel(), cfg.max_coords);
+    for (pi, grads) in analytic_grads.iter().enumerate() {
+        let coords = probe_coords(grads.numel(), cfg.max_coords);
         for &ci in &coords {
             let numeric = param_central_difference(layer, &x, &projection, pi, ci, cfg.eps);
-            let analytic = analytic_grads[pi].data()[ci];
+            let analytic = grads.data()[ci];
             assert_close(analytic, numeric, cfg.tol, &format!("param {pi} coord {ci}"));
         }
     }

@@ -31,7 +31,11 @@ impl Linear {
     /// Creates a linear layer with He-initialized weights and zero bias.
     pub fn new(in_features: usize, out_features: usize, rng: &mut impl Rng) -> Self {
         Self {
-            weight: Param::new("weight", ParamKind::Weight, init::he_linear(out_features, in_features, rng)),
+            weight: Param::new(
+                "weight",
+                ParamKind::Weight,
+                init::he_linear(out_features, in_features, rng),
+            ),
             bias: Param::new("bias", ParamKind::Bias, Tensor::zeros(&[out_features])),
             input_cache: None,
         }

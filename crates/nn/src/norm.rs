@@ -46,7 +46,7 @@ impl GroupNorm {
     ///
     /// Panics if `groups` does not divide `channels`.
     pub fn new(channels: usize, groups: usize) -> Self {
-        assert!(groups > 0 && channels % groups == 0, "groups must divide channels");
+        assert!(groups > 0 && channels.is_multiple_of(groups), "groups must divide channels");
         Self {
             scale: Param::new("scale", ParamKind::NormScale, Tensor::zeros(&[channels])),
             shift: Param::new("shift", ParamKind::NormBias, Tensor::zeros(&[channels])),
@@ -81,8 +81,8 @@ impl Layer for GroupNorm {
                 let start = b * ch * h * w + g * group_len;
                 let chunk = &x[start..start + group_len];
                 let mean = chunk.iter().sum::<f32>() / group_len as f32;
-                let var = chunk.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>()
-                    / group_len as f32;
+                let var =
+                    chunk.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / group_len as f32;
                 let inv_std = 1.0 / (var + EPS).sqrt();
                 inv_stds[b * self.groups + g] = inv_std;
                 for (o, &v) in data[start..start + group_len].iter_mut().zip(chunk) {

@@ -152,11 +152,13 @@ mod tests {
         let mut net = Sequential::new();
         net.push(Linear::new(2, 2, &mut rng));
         let mut model = Model::new("toy", net);
-        let before: f32 = model.param_tensors().iter().map(|t| t.data().iter().map(|v| v * v).sum::<f32>()).sum();
+        let before: f32 =
+            model.param_tensors().iter().map(|t| t.data().iter().map(|v| v * v).sum::<f32>()).sum();
         let mut sgd = Sgd::new(0.1, 0.0, 0.1);
         model.zero_grads();
         sgd.step(&mut model);
-        let after: f32 = model.param_tensors().iter().map(|t| t.data().iter().map(|v| v * v).sum::<f32>()).sum();
+        let after: f32 =
+            model.param_tensors().iter().map(|t| t.data().iter().map(|v| v * v).sum::<f32>()).sum();
         assert!(after < before);
     }
 

@@ -125,7 +125,7 @@ impl Layer for GlobalAvgPool {
         let mut out = Tensor::zeros(&[batch, ch]);
         let data = out.data_mut();
         for bc in 0..batch * ch {
-            data[bc] = x[bc * h as usize * w as usize..(bc + 1) * h * w].iter().sum::<f32>() / hw;
+            data[bc] = x[bc * h * w..(bc + 1) * h * w].iter().sum::<f32>() / hw;
         }
         if mode.is_train() {
             self.input_shape = input.shape().to_vec();

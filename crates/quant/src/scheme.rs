@@ -106,36 +106,72 @@ impl QuantScheme {
     /// Eq. (1) with a single global range: the most fragile scheme
     /// (Tab. 1 row 1).
     pub fn eq1_global(bits: u8) -> Self {
-        Self::new(Granularity::Global, RangeMode::Symmetric, IntegerRepr::Signed, Rounding::Truncate, bits)
+        Self::new(
+            Granularity::Global,
+            RangeMode::Symmetric,
+            IntegerRepr::Signed,
+            Rounding::Truncate,
+            bits,
+        )
     }
 
     /// The paper's `NORMAL` reference: per-layer symmetric signed
     /// quantization with integer conversion (Tab. 1 row 2).
     pub fn normal(bits: u8) -> Self {
-        Self::new(Granularity::PerTensor, RangeMode::Symmetric, IntegerRepr::Signed, Rounding::Truncate, bits)
+        Self::new(
+            Granularity::PerTensor,
+            RangeMode::Symmetric,
+            IntegerRepr::Signed,
+            Rounding::Truncate,
+            bits,
+        )
     }
 
     /// `NORMAL` + asymmetric ranges, still signed (Tab. 1 row 3; fragile at
     /// high bit error rates).
     pub fn asymmetric_signed(bits: u8) -> Self {
-        Self::new(Granularity::PerTensor, RangeMode::Asymmetric, IntegerRepr::Signed, Rounding::Truncate, bits)
+        Self::new(
+            Granularity::PerTensor,
+            RangeMode::Asymmetric,
+            IntegerRepr::Signed,
+            Rounding::Truncate,
+            bits,
+        )
     }
 
     /// Asymmetric + unsigned integers (Tab. 1 row 4).
     pub fn asymmetric_unsigned(bits: u8) -> Self {
-        Self::new(Granularity::PerTensor, RangeMode::Asymmetric, IntegerRepr::Unsigned, Rounding::Truncate, bits)
+        Self::new(
+            Granularity::PerTensor,
+            RangeMode::Asymmetric,
+            IntegerRepr::Unsigned,
+            Rounding::Truncate,
+            bits,
+        )
     }
 
     /// The paper's robust quantization `RQUANT`: per-layer, asymmetric,
     /// unsigned, with proper rounding (Tab. 1 row 5).
     pub fn rquant(bits: u8) -> Self {
-        Self::new(Granularity::PerTensor, RangeMode::Asymmetric, IntegerRepr::Unsigned, Rounding::Nearest, bits)
+        Self::new(
+            Granularity::PerTensor,
+            RangeMode::Asymmetric,
+            IntegerRepr::Unsigned,
+            Rounding::Nearest,
+            bits,
+        )
     }
 
     /// Per-layer symmetric quantization with rounding, used for the
     /// symmetric-quantization ablations (Tab. 9 / Tab. 12).
     pub fn symmetric(bits: u8) -> Self {
-        Self::new(Granularity::PerTensor, RangeMode::Symmetric, IntegerRepr::Signed, Rounding::Nearest, bits)
+        Self::new(
+            Granularity::PerTensor,
+            RangeMode::Symmetric,
+            IntegerRepr::Signed,
+            Rounding::Nearest,
+            bits,
+        )
     }
 
     /// Precision in bits (`m`).
@@ -209,11 +245,10 @@ impl QuantScheme {
                     Rounding::Nearest => raw.round() as i32,
                 };
                 let q = q.clamp(-level, level);
-                let stored = match self.repr {
+                match self.repr {
                     IntegerRepr::Signed => (q as u32 as u8) & mask,
                     IntegerRepr::Unsigned => (q + level) as u8 & mask,
-                };
-                stored
+                }
             })
             .collect();
         QuantizedTensor::from_parts(words, range, *self)
@@ -315,7 +350,9 @@ mod tests {
     #[test]
     fn round_trip_error_bounded_by_delta() {
         for bits in [2u8, 3, 4, 8] {
-            for scheme in [QuantScheme::rquant(bits), QuantScheme::normal(bits), QuantScheme::symmetric(bits)] {
+            for scheme in
+                [QuantScheme::rquant(bits), QuantScheme::normal(bits), QuantScheme::symmetric(bits)]
+            {
                 let weights: Vec<f32> = (0..101).map(|i| -0.5 + i as f32 * 0.01).collect();
                 let q = scheme.quantize(&weights);
                 let back = q.dequantize();

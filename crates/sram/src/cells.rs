@@ -37,14 +37,24 @@ pub struct CellProfile {
 impl CellProfile {
     /// An i.i.d., unbiased profile (the paper's chip 1 is close to this).
     pub fn uniform() -> Self {
-        Self { weak_column_frac: 0.0, column_boost: 0.0, stuck_one_bias: 0.5, persistent_frac: 0.45 }
+        Self {
+            weak_column_frac: 0.0,
+            column_boost: 0.0,
+            stuck_one_bias: 0.5,
+            persistent_frac: 0.45,
+        }
     }
 
     /// A column-aligned, 0-to-1-biased profile in the spirit of the paper's
     /// chip 2: a few weak columns whose cells fail at markedly elevated
     /// voltages, producing the vertical stripes of Fig. 3 (right).
     pub fn column_aligned() -> Self {
-        Self { weak_column_frac: 0.08, column_boost: 0.08, stuck_one_bias: 0.75, persistent_frac: 0.6 }
+        Self {
+            weak_column_frac: 0.08,
+            column_boost: 0.08,
+            stuck_one_bias: 0.75,
+            persistent_frac: 0.6,
+        }
     }
 
     /// Validates field ranges.
@@ -306,7 +316,8 @@ mod tests {
 
     #[test]
     fn characterize_averages_over_arrays() {
-        let arrays: Vec<SramArray> = (0..4).map(|s| test_array(s, CellProfile::uniform())).collect();
+        let arrays: Vec<SramArray> =
+            (0..4).map(|s| test_array(s, CellProfile::uniform())).collect();
         let curve = characterize(&arrays, &[0.8, 0.85, 0.9]);
         assert_eq!(curve.len(), 3);
         assert!(curve[0].1 > curve[1].1 && curve[1].1 > curve[2].1);

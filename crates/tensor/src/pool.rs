@@ -277,8 +277,10 @@ where
     }
     let n = len.div_ceil(chunk);
     let base = SendPtr(out.as_mut_ptr());
+    // Capture the Send+Sync wrapper by reference, not its raw-pointer field
+    // (edition-2021 closures would otherwise capture the non-Send field).
+    let base = &base;
     parallel_for(n, |i| {
-        let base = base; // capture the Send+Sync wrapper, not the raw field
         let start = i * chunk;
         let end = (start + chunk).min(len);
         // SAFETY: chunks [start, end) are pairwise disjoint and within bounds;

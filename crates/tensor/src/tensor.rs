@@ -144,7 +144,13 @@ impl Tensor {
     /// Panics if the element counts differ.
     pub fn reshape(mut self, shape: &[usize]) -> Self {
         let numel: usize = shape.iter().product();
-        assert_eq!(numel, self.data.len(), "reshape {:?} -> {:?} changes element count", self.shape, shape);
+        assert_eq!(
+            numel,
+            self.data.len(),
+            "reshape {:?} -> {:?} changes element count",
+            self.shape,
+            shape
+        );
         self.shape = shape.to_vec();
         self
     }
@@ -350,7 +356,7 @@ mod tests {
         let mut t = Tensor::zeros(&[3, 4, 5]);
         t.set(&[2, 1, 3], 7.0);
         assert_eq!(t.at(&[2, 1, 3]), 7.0);
-        assert_eq!(t.data()[2 * 20 + 1 * 5 + 3], 7.0);
+        assert_eq!(t.data()[2 * 20 + 5 + 3], 7.0); // strides [20, 5, 1]
     }
 
     #[test]

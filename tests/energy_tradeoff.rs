@@ -34,8 +34,9 @@ fn headline_savings_match_the_paper() {
 fn measured_arrays_track_the_analytic_curve() {
     let volts = VoltageErrorModel::chandramoorthy14nm();
     let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-    let arrays: Vec<SramArray> =
-        (0..8).map(|_| SramArray::sample(512, 64, &volts, &CellProfile::uniform(), &mut rng)).collect();
+    let arrays: Vec<SramArray> = (0..8)
+        .map(|_| SramArray::sample(512, 64, &volts, &CellProfile::uniform(), &mut rng))
+        .collect();
     for (v, measured) in characterize(&arrays, &[0.78, 0.82, 0.86]) {
         let expected = volts.rate_at(v);
         assert!(
@@ -50,13 +51,7 @@ fn tradeoff_pipeline_finds_the_knee() {
     let volts = VoltageErrorModel::chandramoorthy14nm();
     let energy = EnergyModel::default();
     // A plausible RErr curve: flat until ~0.5%, then rising sharply.
-    let curve = [
-        (1e-4, 0.050),
-        (1e-3, 0.055),
-        (5e-3, 0.065),
-        (1e-2, 0.075),
-        (2.5e-2, 0.200),
-    ];
+    let curve = [(1e-4, 0.050), (1e-3, 0.055), (5e-3, 0.065), (1e-2, 0.075), (2.5e-2, 0.200)];
     let points = energy_tradeoff(&curve, &volts, &energy);
     // Budget 3%: should pick p=1%, not the catastrophic 2.5%.
     let best = best_saving_within(&points, 0.05, 0.03).unwrap();

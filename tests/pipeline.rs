@@ -3,8 +3,8 @@
 
 use bitrobust_biterror::UniformChip;
 use bitrobust_core::{
-    build, evaluate, quantized_error, robust_eval_uniform, train, ArchKind, NormKind, QuantizedModel,
-    TrainConfig, TrainMethod, EVAL_BATCH,
+    build, evaluate, quantized_error, robust_eval_uniform, train, ArchKind, NormKind,
+    QuantizedModel, TrainConfig, TrainMethod, EVAL_BATCH,
 };
 use bitrobust_data::{AugmentConfig, Dataset, SynthDataset};
 use bitrobust_nn::{Mode, Model};
@@ -36,7 +36,12 @@ fn rerr_grows_with_bit_error_rate() {
     let mut increased = 0;
     for p in [0.0, 0.01, 0.05, 0.15] {
         let r = robust_eval_uniform(&mut model, scheme, &test_ds, p, 5, 42, EVAL_BATCH, Mode::Eval);
-        assert!(r.mean_error >= last - 0.02, "RErr should not drop much: {} -> {}", last, r.mean_error);
+        assert!(
+            r.mean_error >= last - 0.02,
+            "RErr should not drop much: {} -> {}",
+            last,
+            r.mean_error
+        );
         if r.mean_error > last {
             increased += 1;
         }
@@ -50,8 +55,12 @@ fn rerr_grows_with_bit_error_rate() {
 fn quantization_loses_little_accuracy_at_8_bit() {
     let (mut model, test_ds) = trained_mnist_model();
     let float_err = evaluate(&mut model, &test_ds, EVAL_BATCH, Mode::Eval).error;
-    let q8 = quantized_error(&mut model, QuantScheme::rquant(8), &test_ds, EVAL_BATCH, Mode::Eval).error;
-    assert!((q8 - float_err).abs() < 0.02, "8-bit quantization must be nearly free: {float_err} vs {q8}");
+    let q8 =
+        quantized_error(&mut model, QuantScheme::rquant(8), &test_ds, EVAL_BATCH, Mode::Eval).error;
+    assert!(
+        (q8 - float_err).abs() < 0.02,
+        "8-bit quantization must be nearly free: {float_err} vs {q8}"
+    );
 }
 
 #[test]
@@ -119,10 +128,24 @@ fn lower_precision_is_not_more_robust_for_a_normal_model() {
     // at least comparably — each flip is a larger fraction of the range.
     let (mut model, test_ds) = trained_mnist_model();
     let r8 = robust_eval_uniform(
-        &mut model, QuantScheme::rquant(8), &test_ds, 0.05, 5, 77, EVAL_BATCH, Mode::Eval,
+        &mut model,
+        QuantScheme::rquant(8),
+        &test_ds,
+        0.05,
+        5,
+        77,
+        EVAL_BATCH,
+        Mode::Eval,
     );
     let r4 = robust_eval_uniform(
-        &mut model, QuantScheme::rquant(4), &test_ds, 0.05, 5, 77, EVAL_BATCH, Mode::Eval,
+        &mut model,
+        QuantScheme::rquant(4),
+        &test_ds,
+        0.05,
+        5,
+        77,
+        EVAL_BATCH,
+        Mode::Eval,
     );
     assert!(
         r4.mean_error > r8.mean_error - 0.05,

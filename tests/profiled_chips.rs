@@ -2,7 +2,9 @@
 //! and the full model → memory → errors → accuracy path.
 
 use bitrobust_biterror::{ChipKind, ErrorInjector, ProfiledChip};
-use bitrobust_core::{build, robust_eval, train, ArchKind, NormKind, TrainConfig, TrainMethod, EVAL_BATCH};
+use bitrobust_core::{
+    build, robust_eval, train, ArchKind, NormKind, TrainConfig, TrainMethod, EVAL_BATCH,
+};
 use bitrobust_data::{AugmentConfig, Dataset, SynthDataset};
 use bitrobust_nn::{Mode, Model};
 use bitrobust_quant::QuantScheme;

@@ -70,8 +70,16 @@ fn randbet_generalizes_to_lower_rates() {
     let scheme = QuantScheme::rquant(SCHEME_BITS);
     let at_train =
         robust_eval_uniform(&mut randbet, scheme, &test_ds, p, 6, 700, EVAL_BATCH, Mode::Eval);
-    let at_half =
-        robust_eval_uniform(&mut randbet, scheme, &test_ds, p / 2.0, 6, 700, EVAL_BATCH, Mode::Eval);
+    let at_half = robust_eval_uniform(
+        &mut randbet,
+        scheme,
+        &test_ds,
+        p / 2.0,
+        6,
+        700,
+        EVAL_BATCH,
+        Mode::Eval,
+    );
     assert!(
         at_half.mean_error <= at_train.mean_error + 0.02,
         "lower rate must not be worse: {} vs {}",
@@ -88,10 +96,7 @@ fn pattbet_fails_on_unseen_patterns() {
     let p = 0.2;
     let fixed_seed = 31_337;
     let (mut patt, _, test_ds) = train_with(
-        TrainMethod::PattBet {
-            wmax: None,
-            pattern: PattPattern::Uniform { seed: fixed_seed, p },
-        },
+        TrainMethod::PattBet { wmax: None, pattern: PattPattern::Uniform { seed: fixed_seed, p } },
         7,
         8,
     );

@@ -1,0 +1,397 @@
+//! Offline, API-compatible subset of
+//! [`proptest`](https://crates.io/crates/proptest), vendored so the
+//! workspace's property tests build without network access.
+//!
+//! The subset covers what the `bitrobust-*` test suites use:
+//!
+//! * the [`proptest!`] macro (attributes + `arg in strategy` bindings);
+//! * [`Strategy`] with `prop_map`, implemented for numeric ranges and
+//!   2-/3-tuples;
+//! * [`any`] for the primitive types, plus [`prop::bool::ANY`];
+//! * [`prop::collection::vec`] and [`prop::sample::select`];
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`].
+//!
+//! Differences from the real crate, by design: inputs are sampled from a
+//! seed derived from the test name (fully deterministic runs — no
+//! `proptest-regressions/` files), there is **no shrinking**, and failures
+//! panic immediately with the offending case number. The case count
+//! defaults to 64 and is overridable via `PROPTEST_CASES`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+pub mod prelude {
+    //! Everything a property test file needs, mirroring
+    //! `proptest::prelude::*`.
+    pub use crate::{any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+/// The deterministic RNG driving input generation.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Builds the RNG for one property, seeded from the test's name so
+    /// every run (and every CI machine) replays the same cases.
+    pub fn deterministic(test_name: &str) -> Self {
+        // FNV-1a over the name gives a stable, well-spread 64-bit seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        Self(StdRng::seed_from_u64(h))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Returns the number of cases to run per property
+/// (`PROPTEST_CASES`, default 64).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(64)
+}
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        S::new_value(self, rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.new_value(rng), self.1.new_value(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.new_value(rng), self.1.new_value(rng), self.2.new_value(rng))
+    }
+}
+
+/// Types with a canonical "anything goes" strategy (see [`any`]).
+pub trait Arbitrary {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        // Finite, sign-symmetric, spanning several orders of magnitude.
+        let mag: f32 = rng.gen_range(0.0f32..1.0);
+        let scale = 10f32.powi(rng.gen_range(-3i32..4));
+        if bool::arbitrary(rng) {
+            mag * scale
+        } else {
+            -mag * scale
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        let mag: f64 = rng.gen_range(0.0f64..1.0);
+        let scale = 10f64.powi(rng.gen_range(-3i32..4));
+        if bool::arbitrary(rng) {
+            mag * scale
+        } else {
+            -mag * scale
+        }
+    }
+}
+
+/// Strategy for "any value of `T`" — see [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Returns the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// A collection size specification: an exact length or a half-open range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self { lo: r.start, hi: r.end }
+    }
+}
+
+pub mod prop {
+    //! The `prop::` namespace mirrored from the real crate.
+
+    pub mod collection {
+        //! Collection strategies.
+        use super::super::{SizeRange, Strategy, TestRng};
+        use rand::Rng;
+
+        /// Strategy producing `Vec`s of values from `elem` with a length
+        /// drawn from `size`.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: SizeRange,
+        }
+
+        /// Generates vectors whose elements come from `elem` and whose
+        /// length is drawn from `size` (an exact `usize` or a `Range`).
+        pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { elem, size: size.into() }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = rng.gen_range(self.size.lo..self.size.hi);
+                (0..len).map(|_| self.elem.new_value(rng)).collect()
+            }
+        }
+    }
+
+    pub mod sample {
+        //! Sampling from explicit value sets.
+        use super::super::{Strategy, TestRng};
+        use rand::seq::SliceRandom;
+
+        /// Strategy choosing uniformly from a fixed set of values.
+        #[derive(Debug, Clone)]
+        pub struct Select<T>(Vec<T>);
+
+        /// Chooses uniformly from `options` (must be non-empty).
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select: empty option set");
+            Select(options)
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+
+            fn new_value(&self, rng: &mut TestRng) -> T {
+                self.0.choose(rng).expect("non-empty by construction").clone()
+            }
+        }
+    }
+
+    pub mod bool {
+        //! Boolean strategies.
+
+        /// Either boolean with equal probability.
+        pub const ANY: super::super::Any<bool> = super::super::Any(std::marker::PhantomData);
+    }
+}
+
+/// Defines property tests: each function's arguments are bound by
+/// `name in strategy` and the body re-runs for [`cases`] generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cases = $crate::cases();
+                let mut __rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__cases {
+                    $(let $arg = $crate::Strategy::new_value(&($strat), &mut __rng);)+
+                    let __result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                        move || -> () { $body },
+                    ));
+                    if let Err(__panic) = __result {
+                        eprintln!(
+                            "proptest: property `{}` failed on case {}/{} (deterministic: \
+                             re-running replays the same case)",
+                            concat!(module_path!(), "::", stringify!($name)),
+                            __case + 1,
+                            __cases,
+                        );
+                        ::std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 0usize..10, y in -1.0f32..1.0) {
+            prop_assert!(x < 10);
+            prop_assert!((-1.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size_range(v in prop::collection::vec(any::<u8>(), 1..5)) {
+            prop_assert!((1..5).contains(&v.len()));
+        }
+
+        #[test]
+        fn select_only_yields_options(x in prop::sample::select(vec![2u8, 3, 4, 8])) {
+            prop_assert!([2u8, 3, 4, 8].contains(&x));
+        }
+
+        #[test]
+        fn tuples_and_map_compose((bits, v) in (prop::sample::select(vec![1u8, 2]), 0..3usize),
+                                  s in (0..4usize).prop_map(|n| n * 2)) {
+            prop_assert!(bits == 1 || bits == 2);
+            prop_assert!(v < 3);
+            prop_assert_eq!(s % 2, 0);
+        }
+
+        #[test]
+        fn bool_any_generates(b in prop::bool::ANY) {
+            let as_int = u8::from(b);
+            prop_assert!(as_int <= 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_replays() {
+        let mut a = super::TestRng::deterministic("x");
+        let mut b = super::TestRng::deterministic("x");
+        use rand::RngCore;
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,12 @@
+//! The stub must propagate property failures (after printing the case
+//! number) rather than swallowing the panic in `catch_unwind`.
+
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    #[should_panic]
+    fn failing_property_panics(x in 0usize..10) {
+        prop_assert!(x > 100, "x = {} is never > 100", x);
+    }
+}

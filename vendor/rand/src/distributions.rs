@@ -1,0 +1,157 @@
+//! The [`Standard`] distribution and uniform range sampling.
+
+use crate::{Rng, RngCore};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution for a primitive type: full range for
+/// integers and `bool`, `[0, 1)` for floats.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        // Use the high bit; low bits of some generators are weaker.
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 explicit mantissa bits -> uniform on [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        // 24 explicit mantissa bits -> uniform on [0, 1).
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// A range that can be sampled uniformly: `lo..hi` or `lo..=hi`.
+///
+/// Mirrors `rand::distributions::uniform::SampleRange` for the numeric
+/// types the workspace uses.
+pub trait UniformSampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+macro_rules! uniform_int_range {
+    ($($t:ty),*) => {$(
+        impl UniformSampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+
+        impl UniformSampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+uniform_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! uniform_float_range {
+    ($($t:ty),*) => {$(
+        impl UniformSampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let u: $t = Standard.sample(rng); // [0, 1)
+                let v = self.start + (self.end - self.start) * u;
+                // Guard against rounding up to the excluded endpoint.
+                if v < self.end { v } else { self.start }
+            }
+        }
+
+        impl UniformSampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let u: $t = Standard.sample(rng);
+                start + (end - start) * u
+            }
+        }
+    )*};
+}
+
+uniform_float_range!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn floats_land_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10_000 {
+            let x: f64 = Standard.sample(&mut rng);
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = Standard.sample(&mut rng);
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn int_ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = (0usize..10).sample_single(&mut rng);
+            seen[v] = true;
+            let w = (-3isize..=3).sample_single(&mut rng);
+            assert!((-3..=3).contains(&w));
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets of 0..10 should be hit");
+    }
+
+    #[test]
+    fn float_ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let v = (-2.0f32..2.0).sample_single(&mut rng);
+            assert!((-2.0..2.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn bool_rate_is_balanced() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let trues = (0..10_000).filter(|_| Standard.sample::<StdRng>(&mut rng)).count();
+        assert!((3_000..7_000).contains(&trues), "{trues} trues out of 10000");
+    }
+}

@@ -1,0 +1,132 @@
+//! Offline, API-compatible subset of the [`rand`](https://crates.io/crates/rand)
+//! crate (0.8 line), vendored so the workspace builds without network access.
+//!
+//! Only the surface actually used by the `bitrobust-*` crates is provided:
+//!
+//! * [`SeedableRng`] / [`RngCore`] / [`Rng`] with `gen`, `gen_range`,
+//!   `gen_bool`, and `fill_bytes`;
+//! * [`rngs::StdRng`], a deterministic xoshiro256++ generator;
+//! * [`seq::SliceRandom`] with `shuffle` and `choose`;
+//! * [`distributions::Standard`] for the primitive types.
+//!
+//! The generator is seed-stable across runs and platforms, but its streams
+//! are **not** bit-identical to the real `rand::rngs::StdRng` (which is
+//! ChaCha12-based). All workspace code treats RNG output statistically, so
+//! swapping in the real crate later only changes the sampled values, not
+//! correctness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+use distributions::{Distribution, Standard, UniformSampleRange};
+
+/// A random number generator core: the entropy source every other method
+/// derives from.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        R::next_u64(self)
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        R::next_u32(self)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        R::fill_bytes(self, dest)
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+        Self: Sized,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples a value uniformly from `range` (`lo..hi` or `lo..=hi`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: UniformSampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of [0, 1]");
+        self.gen::<f64>() < p
+    }
+
+    /// Fills `dest` with values sampled from the [`Standard`] distribution.
+    fn fill<T>(&mut self, dest: &mut [T])
+    where
+        Standard: Distribution<T>,
+        Self: Sized,
+    {
+        for slot in dest.iter_mut() {
+            *slot = Standard.sample(self);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator that can be deterministically constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// The fixed-size byte seed.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Constructs the generator from a full byte seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs the generator from a `u64`, expanded with SplitMix64
+    /// (matching the upstream `rand` convention).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 (Steele, Lea & Flood 2014).
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline stub of [`serde`](https://crates.io/crates/serde), vendored so
+//! the workspace builds without network access.
+//!
+//! [`Serialize`] and [`Deserialize`] are *marker traits* here: the real
+//! data-model methods are absent, and the re-exported derives emit empty
+//! impls. This keeps `#[derive(Serialize, Deserialize)]` annotations (and
+//! any `T: Serialize` bounds) compiling; actual persistence in the
+//! workspace goes through `bitrobust_tensor::write_tensors`, which has its
+//! own binary format. Swapping in the real `serde` later requires no source
+//! changes in downstream crates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stub for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stub for `serde::Deserialize` (lifetime elided — the stub has no
+/// borrowing deserializer).
+pub trait Deserialize {}

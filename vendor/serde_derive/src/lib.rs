@@ -1,0 +1,67 @@
+//! Offline stub of `serde_derive`, vendored so the workspace builds without
+//! network access.
+//!
+//! The derives parse just enough of the item (without `syn`) to recover the
+//! type name and generics, then emit marker `impl`s of the stub traits in
+//! the vendored `serde` crate. No serialization code is generated; the stub
+//! exists so `#[derive(Serialize, Deserialize)]` in downstream crates
+//! compiles and the trait bounds stay checkable.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the stub `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize")
+}
+
+/// Derives the stub `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize")
+}
+
+/// Emits `impl ::serde::{trait} for {Name} {}` (lifetime-parameterless
+/// types only; anything more exotic gets an empty expansion, which still
+/// compiles because the traits are pure markers).
+fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl ::serde::{trait_name} for {name} {{}}")
+            .parse()
+            .unwrap_or_else(|_| TokenStream::new()),
+        None => TokenStream::new(),
+    }
+}
+
+/// Walks the item's tokens to find the identifier after `struct`/`enum`,
+/// bailing out (→ `None`) when the type is generic.
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tree) = tokens.next() {
+        match tree {
+            // Skip attributes: `#` followed by a bracketed group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    tokens.next();
+                }
+            }
+            TokenTree::Ident(ident) => {
+                let word = ident.to_string();
+                if word == "struct" || word == "enum" || word == "union" {
+                    if let Some(TokenTree::Ident(name)) = tokens.next() {
+                        // Generic types would need bound plumbing; skip them.
+                        if matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<')
+                        {
+                            return None;
+                        }
+                        return Some(name.to_string());
+                    }
+                    return None;
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
