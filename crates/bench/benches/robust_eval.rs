@@ -1,31 +1,68 @@
 //! End-to-end robust evaluation cost: quantize → inject → dequantize →
-//! forward over a test set, per simulated chip.
+//! forward over a test set, per simulated chip — comparing the serial
+//! reference path against the parallel fault-injection campaign engine.
+//!
+//! Besides the criterion benchmarks, running this bench writes a
+//! machine-readable `BENCH_robust_eval.json` at the workspace root with
+//! serial vs campaign wall-clock and the resulting speedup (uploaded as a
+//! CI artifact).
 
-use bitrobust_core::{build, robust_eval_uniform, ArchKind, NormKind, QuantizedModel};
-use bitrobust_data::SynthDataset;
-use bitrobust_nn::Mode;
+use std::time::Instant;
+
+use bitrobust_biterror::UniformChip;
+use bitrobust_core::{
+    build, eval_images, eval_images_serial, robust_eval_uniform, ArchKind, NormKind, QuantizedModel,
+};
+use bitrobust_data::{Dataset, SynthDataset};
+use bitrobust_nn::{Mode, Model};
 use bitrobust_quant::QuantScheme;
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use rand::SeedableRng;
 
-fn bench_robust_eval(c: &mut Criterion) {
+const N_CHIPS: usize = 8;
+const RATE: f64 = 0.01;
+const BATCH: usize = 256;
+
+fn setup() -> (Model, Dataset) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(0);
     let built = build(ArchKind::Mlp, [1, 14, 14], 10, NormKind::Group, &mut rng);
-    let mut model = built.model;
     let (_, test_ds) = SynthDataset::Mnist.generate(0);
+    (built.model, test_ds)
+}
+
+fn chip_images(model: &mut Model) -> Vec<QuantizedModel> {
+    let q0 = QuantizedModel::quantize(model, QuantScheme::rquant(8));
+    (0..N_CHIPS)
+        .map(|c| {
+            let mut q = q0.clone();
+            q.inject(&UniformChip::new(42 + c as u64).at_rate(RATE));
+            q
+        })
+        .collect()
+}
+
+fn bench_robust_eval(c: &mut Criterion) {
+    let (mut model, test_ds) = setup();
+    let images = chip_images(&mut model);
 
     let mut group = c.benchmark_group("robust_eval");
     group.sample_size(10);
-    group.bench_function("mlp_1chip_1000ex", |b| {
+    group.bench_function("serial_8chip_1000ex", |b| {
+        b.iter(|| eval_images_serial(&model, &images, &test_ds, BATCH, Mode::Eval))
+    });
+    group.bench_function("campaign_8chip_1000ex", |b| {
+        b.iter(|| eval_images(&model, &images, &test_ds, BATCH, Mode::Eval))
+    });
+    group.bench_function("wrapper_1chip_1000ex", |b| {
         b.iter(|| {
             robust_eval_uniform(
                 &mut model,
                 QuantScheme::rquant(8),
                 &test_ds,
-                0.01,
+                RATE,
                 1,
                 42,
-                256,
+                BATCH,
                 Mode::Eval,
             )
         })
@@ -37,4 +74,58 @@ fn bench_robust_eval(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_robust_eval);
-criterion_main!(benches);
+
+/// Best-of-`reps` wall-clock seconds for `f`.
+fn best_of<F: FnMut()>(mut f: F, reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Measures serial vs campaign throughput and writes the comparison to
+/// `BENCH_robust_eval.json` at the workspace root.
+fn emit_json_comparison() {
+    let (mut model, test_ds) = setup();
+    let images = chip_images(&mut model);
+
+    // Warm up the thread pool and verify the determinism guarantee once.
+    let serial_ref = eval_images_serial(&model, &images, &test_ds, BATCH, Mode::Eval);
+    let campaign_ref = eval_images(&model, &images, &test_ds, BATCH, Mode::Eval);
+    assert_eq!(serial_ref, campaign_ref, "engine must be bit-identical to the serial path");
+
+    let reps = 3;
+    let serial_secs =
+        best_of(|| drop(eval_images_serial(&model, &images, &test_ds, BATCH, Mode::Eval)), reps);
+    let campaign_secs =
+        best_of(|| drop(eval_images(&model, &images, &test_ds, BATCH, Mode::Eval)), reps);
+
+    // The pool's own accounting (BITROBUST_THREADS override included).
+    let threads = bitrobust_tensor::pool_parallelism();
+    let json = format!(
+        "{{\n  \"bench\": \"robust_eval\",\n  \"arch\": \"mlp\",\n  \"dataset\": \"{}\",\n  \
+         \"examples\": {},\n  \"n_chips\": {},\n  \"rate\": {},\n  \"batch_size\": {},\n  \
+         \"threads\": {},\n  \"serial_secs\": {:.6},\n  \"campaign_secs\": {:.6},\n  \
+         \"speedup\": {:.3},\n  \"bit_identical\": true\n}}\n",
+        test_ds.name(),
+        test_ds.len(),
+        N_CHIPS,
+        RATE,
+        BATCH,
+        threads,
+        serial_secs,
+        campaign_secs,
+        serial_secs / campaign_secs,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_robust_eval.json");
+    std::fs::write(path, &json).expect("write BENCH_robust_eval.json");
+    println!("serial vs campaign comparison written to {path}:\n{json}");
+}
+
+fn main() {
+    benches();
+    emit_json_comparison();
+}

@@ -1,0 +1,494 @@
+//! Parallel fault-injection campaign engine.
+//!
+//! The paper's evaluation protocol measures `RErr` on ~50 simulated chips
+//! per bit error rate, and the follow-up work multiplies that by rate
+//! grids, voltages, and quantization schemes — so *robust evaluation*, not
+//! training, dominates experiment wall-clock. This module turns those
+//! nested serial loops into one data-parallel campaign.
+//!
+//! # Work-item granularity
+//!
+//! A campaign is a set of **quantized images** (one [`QuantizedModel`] per
+//! error pattern — i.e. per grid cell) evaluated over a dataset. The unit
+//! of parallel work is a `(pattern, batch)` pair: every test batch of
+//! every pattern is an independent item, fanned out over the
+//! `bitrobust-tensor` thread pool. Fine granularity keeps all cores busy
+//! even when the pattern count is small (e.g. 3 profiled-chip offsets) or
+//! the dataset is large, and the pool's self-scheduling balances uneven
+//! batch costs. The layers' own `parallel_for` calls nest harmlessly: the
+//! pool runs nested submissions inline on the claiming worker.
+//!
+//! # Replica strategy
+//!
+//! Each pattern gets one model **replica**: a [`Model::clone`] of the
+//! caller's template whose parameters are overwritten with the pattern's
+//! dequantized (bit-error-perturbed) weights. Replicas are immutable once
+//! built — workers evaluate batches through [`Model::infer`], which takes
+//! `&self` and touches no activation caches — so any number of workers can
+//! share one replica concurrently. At most [`MAX_REPLICAS`] replicas are
+//! alive at a time; larger campaigns run in chunks, and the lazy entry
+//! points ([`eval_images_with`], [`run_grid`], `robust_eval`) also build
+//! the perturbed *quantized images* one chunk at a time, so peak memory
+//! stays at one chunk of images + replicas for model-zoo-sized grids.
+//!
+//! # Determinism guarantee
+//!
+//! Campaign results are **bit-identical to the serial reference path**
+//! ([`eval_images_serial`]) regardless of thread count or scheduling, and
+//! the per-pattern `error` values are additionally bit-identical to the
+//! historical quantize → inject → `write_to` → `forward` loop (they come
+//! from integer miss counts; mean *confidence* may differ from the legacy
+//! loop in the last ULP because f64 partial sums regroup at batch
+//! boundaries). This holds because:
+//!
+//! * `infer` produces bit-identical outputs to an eval-mode `forward`;
+//! * every batch's partial statistics are computed independently and
+//!   written to that item's dedicated slot (no shared accumulators);
+//! * partials are reduced serially in `(pattern, batch)` order.
+//!
+//! Same seeds ⇒ identical per-chip `errors`, so results stay comparable
+//! across machines, thread counts, and the serial/parallel boundary.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use bitrobust_core::{build, run_grid, ArchKind, CampaignGrid, NormKind, EVAL_BATCH};
+//! use bitrobust_data::SynthDataset;
+//! use bitrobust_nn::Mode;
+//! use bitrobust_quant::QuantScheme;
+//! use rand::SeedableRng;
+//!
+//! let (_, test_ds) = SynthDataset::Cifar10.generate(0);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut model = build(ArchKind::SimpleNet, [3, 16, 16], 10, NormKind::Group, &mut rng).model;
+//!
+//! // One campaign: 8 rates x 50 chips = 400 grid cells, all parallel.
+//! let grid = CampaignGrid::uniform(QuantScheme::rquant(8), vec![1e-3, 1e-2], 50, 1000);
+//! let sweep = run_grid(&mut model, &grid, &test_ds, EVAL_BATCH, Mode::Eval).remove(0);
+//! println!("RErr at p=1%: {:.2}%", 100.0 * sweep[1].mean_error);
+//! ```
+
+use std::sync::OnceLock;
+
+use bitrobust_biterror::UniformChip;
+use bitrobust_data::Dataset;
+use bitrobust_nn::{Mode, Model};
+use bitrobust_quant::QuantScheme;
+use bitrobust_tensor::{parallel_for, softmax_rows};
+
+use crate::eval::{EvalResult, RobustEval};
+use crate::QuantizedModel;
+
+/// Upper bound on dequantized model replicas alive at once. Campaigns with
+/// more patterns run in chunks of this size, so peak memory is
+/// `MAX_REPLICAS x model size` regardless of grid size.
+pub const MAX_REPLICAS: usize = 64;
+
+/// Per-`(pattern, batch)` partial statistics.
+struct BatchPartial {
+    wrong: usize,
+    conf: f64,
+}
+
+/// Evaluates one test batch against one replica.
+fn eval_batch(
+    replica: &Model,
+    dataset: &Dataset,
+    start: usize,
+    end: usize,
+    mode: Mode,
+) -> BatchPartial {
+    let (x, labels) = dataset.batch_range(start, end);
+    let logits = replica.infer(&x, mode);
+    let probs = softmax_rows(&logits);
+    let preds = probs.argmax_rows();
+    let mut wrong = 0usize;
+    let mut conf = 0f64;
+    for (row, (&label, &pred)) in labels.iter().zip(&preds).enumerate() {
+        if pred != label {
+            wrong += 1;
+        }
+        conf += probs.row(row)[pred] as f64;
+    }
+    BatchPartial { wrong, conf }
+}
+
+/// Builds the per-pattern replica: template clone + dequantized weights.
+fn build_replica(template: &Model, image: &QuantizedModel) -> Model {
+    let mut replica = template.clone();
+    image.write_to(&mut replica);
+    replica
+}
+
+/// Evaluates every quantized image over `dataset`, in parallel.
+///
+/// `template` supplies the architecture (and any non-parameter state such
+/// as BatchNorm running statistics); its own weights are irrelevant and it
+/// is never mutated. Returns one [`EvalResult`] per image, in order.
+///
+/// # Panics
+///
+/// Panics if `batch_size == 0`, `dataset` is empty, `mode` is
+/// [`Mode::Train`], or an image's shapes do not match `template`.
+pub fn eval_images(
+    template: &Model,
+    images: &[QuantizedModel],
+    dataset: &Dataset,
+    batch_size: usize,
+    mode: Mode,
+) -> Vec<EvalResult> {
+    validate(dataset, batch_size, mode);
+    let mut results = Vec::with_capacity(images.len());
+    for chunk in images.chunks(MAX_REPLICAS) {
+        eval_chunk(template, chunk, dataset, batch_size, mode, &mut results);
+    }
+    results
+}
+
+/// Like [`eval_images`], but builds the quantized images **lazily** in
+/// [`MAX_REPLICAS`]-sized chunks: `make_image(i)` is called for
+/// `i in 0..n_images` as each chunk starts, so at most one chunk of images
+/// (plus its replicas) is alive at a time. Use this for large grids where
+/// materializing every perturbed weight copy up front would dominate
+/// memory.
+///
+/// # Panics
+///
+/// As [`eval_images`].
+pub fn eval_images_with(
+    template: &Model,
+    n_images: usize,
+    make_image: impl Fn(usize) -> QuantizedModel,
+    dataset: &Dataset,
+    batch_size: usize,
+    mode: Mode,
+) -> Vec<EvalResult> {
+    validate(dataset, batch_size, mode);
+    let mut results = Vec::with_capacity(n_images);
+    let mut start = 0;
+    while start < n_images {
+        let end = (start + MAX_REPLICAS).min(n_images);
+        let images: Vec<QuantizedModel> = (start..end).map(&make_image).collect();
+        eval_chunk(template, &images, dataset, batch_size, mode, &mut results);
+        start = end;
+    }
+    results
+}
+
+fn validate(dataset: &Dataset, batch_size: usize, mode: Mode) {
+    assert!(batch_size > 0, "batch size must be positive");
+    mode.assert_inference();
+    assert!(!dataset.is_empty(), "dataset must not be empty");
+}
+
+/// Evaluates one chunk of at most [`MAX_REPLICAS`] images, appending one
+/// [`EvalResult`] per image to `results`.
+fn eval_chunk(
+    template: &Model,
+    chunk: &[QuantizedModel],
+    dataset: &Dataset,
+    batch_size: usize,
+    mode: Mode,
+    results: &mut Vec<EvalResult>,
+) {
+    let n = dataset.len();
+    let n_batches = n.div_ceil(batch_size);
+    let replicas: Vec<Model> = chunk.iter().map(|q| build_replica(template, q)).collect();
+    let total = chunk.len() * n_batches;
+    let partials: Vec<OnceLock<BatchPartial>> = (0..total).map(|_| OnceLock::new()).collect();
+    parallel_for(total, |item| {
+        let pattern = item / n_batches;
+        let batch = item % n_batches;
+        let start = batch * batch_size;
+        let end = (start + batch_size).min(n);
+        let partial = eval_batch(&replicas[pattern], dataset, start, end, mode);
+        assert!(partials[item].set(partial).is_ok(), "work item {item} visited twice");
+    });
+    // Serial reduction in (pattern, batch) order keeps float sums
+    // independent of scheduling.
+    for pattern in 0..chunk.len() {
+        let mut wrong = 0usize;
+        let mut conf = 0f64;
+        for batch in 0..n_batches {
+            let part = partials[pattern * n_batches + batch].get().expect("missing batch partial");
+            wrong += part.wrong;
+            conf += part.conf;
+        }
+        results.push(EvalResult {
+            error: wrong as f32 / n as f32,
+            confidence: (conf / n as f64) as f32,
+        });
+    }
+}
+
+/// The serial reference implementation of [`eval_images`]: one pattern and
+/// one batch at a time on the calling thread, bit-identical results.
+///
+/// Exists for determinism tests and the serial-vs-campaign benchmark; real
+/// callers should use [`eval_images`].
+///
+/// # Panics
+///
+/// As [`eval_images`].
+pub fn eval_images_serial(
+    template: &Model,
+    images: &[QuantizedModel],
+    dataset: &Dataset,
+    batch_size: usize,
+    mode: Mode,
+) -> Vec<EvalResult> {
+    validate(dataset, batch_size, mode);
+    let n = dataset.len();
+    images
+        .iter()
+        .map(|image| {
+            let replica = build_replica(template, image);
+            let mut wrong = 0usize;
+            let mut conf = 0f64;
+            let mut start = 0;
+            while start < n {
+                let end = (start + batch_size).min(n);
+                let part = eval_batch(&replica, dataset, start, end, mode);
+                wrong += part.wrong;
+                conf += part.conf;
+                start = end;
+            }
+            EvalResult { error: wrong as f32 / n as f32, confidence: (conf / n as f64) as f32 }
+        })
+        .collect()
+}
+
+/// A grid of fault-injection campaign cells: every combination of
+/// quantization scheme, bit error rate, and simulated uniform chip.
+///
+/// Chip seeds are `chip_seed_base + chip_index`, matching the paper's
+/// protocol of fixing the same chips across all models and rates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignGrid {
+    /// Quantization schemes to evaluate (each gets its own quantization).
+    pub schemes: Vec<QuantScheme>,
+    /// Bit error rates `p`.
+    pub rates: Vec<f64>,
+    /// Number of simulated chips per (scheme, rate) cell.
+    pub n_chips: usize,
+    /// Seed of chip 0; chip `c` uses `chip_seed_base + c`.
+    pub chip_seed_base: u64,
+}
+
+impl CampaignGrid {
+    /// A single-scheme grid (the common rate-sweep shape).
+    pub fn uniform(
+        scheme: QuantScheme,
+        rates: Vec<f64>,
+        n_chips: usize,
+        chip_seed_base: u64,
+    ) -> Self {
+        Self { schemes: vec![scheme], rates, n_chips, chip_seed_base }
+    }
+
+    /// Total number of grid cells (= quantized images evaluated).
+    pub fn n_cells(&self) -> usize {
+        self.schemes.len() * self.rates.len() * self.n_chips
+    }
+}
+
+/// Runs a whole [`CampaignGrid`] as **one** parallel campaign.
+///
+/// Quantizes the model once per scheme, injects every (rate, chip) pattern,
+/// and evaluates all cells in a single fan-out. Returns `[scheme][rate]`
+/// [`RobustEval`]s whose per-chip `errors` are bit-identical to running
+/// `robust_eval_uniform` serially per rate with the same seeds.
+///
+/// The model is only read (quantization needs `&mut` for parameter
+/// traversal); its weights are unchanged on return.
+///
+/// # Panics
+///
+/// Panics if the grid is empty in any dimension, or on the
+/// [`eval_images`] conditions.
+pub fn run_grid(
+    model: &mut Model,
+    grid: &CampaignGrid,
+    dataset: &Dataset,
+    batch_size: usize,
+    mode: Mode,
+) -> Vec<Vec<RobustEval>> {
+    assert!(!grid.schemes.is_empty(), "campaign grid needs at least one scheme");
+    assert!(!grid.rates.is_empty(), "campaign grid needs at least one rate");
+    assert!(grid.n_chips > 0, "campaign grid needs at least one chip");
+
+    grid.schemes
+        .iter()
+        .map(|&scheme| {
+            // Quantize once per scheme; inject each (rate, chip) pattern
+            // lazily as its chunk is reached, so peak memory stays at one
+            // chunk of images + replicas however large the grid.
+            let q0 = QuantizedModel::quantize(model, scheme);
+            let cells = eval_images_with(
+                model,
+                grid.rates.len() * grid.n_chips,
+                |cell| {
+                    let p = grid.rates[cell / grid.n_chips];
+                    let c = cell % grid.n_chips;
+                    let mut q = q0.clone();
+                    q.inject(&UniformChip::new(grid.chip_seed_base + c as u64).at_rate(p));
+                    q
+                },
+                dataset,
+                batch_size,
+                mode,
+            );
+            cells.chunks(grid.n_chips).map(RobustEval::from_results).collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{build, ArchKind, NormKind};
+    use crate::{evaluate, robust_eval_uniform, EVAL_BATCH};
+    use bitrobust_data::SynthDataset;
+    use rand::SeedableRng;
+
+    fn tiny_setup() -> (Model, Dataset) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let built = build(ArchKind::Mlp, [1, 14, 14], 10, NormKind::Group, &mut rng);
+        let (_, test) = SynthDataset::Mnist.generate(0);
+        (built.model, test)
+    }
+
+    fn uniform_images(model: &mut Model, n_chips: usize, p: f64) -> Vec<QuantizedModel> {
+        let q0 = QuantizedModel::quantize(model, QuantScheme::rquant(8));
+        (0..n_chips)
+            .map(|c| {
+                let mut q = q0.clone();
+                q.inject(&UniformChip::new(1000 + c as u64).at_rate(p));
+                q
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let (mut model, test) = tiny_setup();
+        let images = uniform_images(&mut model, 6, 0.02);
+        let parallel = eval_images(&model, &images, &test, EVAL_BATCH, Mode::Eval);
+        let serial = eval_images_serial(&model, &images, &test, EVAL_BATCH, Mode::Eval);
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn engine_matches_legacy_mutate_and_forward_loop() {
+        let (mut model, test) = tiny_setup();
+        let images = uniform_images(&mut model, 4, 0.01);
+        let engine = eval_images(&model, &images, &test, EVAL_BATCH, Mode::Eval);
+
+        // The pre-engine path: write each image into the model and run the
+        // cached-forward evaluator.
+        let snapshot = model.param_tensors();
+        let legacy: Vec<EvalResult> = images
+            .iter()
+            .map(|q| {
+                q.write_to(&mut model);
+                evaluate(&mut model, &test, EVAL_BATCH, Mode::Eval)
+            })
+            .collect();
+        model.set_param_tensors(&snapshot);
+
+        for (e, l) in engine.iter().zip(&legacy) {
+            assert_eq!(e.error, l.error, "error must be bit-identical to the legacy loop");
+        }
+    }
+
+    #[test]
+    fn robust_eval_uniform_is_deterministic_across_calls() {
+        let (mut model, test) = tiny_setup();
+        let a = robust_eval_uniform(
+            &mut model,
+            QuantScheme::rquant(8),
+            &test,
+            0.01,
+            5,
+            1000,
+            EVAL_BATCH,
+            Mode::Eval,
+        );
+        let b = robust_eval_uniform(
+            &mut model,
+            QuantScheme::rquant(8),
+            &test,
+            0.01,
+            5,
+            1000,
+            EVAL_BATCH,
+            Mode::Eval,
+        );
+        assert_eq!(a.errors, b.errors);
+        assert_eq!(a.mean_confidence, b.mean_confidence);
+    }
+
+    #[test]
+    fn run_grid_groups_cells_by_scheme_and_rate() {
+        let (mut model, test) = tiny_setup();
+        let grid = CampaignGrid {
+            schemes: vec![QuantScheme::rquant(8), QuantScheme::rquant(4)],
+            rates: vec![0.001, 0.01],
+            n_chips: 3,
+            chip_seed_base: 1000,
+        };
+        let out = run_grid(&mut model, &grid, &test, EVAL_BATCH, Mode::Eval);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|per_rate| per_rate.len() == 2));
+        assert!(out.iter().flatten().all(|r| r.errors.len() == 3));
+
+        // Each grid cell must equal the standalone uniform evaluation.
+        let standalone = robust_eval_uniform(
+            &mut model,
+            QuantScheme::rquant(8),
+            &test,
+            0.01,
+            3,
+            1000,
+            EVAL_BATCH,
+            Mode::Eval,
+        );
+        assert_eq!(out[0][1].errors, standalone.errors);
+    }
+
+    #[test]
+    fn lazy_image_construction_matches_eager() {
+        let (mut model, test) = tiny_setup();
+        let images = uniform_images(&mut model, 5, 0.02);
+        let eager = eval_images(&model, &images, &test, EVAL_BATCH, Mode::Eval);
+        let lazy = eval_images_with(
+            &model,
+            images.len(),
+            |i| images[i].clone(),
+            &test,
+            EVAL_BATCH,
+            Mode::Eval,
+        );
+        assert_eq!(eager, lazy);
+    }
+
+    #[test]
+    fn chunked_campaign_matches_unchunked() {
+        let (mut model, test) = tiny_setup();
+        // More images than MAX_REPLICAS would be slow here; instead check
+        // that splitting a campaign in two yields the same cells.
+        let images = uniform_images(&mut model, 6, 0.02);
+        let whole = eval_images(&model, &images, &test, EVAL_BATCH, Mode::Eval);
+        let mut split = eval_images(&model, &images[..2], &test, EVAL_BATCH, Mode::Eval);
+        split.extend(eval_images(&model, &images[2..], &test, EVAL_BATCH, Mode::Eval));
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-training mode")]
+    fn rejects_training_mode() {
+        let (mut model, test) = tiny_setup();
+        let images = uniform_images(&mut model, 1, 0.0);
+        let _ = eval_images(&model, &images, &test, EVAL_BATCH, Mode::Train);
+    }
+}

@@ -29,8 +29,7 @@ pub fn evaluate(model: &mut Model, dataset: &Dataset, batch_size: usize, mode: M
     let mut index = 0;
     while index < n {
         let end = (index + batch_size).min(n);
-        let indices: Vec<usize> = (index..end).collect();
-        let (x, labels) = dataset.batch(&indices);
+        let (x, labels) = dataset.batch_range(index, end);
         let logits = model.forward(&x, mode);
         let probs = softmax_rows(&logits);
         let preds = probs.argmax_rows();
@@ -67,7 +66,8 @@ pub fn quantized_error(
 pub struct RobustEval {
     /// Mean `RErr` over patterns, in `[0, 1]`.
     pub mean_error: f32,
-    /// Standard deviation of `RErr` over patterns.
+    /// Sample standard deviation of `RErr` over patterns (what the paper's
+    /// `±` columns report); `0` for a single pattern.
     pub std_error: f32,
     /// Mean confidence under errors.
     pub mean_confidence: f32,
@@ -76,15 +76,26 @@ pub struct RobustEval {
 }
 
 impl RobustEval {
-    fn from_results(results: &[EvalResult]) -> Self {
+    /// Aggregates per-pattern results into the paper's `RErr ± std` summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `results` is empty.
+    pub fn from_results(results: &[EvalResult]) -> Self {
         assert!(!results.is_empty(), "need at least one error pattern");
         let n = results.len() as f64;
         let mean = results.iter().map(|r| r.error as f64).sum::<f64>() / n;
-        let var = results.iter().map(|r| (r.error as f64 - mean).powi(2)).sum::<f64>() / n.max(1.0);
+        let std = if results.len() > 1 {
+            let var =
+                results.iter().map(|r| (r.error as f64 - mean).powi(2)).sum::<f64>() / (n - 1.0);
+            var.sqrt()
+        } else {
+            0.0
+        };
         let conf = results.iter().map(|r| r.confidence as f64).sum::<f64>() / n;
         Self {
             mean_error: mean as f32,
-            std_error: var.sqrt() as f32,
+            std_error: std as f32,
             mean_confidence: conf as f32,
             errors: results.iter().map(|r| r.error).collect(),
         }
@@ -92,8 +103,13 @@ impl RobustEval {
 }
 
 /// Evaluates `RErr`: quantizes the model, then for each injector clones the
-/// quantized image, injects bit errors, and measures test error. Restores
-/// the float weights afterwards.
+/// quantized image, injects bit errors, and measures test error.
+///
+/// A thin wrapper over the parallel campaign engine
+/// ([`crate::eval_images`]): all (pattern, batch) work items fan out over
+/// the workspace thread pool, and the per-chip `errors` are bit-identical
+/// to the historical serial loop. The model's weights are left untouched
+/// (patterns are written into per-pattern replicas, never the model).
 ///
 /// The injectors are the "chips": for the paper's headline numbers these
 /// are [`UniformChip`]s at a common rate `p` (see [`robust_eval_uniform`]);
@@ -107,16 +123,19 @@ pub fn robust_eval<I: ErrorInjector>(
     batch_size: usize,
     mode: Mode,
 ) -> RobustEval {
-    let snapshot = model.param_tensors();
     let q0 = QuantizedModel::quantize(model, scheme);
-    let mut results = Vec::with_capacity(injectors.len());
-    for injector in injectors {
-        let mut q = q0.clone();
-        q.inject(injector);
-        q.write_to(model);
-        results.push(evaluate(model, dataset, batch_size, mode));
-    }
-    model.set_param_tensors(&snapshot);
+    let results = crate::campaign::eval_images_with(
+        model,
+        injectors.len(),
+        |i| {
+            let mut q = q0.clone();
+            q.inject(&injectors[i]);
+            q
+        },
+        dataset,
+        batch_size,
+        mode,
+    );
     RobustEval::from_results(&results)
 }
 
@@ -188,6 +207,41 @@ mod tests {
         assert_eq!(r.errors.len(), 5);
         assert!(r.mean_error >= 0.0 && r.mean_error <= 1.0);
         assert!(r.std_error >= 0.0);
+    }
+
+    #[test]
+    fn from_results_reports_sample_standard_deviation() {
+        let results: Vec<EvalResult> =
+            [0.1f32, 0.2, 0.3].iter().map(|&error| EvalResult { error, confidence: 0.5 }).collect();
+        let r = RobustEval::from_results(&results);
+        assert!((r.mean_error - 0.2).abs() < 1e-7);
+        // Sample std: sqrt(((0.1)^2 + 0 + (0.1)^2) / (3 - 1)) = 0.1.
+        assert!((r.std_error - 0.1).abs() < 1e-6, "std {}", r.std_error);
+        assert!((r.mean_confidence - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn from_results_single_pattern_has_zero_std() {
+        let r = RobustEval::from_results(&[EvalResult { error: 0.4, confidence: 0.9 }]);
+        assert_eq!(r.std_error, 0.0);
+        assert_eq!(r.errors, vec![0.4]);
+    }
+
+    #[test]
+    fn robust_eval_leaves_model_weights_untouched() {
+        let (mut model, test) = tiny_setup();
+        let before = model.param_tensors();
+        let _ = robust_eval_uniform(
+            &mut model,
+            QuantScheme::rquant(8),
+            &test,
+            0.05,
+            3,
+            1000,
+            EVAL_BATCH,
+            Mode::Eval,
+        );
+        assert_eq!(before, model.param_tensors());
     }
 
     #[test]

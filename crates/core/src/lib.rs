@@ -22,10 +22,11 @@
 //!
 //! The crate also implements the non-generalizing fixed-pattern baseline
 //! (`PATTBET`, [`TrainMethod::PattBet`]), the `Err`/`RErr` evaluation
-//! protocol ([`evaluate`], [`robust_eval_uniform`]), the Prop. 1
-//! generalization bound ([`deviation_bound`]), and the energy trade-off
-//! analysis combining the SRAM voltage/energy models with measured RErr
-//! curves ([`energy_tradeoff`]).
+//! protocol ([`evaluate`], [`robust_eval_uniform`]) backed by the parallel
+//! fault-injection [`campaign`] engine ([`eval_images`], [`run_grid`]),
+//! the Prop. 1 generalization bound ([`deviation_bound`]), and the energy
+//! trade-off analysis combining the SRAM voltage/energy models with
+//! measured RErr curves ([`energy_tradeoff`]).
 //!
 //! # Examples
 //!
@@ -63,6 +64,7 @@
 
 mod arch;
 mod bound;
+pub mod campaign;
 mod ecc;
 mod energy;
 mod eval;
@@ -73,6 +75,9 @@ mod train;
 
 pub use arch::{build, ArchKind, BuiltModel, NormKind};
 pub use bound::{deviation_bound, deviation_probability};
+pub use campaign::{
+    eval_images, eval_images_serial, eval_images_with, run_grid, CampaignGrid, MAX_REPLICAS,
+};
 pub use ecc::{apply_secded, multi_error_probability, DoubleErrorPolicy, EccStats, SecdedConfig};
 pub use energy::{best_saving_within, energy_tradeoff, TradeoffPoint};
 pub use eval::{

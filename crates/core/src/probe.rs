@@ -40,8 +40,9 @@ impl ActivationProbe {
     }
 }
 
-impl Layer for ActivationProbe {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+impl ActivationProbe {
+    /// Records this input's statistics into the shared handle.
+    fn record(&self, input: &Tensor) {
         let n = input.numel();
         if n > 0 {
             let positive = input.data().iter().filter(|&&v| v > 0.0).count();
@@ -49,7 +50,29 @@ impl Layer for ActivationProbe {
             *self.stats.lock().expect("probe mutex poisoned") =
                 ProbeStats { fraction_positive: positive as f64 / n as f64, mean_abs, count: n };
         }
+    }
+}
+
+impl Layer for ActivationProbe {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        self.record(input);
         input.clone()
+    }
+
+    fn infer(&self, input: &Tensor, mode: Mode) -> Tensor {
+        mode.assert_inference();
+        self.record(input);
+        input.clone()
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        // The clone gets a *detached* stats handle. Campaign replicas run
+        // concurrently; if they shared the original handle, the surviving
+        // value would depend on scheduling, breaking the repo's
+        // every-number-reproducible-from-seed guarantee. Probe consumers
+        // populate stats with an explicit serial pass (e.g. `evaluate`) on
+        // the model that owns the handle.
+        Box::new(Self { stats: Arc::new(Mutex::new(ProbeStats::default())) })
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {

@@ -87,6 +87,24 @@ impl Dataset {
         (Tensor::from_vec(vec![indices.len(), c, h, w], data), labels)
     }
 
+    /// Gathers the contiguous example range `start..end` into a batch.
+    ///
+    /// Equivalent to `batch(&(start..end).collect::<Vec<_>>())` but copies
+    /// one contiguous slab instead of gathering per index — the fast path
+    /// for sequential evaluation loops, which need no index vector at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > len()`.
+    pub fn batch_range(&self, start: usize, end: usize) -> (Tensor, Vec<usize>) {
+        assert!(start <= end, "batch range start {start} exceeds end {end}");
+        assert!(end <= self.len(), "batch range end {end} out of bounds (len {})", self.len());
+        let [c, h, w] = self.image_shape();
+        let sample = c * h * w;
+        let data = self.images.data()[start * sample..end * sample].to_vec();
+        (Tensor::from_vec(vec![end - start, c, h, w], data), self.labels[start..end].to_vec())
+    }
+
     /// Iterates over shuffled mini-batches for one epoch.
     pub fn shuffled_batches<R: Rng>(
         &self,
@@ -126,6 +144,24 @@ mod tests {
         assert_eq!(y, vec![0, 0]);
         assert_eq!(x.data()[0], 8.0); // first pixel of sample 2
         assert_eq!(x.data()[4], 0.0); // first pixel of sample 0
+    }
+
+    #[test]
+    fn batch_range_matches_indexed_batch() {
+        let d = tiny();
+        let (xr, yr) = d.batch_range(1, 3);
+        let (xi, yi) = d.batch(&[1, 2]);
+        assert_eq!(xr, xi);
+        assert_eq!(yr, yi);
+        let (empty, labels) = d.batch_range(2, 2);
+        assert_eq!(empty.dim(0), 0);
+        assert!(labels.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn batch_range_rejects_overrun() {
+        let _ = tiny().batch_range(0, 5);
     }
 
     #[test]

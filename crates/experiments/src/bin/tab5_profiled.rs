@@ -5,7 +5,9 @@
 //! averaging over several weight-to-memory mapping offsets (App. C.1).
 
 use bitrobust_biterror::{ChipKind, ProfiledChip};
-use bitrobust_core::{robust_eval, RandBetVariant, TrainMethod, EVAL_BATCH};
+use bitrobust_core::{
+    eval_images, QuantizedModel, RandBetVariant, RobustEval, TrainMethod, EVAL_BATCH,
+};
 use bitrobust_experiments::zoo::ZooSpec;
 use bitrobust_experiments::{dataset_pair, pct, zoo_model, DatasetKind, ExpOptions, Table};
 use bitrobust_nn::Mode;
@@ -45,13 +47,24 @@ fn main() {
             spec.seed = opts.seed;
             let (mut model, report) = zoo_model(&spec, &train_ds, &test_ds, opts.no_cache);
             let mut row = vec![name.to_string(), pct(report.clean_error as f64)];
+
+            // One campaign over all (rate, mapping offset) cells: inject
+            // each pattern into its own quantized image up front, evaluate
+            // every cell in a single parallel fan-out, then group per rate.
+            let q0 = QuantizedModel::quantize(&mut model, scheme);
+            let mut images = Vec::with_capacity(rates.len() * n_offsets);
             for &rate in rates {
                 let v = chip.voltage_for_rate(rate);
                 // Different weight-to-memory mappings: vary the offset.
-                let injectors: Vec<_> =
-                    (0..n_offsets).map(|k| chip.at_voltage(v, k * 131_071, false)).collect();
-                let r =
-                    robust_eval(&mut model, scheme, &test_ds, &injectors, EVAL_BATCH, Mode::Eval);
+                for k in 0..n_offsets {
+                    let mut q = q0.clone();
+                    q.inject(&chip.at_voltage(v, k * 131_071, false));
+                    images.push(q);
+                }
+            }
+            let cells = eval_images(&model, &images, &test_ds, EVAL_BATCH, Mode::Eval);
+            for per_rate in cells.chunks(n_offsets) {
+                let r = RobustEval::from_results(per_rate);
                 row.push(pct(r.mean_error as f64));
             }
             table.row_owned(row);

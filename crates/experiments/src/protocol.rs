@@ -2,7 +2,7 @@
 //! grids, so every experiment binary measures RErr on the *same* simulated
 //! chips (as the paper fixes its 50 error patterns across all models).
 
-use bitrobust_core::{robust_eval_uniform, RobustEval, EVAL_BATCH};
+use bitrobust_core::{run_grid, CampaignGrid, RobustEval, EVAL_BATCH};
 use bitrobust_data::Dataset;
 use bitrobust_nn::{Mode, Model};
 use bitrobust_quant::QuantScheme;
@@ -27,6 +27,11 @@ pub fn p_grid_mnist() -> Vec<f64> {
 }
 
 /// Evaluates RErr on the shared chips for every rate in `ps`.
+///
+/// The whole sweep runs as **one** fault-injection campaign
+/// ([`bitrobust_core::run_grid`]): all `ps.len() x chips` patterns fan out
+/// over the thread pool together, instead of nested serial loops. Per-chip
+/// errors are bit-identical to calling `robust_eval_uniform` per rate.
 pub fn rerr_sweep(
     model: &mut Model,
     scheme: QuantScheme,
@@ -34,11 +39,8 @@ pub fn rerr_sweep(
     ps: &[f64],
     chips: usize,
 ) -> Vec<RobustEval> {
-    ps.iter()
-        .map(|&p| {
-            robust_eval_uniform(model, scheme, test_ds, p, chips, CHIP_SEED, EVAL_BATCH, Mode::Eval)
-        })
-        .collect()
+    let grid = CampaignGrid::uniform(scheme, ps.to_vec(), chips, CHIP_SEED);
+    run_grid(model, &grid, test_ds, EVAL_BATCH, Mode::Eval).remove(0)
 }
 
 #[cfg(test)]

@@ -37,6 +37,15 @@ impl Layer for Relu {
         input.map(|v| v.max(0.0))
     }
 
+    fn infer(&self, input: &Tensor, mode: Mode) -> Tensor {
+        mode.assert_inference();
+        input.map(|v| v.max(0.0))
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(Self::new())
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         assert_eq!(
             grad_output.numel(),

@@ -65,6 +65,12 @@ impl Sequential {
     }
 }
 
+impl Clone for Sequential {
+    fn clone(&self) -> Self {
+        Self { layers: self.layers.iter().map(|l| l.clone_layer()).collect() }
+    }
+}
+
 impl Layer for Sequential {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         let mut x = input.clone();
@@ -72,6 +78,19 @@ impl Layer for Sequential {
             x = layer.forward(&x, mode);
         }
         x
+    }
+
+    fn infer(&self, input: &Tensor, mode: Mode) -> Tensor {
+        mode.assert_inference();
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.infer(&x, mode);
+        }
+        x
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -144,6 +163,28 @@ impl Layer for Residual {
         &branch + &skip
     }
 
+    fn infer(&self, input: &Tensor, mode: Mode) -> Tensor {
+        mode.assert_inference();
+        let branch = self.body.infer(input, mode);
+        let skip = match &self.shortcut {
+            Some(layer) => layer.infer(input, mode),
+            None => input.clone(),
+        };
+        assert_eq!(
+            branch.shape(),
+            skip.shape(),
+            "residual body and shortcut produced different shapes"
+        );
+        &branch + &skip
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(Self {
+            body: self.body.clone(),
+            shortcut: self.shortcut.as_ref().map(|l| l.clone_layer()),
+        })
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let through_body = self.body.backward(grad_output);
         let through_skip = match &mut self.shortcut {
@@ -194,6 +235,18 @@ impl Layer for Flatten {
             self.input_shape = input.shape().to_vec();
         }
         input.clone().reshape(&[batch, features])
+    }
+
+    fn infer(&self, input: &Tensor, mode: Mode) -> Tensor {
+        mode.assert_inference();
+        assert!(input.ndim() >= 2, "Flatten expects at least [batch, features]");
+        let batch = input.dim(0);
+        let features = input.numel() / batch;
+        input.clone().reshape(&[batch, features])
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(Self::new())
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {

@@ -92,20 +92,15 @@ impl Conv2d {
         let ow = (w + 2 * self.padding - self.kernel) / self.stride + 1;
         (oh, ow)
     }
-}
 
-impl Layer for Conv2d {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+    /// The cache-free forward computation shared by `forward` and `infer`.
+    fn compute(&self, input: &Tensor) -> Tensor {
         assert_eq!(input.ndim(), 4, "Conv2d expects [batch, ch, h, w]");
         let (batch, ic, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
         assert_eq!(ic, self.in_channels(), "Conv2d channel mismatch");
         let (oh, ow) = self.output_size(h, w);
         let oc = self.out_channels();
         let k = ic * self.kernel * self.kernel;
-
-        if mode.is_train() {
-            self.input_cache = Some(input.clone());
-        }
 
         let mut out = Tensor::zeros(&[batch, oc, oh, ow]);
         let sample_in = ic * h * w;
@@ -135,6 +130,31 @@ impl Layer for Conv2d {
             });
         });
         out
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        if mode.is_train() {
+            self.input_cache = Some(input.clone());
+        }
+        self.compute(input)
+    }
+
+    fn infer(&self, input: &Tensor, mode: Mode) -> Tensor {
+        mode.assert_inference();
+        self.compute(input)
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(Self {
+            weight: self.weight.clone(),
+            bias: self.bias.clone(),
+            kernel: self.kernel,
+            stride: self.stride,
+            padding: self.padding,
+            input_cache: None,
+        })
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {

@@ -23,6 +23,18 @@ impl Mode {
     pub fn is_train(self) -> bool {
         matches!(self, Mode::Train)
     }
+
+    /// Guards the immutable `infer` path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this mode is [`Mode::Train`].
+    pub fn assert_inference(self) {
+        assert!(
+            !self.is_train(),
+            "infer requires a non-training mode; use forward for Mode::Train"
+        );
+    }
 }
 
 /// A differentiable layer with hand-written backprop.
@@ -33,6 +45,11 @@ impl Mode {
 ///   `backward` may only be called after a training-mode forward and consumes
 ///   that cache conceptually (calling it twice without a new forward is a
 ///   logic error, though layers are not required to detect it).
+/// * `infer` is the immutable inference path: it must produce **bit-identical
+///   outputs** to `forward` for the same non-training mode, without touching
+///   any activation cache. Because it takes `&self` (and `Layer` requires
+///   `Sync`), one layer tree can serve concurrent evaluation passes — the
+///   property the fault-injection campaign engine builds on.
 /// * `backward` receives `dL/d(output)` and returns `dL/d(input)`;
 ///   it **accumulates** parameter gradients (`+=`) so that multi-pass
 ///   training schemes (e.g. random bit error training, which averages a
@@ -40,9 +57,23 @@ impl Mode {
 /// * `visit_params` yields parameters in a deterministic order; the order
 ///   defines the global parameter indexing used for quantization, bit error
 ///   injection offsets, and serialization.
-pub trait Layer: Send {
+/// * `clone_layer` duplicates the layer's parameters and configuration
+///   (activation caches need not be preserved), enabling whole-model
+///   replicas for parallel evaluation.
+pub trait Layer: Send + Sync {
     /// Computes the layer output.
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor;
+
+    /// Computes the layer output without mutating any state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mode` is [`Mode::Train`]: training passes must go through
+    /// [`Layer::forward`] so backward caches are populated.
+    fn infer(&self, input: &Tensor, mode: Mode) -> Tensor;
+
+    /// Clones the layer (parameters and configuration; caches may be reset).
+    fn clone_layer(&self) -> Box<dyn Layer>;
 
     /// Propagates gradients; returns `dL/d(input)` and accumulates parameter
     /// gradients.

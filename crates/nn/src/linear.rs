@@ -50,15 +50,11 @@ impl Linear {
     pub fn out_features(&self) -> usize {
         self.weight.value().dim(0)
     }
-}
 
-impl Layer for Linear {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+    /// The cache-free forward computation shared by `forward` and `infer`.
+    fn compute(&self, input: &Tensor) -> Tensor {
         assert_eq!(input.ndim(), 2, "Linear expects [batch, features]");
         assert_eq!(input.dim(1), self.in_features(), "Linear input feature mismatch");
-        if mode.is_train() {
-            self.input_cache = Some(input.clone());
-        }
         let mut out = matmul_nt(input, self.weight.value());
         let (batch, out_f) = (out.dim(0), out.dim(1));
         let bias = self.bias.value().data();
@@ -69,6 +65,24 @@ impl Layer for Linear {
             }
         }
         out
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        if mode.is_train() {
+            self.input_cache = Some(input.clone());
+        }
+        self.compute(input)
+    }
+
+    fn infer(&self, input: &Tensor, mode: Mode) -> Tensor {
+        mode.assert_inference();
+        self.compute(input)
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(Self { weight: self.weight.clone(), bias: self.bias.clone(), input_cache: None })
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {

@@ -21,6 +21,21 @@ pub struct Model {
     root: Sequential,
 }
 
+// The immutable `infer` path plus `Layer: Send + Sync` make a model shareable
+// across evaluation workers; keep that guarantee from regressing.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Model>();
+};
+
+impl Clone for Model {
+    /// Duplicates the model's parameters and structure (activation caches
+    /// and accumulated gradients start fresh in the copy).
+    fn clone(&self) -> Self {
+        Self { name: self.name.clone(), root: self.root.clone() }
+    }
+}
+
 impl std::fmt::Debug for Model {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Model").field("name", &self.name).field("root", &self.root).finish()
@@ -41,6 +56,17 @@ impl Model {
     /// Forward pass.
     pub fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         self.root.forward(input, mode)
+    }
+
+    /// Immutable inference pass: bit-identical to [`Model::forward`] for the
+    /// same non-training `mode`, but requires no exclusive access, so one
+    /// model can serve concurrent evaluation workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mode` is [`Mode::Train`].
+    pub fn infer(&self, input: &Tensor, mode: Mode) -> Tensor {
+        self.root.infer(input, mode)
     }
 
     /// Backward pass; returns the input gradient and accumulates parameter
@@ -211,6 +237,52 @@ mod tests {
         m2.load_params(&buf[..]).unwrap();
         let x = Tensor::full(&[2, 4], -0.3);
         assert_eq!(m.forward(&x, Mode::Eval), m2.forward(&x, Mode::Eval));
+    }
+
+    #[test]
+    fn infer_matches_forward_in_eval_mode() {
+        let mut m = toy_model(8);
+        let x = Tensor::full(&[3, 4], 0.25);
+        let via_forward = m.forward(&x, Mode::Eval);
+        let via_infer = m.infer(&x, Mode::Eval);
+        assert_eq!(via_forward, via_infer);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-training mode")]
+    fn infer_rejects_train_mode() {
+        let m = toy_model(9);
+        let _ = m.infer(&Tensor::zeros(&[1, 4]), Mode::Train);
+    }
+
+    #[test]
+    fn clone_copies_weights_and_detaches_them() {
+        let mut m = toy_model(10);
+        let mut copy = m.clone();
+        let x = Tensor::full(&[2, 4], -0.7);
+        assert_eq!(m.forward(&x, Mode::Eval), copy.forward(&x, Mode::Eval));
+        // Mutating the copy must not write through to the original.
+        copy.visit_params(&mut |p| p.value_mut().map_inplace(|v| v + 1.0));
+        assert_ne!(m.forward(&x, Mode::Eval), copy.forward(&x, Mode::Eval));
+    }
+
+    #[test]
+    fn model_can_be_shared_across_threads_for_infer() {
+        let mut m = toy_model(11);
+        let x = Tensor::full(&[2, 4], 0.5);
+        let expected = m.forward(&x, Mode::Eval);
+        let outputs = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let (m, x) = (&m, &x);
+                    s.spawn(move || m.infer(x, Mode::Eval))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("thread panicked")).collect::<Vec<_>>()
+        });
+        for y in outputs {
+            assert_eq!(y, expected);
+        }
     }
 
     #[test]

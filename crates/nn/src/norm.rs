@@ -60,10 +60,9 @@ impl GroupNorm {
     pub fn groups(&self) -> usize {
         self.groups
     }
-}
 
-impl Layer for GroupNorm {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+    /// Per-group normalization pass shared by `forward` and `infer`.
+    fn normalize(&self, input: &Tensor) -> (Tensor, Vec<f32>) {
         assert_eq!(input.ndim(), 4, "GroupNorm expects [batch, ch, h, w]");
         let (batch, ch, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
         assert_eq!(ch, self.scale.numel(), "GroupNorm channel mismatch");
@@ -90,7 +89,13 @@ impl Layer for GroupNorm {
                 }
             }
         }
+        (normalized, inv_stds)
+    }
 
+    /// Applies the reparameterized scale/shift to a normalized tensor.
+    fn scale_shift(&self, normalized: &Tensor) -> Tensor {
+        let (batch, ch, h, w) =
+            (normalized.dim(0), normalized.dim(1), normalized.dim(2), normalized.dim(3));
         let mut out = normalized.clone();
         let scale = self.scale.value().data();
         let shift = self.shift.value().data();
@@ -105,12 +110,35 @@ impl Layer for GroupNorm {
                 }
             }
         }
+        out
+    }
+}
 
+impl Layer for GroupNorm {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let (normalized, inv_stds) = self.normalize(input);
+        let out = self.scale_shift(&normalized);
         if mode.is_train() {
             self.normalized_cache = Some(normalized);
             self.inv_std_cache = inv_stds;
         }
         out
+    }
+
+    fn infer(&self, input: &Tensor, mode: Mode) -> Tensor {
+        mode.assert_inference();
+        let (normalized, _) = self.normalize(input);
+        self.scale_shift(&normalized)
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(Self {
+            scale: self.scale.clone(),
+            shift: self.shift.clone(),
+            groups: self.groups,
+            normalized_cache: None,
+            inv_std_cache: Vec::new(),
+        })
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -242,52 +270,44 @@ impl BatchNorm2d {
         self.running_mean.copy_from_slice(mean);
         self.running_var.copy_from_slice(var);
     }
-}
 
-impl Layer for BatchNorm2d {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
-        assert_eq!(input.ndim(), 4, "BatchNorm2d expects [batch, ch, h, w]");
+    /// Per-channel batch statistics of `input`.
+    fn batch_stats(&self, input: &Tensor) -> (Vec<f32>, Vec<f32>) {
         let (batch, ch, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
-        assert_eq!(ch, self.scale.numel(), "BatchNorm2d channel mismatch");
         let hw = h * w;
         let n = batch * hw;
-
-        let use_batch_stats = matches!(mode, Mode::Train | Mode::EvalBatchStats);
         let x = input.data();
+        let mut means = vec![0f32; ch];
+        let mut vars = vec![0f32; ch];
+        for c in 0..ch {
+            let mut sum = 0.0f64;
+            for b in 0..batch {
+                let start = (b * ch + c) * hw;
+                sum += x[start..start + hw].iter().map(|&v| v as f64).sum::<f64>();
+            }
+            let mean = (sum / n as f64) as f32;
+            let mut var = 0.0f64;
+            for b in 0..batch {
+                let start = (b * ch + c) * hw;
+                var +=
+                    x[start..start + hw].iter().map(|&v| ((v - mean) as f64).powi(2)).sum::<f64>();
+            }
+            means[c] = mean;
+            vars[c] = (var / n as f64) as f32;
+        }
+        (means, vars)
+    }
 
-        let (means, vars) = if use_batch_stats {
-            let mut means = vec![0f32; ch];
-            let mut vars = vec![0f32; ch];
-            for c in 0..ch {
-                let mut sum = 0.0f64;
-                for b in 0..batch {
-                    let start = (b * ch + c) * hw;
-                    sum += x[start..start + hw].iter().map(|&v| v as f64).sum::<f64>();
-                }
-                let mean = (sum / n as f64) as f32;
-                let mut var = 0.0f64;
-                for b in 0..batch {
-                    let start = (b * ch + c) * hw;
-                    var += x[start..start + hw]
-                        .iter()
-                        .map(|&v| ((v - mean) as f64).powi(2))
-                        .sum::<f64>();
-                }
-                means[c] = mean;
-                vars[c] = (var / n as f64) as f32;
-            }
-            if mode.is_train() {
-                for c in 0..ch {
-                    self.running_mean[c] =
-                        (1.0 - self.momentum) * self.running_mean[c] + self.momentum * means[c];
-                    self.running_var[c] =
-                        (1.0 - self.momentum) * self.running_var[c] + self.momentum * vars[c];
-                }
-            }
-            (means, vars)
-        } else {
-            (self.running_mean.clone(), self.running_var.clone())
-        };
+    /// Normalizes with the given statistics and applies scale/shift; returns
+    /// `(out, normalized, inv_stds)` so `forward` can cache the latter two.
+    fn apply_stats(
+        &self,
+        input: &Tensor,
+        means: &[f32],
+        vars: &[f32],
+    ) -> (Tensor, Tensor, Vec<f32>) {
+        let (batch, ch, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+        let hw = h * w;
 
         let mut normalized = input.clone();
         let mut inv_stds = vec![0f32; ch];
@@ -321,12 +341,62 @@ impl Layer for BatchNorm2d {
                 }
             }
         }
+        (out, normalized, inv_stds)
+    }
+}
 
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        assert_eq!(input.ndim(), 4, "BatchNorm2d expects [batch, ch, h, w]");
+        assert_eq!(input.dim(1), self.scale.numel(), "BatchNorm2d channel mismatch");
+
+        let use_batch_stats = matches!(mode, Mode::Train | Mode::EvalBatchStats);
+        let (means, vars) = if use_batch_stats {
+            let (means, vars) = self.batch_stats(input);
+            if mode.is_train() {
+                for c in 0..means.len() {
+                    self.running_mean[c] =
+                        (1.0 - self.momentum) * self.running_mean[c] + self.momentum * means[c];
+                    self.running_var[c] =
+                        (1.0 - self.momentum) * self.running_var[c] + self.momentum * vars[c];
+                }
+            }
+            (means, vars)
+        } else {
+            (self.running_mean.clone(), self.running_var.clone())
+        };
+
+        let (out, normalized, inv_stds) = self.apply_stats(input, &means, &vars);
         if mode.is_train() {
             self.normalized_cache = Some(normalized);
             self.inv_std_cache = inv_stds;
         }
         out
+    }
+
+    fn infer(&self, input: &Tensor, mode: Mode) -> Tensor {
+        mode.assert_inference();
+        assert_eq!(input.ndim(), 4, "BatchNorm2d expects [batch, ch, h, w]");
+        assert_eq!(input.dim(1), self.scale.numel(), "BatchNorm2d channel mismatch");
+
+        let (means, vars) = if matches!(mode, Mode::EvalBatchStats) {
+            self.batch_stats(input)
+        } else {
+            (self.running_mean.clone(), self.running_var.clone())
+        };
+        self.apply_stats(input, &means, &vars).0
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(Self {
+            scale: self.scale.clone(),
+            shift: self.shift.clone(),
+            running_mean: self.running_mean.clone(),
+            running_var: self.running_var.clone(),
+            momentum: self.momentum,
+            normalized_cache: None,
+            inv_std_cache: Vec::new(),
+        })
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {

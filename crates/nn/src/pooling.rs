@@ -36,10 +36,10 @@ impl MaxPool2d {
         assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
         Self { kernel, stride, argmax: Vec::new(), input_shape: Vec::new() }
     }
-}
 
-impl Layer for MaxPool2d {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+    /// The cache-free pooling computation shared by `forward` and `infer`;
+    /// returns the output plus the winning input index per output cell.
+    fn compute(&self, input: &Tensor) -> (Tensor, Vec<usize>) {
         assert_eq!(input.ndim(), 4, "MaxPool2d expects [batch, ch, h, w]");
         let (batch, ch, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
         assert!(h >= self.kernel && w >= self.kernel, "input smaller than pooling kernel");
@@ -73,11 +73,27 @@ impl Layer for MaxPool2d {
                 }
             }
         }
+        (out, argmax)
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let (out, argmax) = self.compute(input);
         if mode.is_train() {
             self.argmax = argmax;
             self.input_shape = input.shape().to_vec();
         }
         out
+    }
+
+    fn infer(&self, input: &Tensor, mode: Mode) -> Tensor {
+        mode.assert_inference();
+        self.compute(input).0
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(Self::new(self.kernel, self.stride))
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -116,8 +132,9 @@ impl GlobalAvgPool {
     }
 }
 
-impl Layer for GlobalAvgPool {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+impl GlobalAvgPool {
+    /// The cache-free pooling computation shared by `forward` and `infer`.
+    fn compute(&self, input: &Tensor) -> Tensor {
         assert_eq!(input.ndim(), 4, "GlobalAvgPool expects [batch, ch, h, w]");
         let (batch, ch, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
         let hw = (h * w) as f32;
@@ -127,10 +144,25 @@ impl Layer for GlobalAvgPool {
         for bc in 0..batch * ch {
             data[bc] = x[bc * h * w..(bc + 1) * h * w].iter().sum::<f32>() / hw;
         }
+        out
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         if mode.is_train() {
             self.input_shape = input.shape().to_vec();
         }
-        out
+        self.compute(input)
+    }
+
+    fn infer(&self, input: &Tensor, mode: Mode) -> Tensor {
+        mode.assert_inference();
+        self.compute(input)
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(Self::new())
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {

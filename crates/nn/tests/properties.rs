@@ -1,6 +1,8 @@
 //! Property-based tests of NN invariants.
 
-use bitrobust_nn::{CrossEntropyLoss, Layer, Linear, Mode, Relu, Sequential};
+use bitrobust_nn::{
+    Conv2d, CrossEntropyLoss, Flatten, GroupNorm, Layer, Linear, MaxPool2d, Mode, Relu, Sequential,
+};
 use bitrobust_tensor::Tensor;
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -69,5 +71,30 @@ proptest! {
         for (a, b) in y1.data().iter().zip(y2.data()) {
             prop_assert!((a * scale - b).abs() < 1e-3 * (1.0 + a.abs() * scale));
         }
+    }
+
+    /// The immutable `infer` path is bit-identical to an eval-mode
+    /// `forward` through a full layer stack (conv, norm, pooling, linear),
+    /// for both eval modes and arbitrary inputs/seeds — even right after a
+    /// training forward populated the caches.
+    #[test]
+    fn infer_matches_eval_forward(seed in 0u64..1000,
+                                  data in prop::collection::vec(-2.0f32..2.0, 2 * 2 * 8 * 8),
+                                  batch_stats in prop::bool::ANY) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut net = Sequential::new();
+        net.push(Conv2d::new(2, 4, 3, 1, 1, &mut rng));
+        net.push(GroupNorm::new(4, 2));
+        net.push(Relu::new());
+        net.push(MaxPool2d::new(2, 2));
+        net.push(Flatten::new());
+        net.push(Linear::new(4 * 4 * 4, 3, &mut rng));
+        let x = Tensor::from_vec(vec![2, 2, 8, 8], data);
+        // A training pass first: stale caches must not leak into infer.
+        let _ = net.forward(&x, Mode::Train);
+        let mode = if batch_stats { Mode::EvalBatchStats } else { Mode::Eval };
+        let via_forward = net.forward(&x, mode);
+        let via_infer = net.infer(&x, mode);
+        prop_assert_eq!(via_forward, via_infer);
     }
 }

@@ -42,6 +42,8 @@ pub use ops::{
     dot, matmul, matmul_accumulate, matmul_into, matmul_nt, matmul_nt_accumulate, matmul_tn,
     matmul_tn_accumulate, softmax_rows, transpose,
 };
-pub use pool::{parallel_for, parallel_for_disjoint_chunks, ThreadPool, THREADS_ENV};
+pub use pool::{
+    parallel_for, parallel_for_disjoint_chunks, pool_parallelism, ThreadPool, THREADS_ENV,
+};
 pub use serialize::{read_tensors, write_tensors};
 pub use tensor::Tensor;

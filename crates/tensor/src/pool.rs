@@ -10,10 +10,35 @@
 //! does not return until every index has been processed, which is what makes
 //! lending non-`'static` closures to the workers sound.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use parking_lot::{Condvar, Mutex};
+
+thread_local! {
+    /// Whether the current thread is executing a pool job. Nested
+    /// `parallel_for` calls from inside a job run inline instead of
+    /// re-submitting: the outer fan-out already saturates the pool, and a
+    /// nested submission would deadlock on the single-job-in-flight lock.
+    static IN_POOL_JOB: Cell<bool> = const { Cell::new(false) };
+}
+
+/// RAII marker flagging the current thread as executing pool work.
+struct JobScope;
+
+impl JobScope {
+    fn enter() -> Self {
+        IN_POOL_JOB.with(|flag| flag.set(true));
+        JobScope
+    }
+}
+
+impl Drop for JobScope {
+    fn drop(&mut self) {
+        IN_POOL_JOB.with(|flag| flag.set(false));
+    }
+}
 
 /// Environment variable overriding the number of worker threads.
 pub const THREADS_ENV: &str = "BITROBUST_THREADS";
@@ -131,6 +156,11 @@ impl ThreadPool {
     ///
     /// Indices are claimed dynamically, so per-index workloads may be uneven.
     /// `f` must be safe to call concurrently from multiple threads.
+    ///
+    /// Nesting is supported: a `parallel_for` issued from inside a running
+    /// job executes its iterations inline on the calling worker (the outer
+    /// fan-out already owns the pool), so parallel layers can be driven from
+    /// parallel outer loops such as the fault-injection campaign engine.
     pub fn parallel_for<F>(&self, n: usize, f: F)
     where
         F: Fn(usize) + Sync,
@@ -138,7 +168,7 @@ impl ThreadPool {
         if n == 0 {
             return;
         }
-        if self.workers == 0 || n < SERIAL_CUTOFF {
+        if self.workers == 0 || n < SERIAL_CUTOFF || IN_POOL_JOB.with(Cell::get) {
             for i in 0..n {
                 f(i);
             }
@@ -166,12 +196,15 @@ impl ThreadPool {
         self.inner.work_ready.notify_all();
 
         // The submitter chips in instead of idling.
-        loop {
-            let i = next.fetch_add(1, Ordering::Relaxed);
-            if i >= n {
-                break;
+        {
+            let _scope = JobScope::enter();
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                f(i);
             }
-            f(i);
         }
 
         let mut state = self.inner.state.lock();
@@ -211,12 +244,15 @@ fn worker_loop(inner: &Inner) {
         // SAFETY: the submitter keeps the closure alive until `active == 0`,
         // which we only signal after the last dereference below.
         let func = unsafe { &*job.func };
-        loop {
-            let i = job.next.fetch_add(1, Ordering::Relaxed);
-            if i >= job.n {
-                break;
+        {
+            let _scope = JobScope::enter();
+            loop {
+                let i = job.next.fetch_add(1, Ordering::Relaxed);
+                if i >= job.n {
+                    break;
+                }
+                func(i);
             }
-            func(i);
         }
 
         let mut state = inner.state.lock();
@@ -253,6 +289,14 @@ where
     F: Fn(usize) + Sync,
 {
     global_pool().parallel_for(n, f);
+}
+
+/// Total parallelism of the process-wide pool (background workers plus the
+/// submitting thread; `1` for a serial pool). This is the authoritative
+/// thread count for benchmark reports — it reflects the `BITROBUST_THREADS`
+/// override and clamping exactly as the pool applied them.
+pub fn pool_parallelism() -> usize {
+    global_pool().workers() + 1
 }
 
 /// Splits `out` into `n = out.len().div_ceil(chunk)` consecutive chunks and
@@ -361,6 +405,39 @@ mod tests {
     fn disjoint_chunks_empty_buffer_is_noop() {
         let mut buf: Vec<f32> = Vec::new();
         parallel_for_disjoint_chunks(&mut buf, 4, |_, _| panic!("must not run"));
+    }
+
+    #[test]
+    fn nested_parallel_for_runs_inline_without_deadlock() {
+        // Every (i, j) pair must be visited exactly once; the inner call
+        // runs inline on whichever thread claimed `i`.
+        let hits: Vec<Vec<AtomicUsize>> =
+            (0..16).map(|_| (0..8).map(|_| AtomicUsize::new(0)).collect()).collect();
+        parallel_for(16, |i| {
+            parallel_for(8, |j| {
+                hits[i][j].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert!(hits.iter().flatten().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn nested_disjoint_chunks_cover_buffer() {
+        let results: Vec<Mutex<Vec<f32>>> = (0..6).map(|_| Mutex::new(Vec::new())).collect();
+        parallel_for(6, |i| {
+            let mut buf = vec![0.0f32; 32];
+            parallel_for_disjoint_chunks(&mut buf, 8, |j, chunk| {
+                for v in chunk.iter_mut() {
+                    *v = (i * 10 + j) as f32;
+                }
+            });
+            *results[i].lock() = buf;
+        });
+        for (i, slot) in results.iter().enumerate() {
+            let buf = slot.lock();
+            assert_eq!(buf[0], (i * 10) as f32);
+            assert_eq!(buf[31], (i * 10 + 3) as f32);
+        }
     }
 
     #[test]
