@@ -1,17 +1,20 @@
 //! End-to-end robust evaluation cost: quantize → inject → dequantize →
 //! forward over a test set, per simulated chip — comparing the serial
-//! reference path against the parallel fault-injection campaign engine.
+//! reference path against the parallel fault-injection campaign engine,
+//! plus clean (single-pattern) evaluation through the same engine.
 //!
 //! Besides the criterion benchmarks, running this bench writes a
 //! machine-readable `BENCH_robust_eval.json` at the workspace root with
-//! serial vs campaign wall-clock and the resulting speedup (uploaded as a
-//! CI artifact).
+//! serial vs campaign wall-clock and the resulting speedups. CI uploads
+//! the file as an artifact and **fails the build if the campaign path
+//! regresses to slower than serial** (`speedup < 1.0`).
 
 use std::time::Instant;
 
 use bitrobust_biterror::UniformChip;
 use bitrobust_core::{
-    build, eval_images, eval_images_serial, robust_eval_uniform, ArchKind, NormKind, QuantizedModel,
+    build, eval_images, eval_images_serial, evaluate, evaluate_serial, robust_eval_uniform,
+    ArchKind, NormKind, QuantizedModel,
 };
 use bitrobust_data::{Dataset, SynthDataset};
 use bitrobust_nn::{Mode, Model};
@@ -30,7 +33,7 @@ fn setup() -> (Model, Dataset) {
     (built.model, test_ds)
 }
 
-fn chip_images(model: &mut Model) -> Vec<QuantizedModel> {
+fn chip_images(model: &Model) -> Vec<QuantizedModel> {
     let q0 = QuantizedModel::quantize(model, QuantScheme::rquant(8));
     (0..N_CHIPS)
         .map(|c| {
@@ -42,8 +45,8 @@ fn chip_images(model: &mut Model) -> Vec<QuantizedModel> {
 }
 
 fn bench_robust_eval(c: &mut Criterion) {
-    let (mut model, test_ds) = setup();
-    let images = chip_images(&mut model);
+    let (model, test_ds) = setup();
+    let images = chip_images(&model);
 
     let mut group = c.benchmark_group("robust_eval");
     group.sample_size(10);
@@ -53,10 +56,16 @@ fn bench_robust_eval(c: &mut Criterion) {
     group.bench_function("campaign_8chip_1000ex", |b| {
         b.iter(|| eval_images(&model, &images, &test_ds, BATCH, Mode::Eval))
     });
+    group.bench_function("clean_serial_1000ex", |b| {
+        b.iter(|| evaluate_serial(&model, &test_ds, BATCH, Mode::Eval))
+    });
+    group.bench_function("clean_campaign_1000ex", |b| {
+        b.iter(|| evaluate(&model, &test_ds, BATCH, Mode::Eval))
+    });
     group.bench_function("wrapper_1chip_1000ex", |b| {
         b.iter(|| {
             robust_eval_uniform(
-                &mut model,
+                &model,
                 QuantScheme::rquant(8),
                 &test_ds,
                 RATE,
@@ -68,7 +77,7 @@ fn bench_robust_eval(c: &mut Criterion) {
         })
     });
     group.bench_function("quantize_model", |b| {
-        b.iter(|| QuantizedModel::quantize(&mut model, QuantScheme::rquant(8)))
+        b.iter(|| QuantizedModel::quantize(&model, QuantScheme::rquant(8)))
     });
     group.finish();
 }
@@ -86,22 +95,41 @@ fn best_of<F: FnMut()>(mut f: F, reps: usize) -> f64 {
     best
 }
 
-/// Measures serial vs campaign throughput and writes the comparison to
-/// `BENCH_robust_eval.json` at the workspace root.
+/// Measures serial vs campaign throughput (robust and clean evaluation)
+/// and writes the comparison to `BENCH_robust_eval.json` at the workspace
+/// root.
 fn emit_json_comparison() {
-    let (mut model, test_ds) = setup();
-    let images = chip_images(&mut model);
+    let (model, test_ds) = setup();
+    let images = chip_images(&model);
 
-    // Warm up the thread pool and verify the determinism guarantee once.
+    // Warm up the thread pool and verify the determinism guarantees once.
     let serial_ref = eval_images_serial(&model, &images, &test_ds, BATCH, Mode::Eval);
     let campaign_ref = eval_images(&model, &images, &test_ds, BATCH, Mode::Eval);
     assert_eq!(serial_ref, campaign_ref, "engine must be bit-identical to the serial path");
+    let clean_serial_ref = evaluate_serial(&model, &test_ds, BATCH, Mode::Eval);
+    let clean_campaign_ref = evaluate(&model, &test_ds, BATCH, Mode::Eval);
+    assert_eq!(
+        clean_serial_ref, clean_campaign_ref,
+        "clean evaluate must be bit-identical to its serial reference"
+    );
 
     let reps = 3;
     let serial_secs =
         best_of(|| drop(eval_images_serial(&model, &images, &test_ds, BATCH, Mode::Eval)), reps);
     let campaign_secs =
         best_of(|| drop(eval_images(&model, &images, &test_ds, BATCH, Mode::Eval)), reps);
+    let clean_serial_secs = best_of(
+        || {
+            evaluate_serial(&model, &test_ds, BATCH, Mode::Eval);
+        },
+        reps,
+    );
+    let clean_campaign_secs = best_of(
+        || {
+            evaluate(&model, &test_ds, BATCH, Mode::Eval);
+        },
+        reps,
+    );
 
     // The pool's own accounting (BITROBUST_THREADS override included).
     let threads = bitrobust_tensor::pool_parallelism();
@@ -109,7 +137,9 @@ fn emit_json_comparison() {
         "{{\n  \"bench\": \"robust_eval\",\n  \"arch\": \"mlp\",\n  \"dataset\": \"{}\",\n  \
          \"examples\": {},\n  \"n_chips\": {},\n  \"rate\": {},\n  \"batch_size\": {},\n  \
          \"threads\": {},\n  \"serial_secs\": {:.6},\n  \"campaign_secs\": {:.6},\n  \
-         \"speedup\": {:.3},\n  \"bit_identical\": true\n}}\n",
+         \"speedup\": {:.3},\n  \"clean_serial_secs\": {:.6},\n  \
+         \"clean_campaign_secs\": {:.6},\n  \"clean_speedup\": {:.3},\n  \
+         \"bit_identical\": true\n}}\n",
         test_ds.name(),
         test_ds.len(),
         N_CHIPS,
@@ -119,6 +149,9 @@ fn emit_json_comparison() {
         serial_secs,
         campaign_secs,
         serial_secs / campaign_secs,
+        clean_serial_secs,
+        clean_campaign_secs,
+        clean_serial_secs / clean_campaign_secs,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_robust_eval.json");
     std::fs::write(path, &json).expect("write BENCH_robust_eval.json");

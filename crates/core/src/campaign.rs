@@ -18,6 +18,23 @@
 //! batch costs. The layers' own `parallel_for` calls nest harmlessly: the
 //! pool runs nested submissions inline on the claiming worker.
 //!
+//! When the item count far exceeds the pool parallelism (50 chips × 8
+//! rates × many batches), per-batch items only add scheduling overhead;
+//! [`ItemSizing::Adaptive`] (the default) merges runs of contiguous
+//! batches of one pattern into larger items. Sizing never changes
+//! results: items only decide *which worker computes which per-batch
+//! partials* — the partials themselves and their reduction order are
+//! fixed.
+//!
+//! The same engine also serves **clean evaluation**: a single-pattern
+//! campaign whose one "replica" is the caller's model itself
+//! (`N patterns = 1`, batches fan out), which is what
+//! [`crate::evaluate`] runs on. And for long sweeps,
+//! [`eval_images_streaming`] / [`run_grid_streaming`] process patterns in
+//! small waves and hand each cell's result to a callback, in cell order,
+//! as soon as its wave completes — progress reporting without giving up
+//! byte-identical results.
+//!
 //! # Replica strategy
 //!
 //! Each pattern gets one model **replica**: a [`Model::clone`] of the
@@ -60,11 +77,12 @@
 //!
 //! let (_, test_ds) = SynthDataset::Cifar10.generate(0);
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-//! let mut model = build(ArchKind::SimpleNet, [3, 16, 16], 10, NormKind::Group, &mut rng).model;
+//! let model = build(ArchKind::SimpleNet, [3, 16, 16], 10, NormKind::Group, &mut rng).model;
 //!
-//! // One campaign: 8 rates x 50 chips = 400 grid cells, all parallel.
+//! // One campaign: 2 rates x 50 chips = 100 grid cells, all parallel.
+//! // Evaluation is read-only: a shared `&Model` is all the engine needs.
 //! let grid = CampaignGrid::uniform(QuantScheme::rquant(8), vec![1e-3, 1e-2], 50, 1000);
-//! let sweep = run_grid(&mut model, &grid, &test_ds, EVAL_BATCH, Mode::Eval).remove(0);
+//! let sweep = run_grid(&model, &grid, &test_ds, EVAL_BATCH, Mode::Eval).remove(0);
 //! println!("RErr at p=1%: {:.2}%", 100.0 * sweep[1].mean_error);
 //! ```
 
@@ -74,7 +92,7 @@ use bitrobust_biterror::UniformChip;
 use bitrobust_data::Dataset;
 use bitrobust_nn::{Mode, Model};
 use bitrobust_quant::QuantScheme;
-use bitrobust_tensor::{parallel_for, softmax_rows};
+use bitrobust_tensor::{parallel_for, pool_parallelism, softmax_rows};
 
 use crate::eval::{EvalResult, RobustEval};
 use crate::QuantizedModel;
@@ -83,6 +101,42 @@ use crate::QuantizedModel;
 /// more patterns run in chunks of this size, so peak memory is
 /// `MAX_REPLICAS x model size` regardless of grid size.
 pub const MAX_REPLICAS: usize = 64;
+
+/// Work-item granularity of the campaign fan-out.
+///
+/// Both sizings produce **byte-identical results**: sizing only decides
+/// which worker computes which per-`(pattern, batch)` partials; the
+/// partials themselves and the serial reduction over them are identical
+/// regardless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemSizing {
+    /// One `(pattern, batch)` pair per work item — maximum load balance,
+    /// and the historical granularity the engine shipped with.
+    PerBatch,
+    /// Merge runs of contiguous batches of one pattern into a single work
+    /// item when the per-batch item count far exceeds the pool parallelism
+    /// ([`bitrobust_tensor::pool_parallelism`]), trading a little balance
+    /// for much less scheduling overhead on pattern-heavy campaigns
+    /// (e.g. 50 chips × 8 rates). Falls back to per-batch items when work
+    /// is scarce.
+    Adaptive,
+}
+
+/// Adaptive sizing aims for this many work items per hardware thread, so
+/// the pool's self-scheduling can still balance uneven batch costs.
+const ADAPTIVE_OVERSUBSCRIPTION: usize = 4;
+
+/// Number of consecutive batches each work item evaluates.
+fn batches_per_item(sizing: ItemSizing, n_patterns: usize, n_batches: usize) -> usize {
+    match sizing {
+        ItemSizing::PerBatch => 1,
+        ItemSizing::Adaptive => {
+            let total = n_patterns * n_batches;
+            let target = (pool_parallelism() * ADAPTIVE_OVERSUBSCRIPTION).max(1);
+            (total / target).clamp(1, n_batches.max(1))
+        }
+    }
+}
 
 /// Per-`(pattern, batch)` partial statistics.
 struct BatchPartial {
@@ -120,7 +174,8 @@ fn build_replica(template: &Model, image: &QuantizedModel) -> Model {
     replica
 }
 
-/// Evaluates every quantized image over `dataset`, in parallel.
+/// Evaluates every quantized image over `dataset`, in parallel (with
+/// [`ItemSizing::Adaptive`] work items).
 ///
 /// `template` supplies the architecture (and any non-parameter state such
 /// as BatchNorm running statistics); its own weights are irrelevant and it
@@ -137,20 +192,38 @@ pub fn eval_images(
     batch_size: usize,
     mode: Mode,
 ) -> Vec<EvalResult> {
+    eval_images_sized(template, images, dataset, batch_size, mode, ItemSizing::Adaptive)
+}
+
+/// [`eval_images`] with explicit work-item [`ItemSizing`]. Results are
+/// byte-identical across sizings; the knob only trades scheduling overhead
+/// against load balance (and lets the determinism suite pin that claim).
+///
+/// # Panics
+///
+/// As [`eval_images`].
+pub fn eval_images_sized(
+    template: &Model,
+    images: &[QuantizedModel],
+    dataset: &Dataset,
+    batch_size: usize,
+    mode: Mode,
+    sizing: ItemSizing,
+) -> Vec<EvalResult> {
     validate(dataset, batch_size, mode);
     let mut results = Vec::with_capacity(images.len());
     for chunk in images.chunks(MAX_REPLICAS) {
-        eval_chunk(template, chunk, dataset, batch_size, mode, &mut results);
+        eval_chunk(template, chunk, dataset, batch_size, mode, sizing, &mut results);
     }
     results
 }
 
-/// Like [`eval_images`], but builds the quantized images **lazily** in
-/// [`MAX_REPLICAS`]-sized chunks: `make_image(i)` is called for
-/// `i in 0..n_images` as each chunk starts, so at most one chunk of images
-/// (plus its replicas) is alive at a time. Use this for large grids where
-/// materializing every perturbed weight copy up front would dominate
-/// memory.
+/// Like [`eval_images`], but builds the quantized images **lazily**, one
+/// wave of patterns at a time: `make_image(i)` is called for
+/// `i in 0..n_images` as each wave starts, so at most one wave of images
+/// (plus its replicas, never more than [`MAX_REPLICAS`]) is alive at a
+/// time. Use this for large grids where materializing every perturbed
+/// weight copy up front would dominate memory.
 ///
 /// # Panics
 ///
@@ -163,16 +236,112 @@ pub fn eval_images_with(
     batch_size: usize,
     mode: Mode,
 ) -> Vec<EvalResult> {
+    eval_images_streaming_with(template, n_images, make_image, dataset, batch_size, mode, |_, _| {})
+}
+
+/// Patterns per streaming wave: small enough for frequent progress, large
+/// enough (≥ two work items per hardware thread) to keep every core busy.
+fn streaming_wave(n_batches: usize) -> usize {
+    (2 * pool_parallelism()).div_ceil(n_batches.max(1)).clamp(1, MAX_REPLICAS)
+}
+
+/// Streaming [`eval_images`]: evaluates patterns in small waves and calls
+/// `on_cell(index, result)` for every image — in index order — as soon as
+/// its wave completes, so long campaigns can report progress while running.
+/// Returns the full result vector, byte-identical to [`eval_images`].
+///
+/// # Panics
+///
+/// As [`eval_images`].
+pub fn eval_images_streaming(
+    template: &Model,
+    images: &[QuantizedModel],
+    dataset: &Dataset,
+    batch_size: usize,
+    mode: Mode,
+    mut on_cell: impl FnMut(usize, &EvalResult),
+) -> Vec<EvalResult> {
     validate(dataset, batch_size, mode);
-    let mut results = Vec::with_capacity(n_images);
+    let wave = streaming_wave(dataset.len().div_ceil(batch_size));
+    let mut results = Vec::with_capacity(images.len());
     let mut start = 0;
-    while start < n_images {
-        let end = (start + MAX_REPLICAS).min(n_images);
-        let images: Vec<QuantizedModel> = (start..end).map(&make_image).collect();
-        eval_chunk(template, &images, dataset, batch_size, mode, &mut results);
+    while start < images.len() {
+        let end = (start + wave).min(images.len());
+        // Borrow the caller's images directly — no per-wave deep copies.
+        eval_chunk(
+            template,
+            &images[start..end],
+            dataset,
+            batch_size,
+            mode,
+            ItemSizing::Adaptive,
+            &mut results,
+        );
+        for (i, result) in results.iter().enumerate().take(end).skip(start) {
+            on_cell(i, result);
+        }
         start = end;
     }
     results
+}
+
+/// Streaming counterpart of [`eval_images_with`]: lazy image construction
+/// *and* per-cell result delivery. `make_image(i)` is called as image `i`'s
+/// wave starts; `on_cell(i, result)` fires in index order as waves finish.
+///
+/// Wave sizes scale with the pool parallelism (see [`eval_images_streaming`])
+/// and never affect results: each wave is an ordinary chunked fan-out with
+/// the usual serial reduction.
+///
+/// # Panics
+///
+/// As [`eval_images`].
+pub fn eval_images_streaming_with(
+    template: &Model,
+    n_images: usize,
+    make_image: impl Fn(usize) -> QuantizedModel,
+    dataset: &Dataset,
+    batch_size: usize,
+    mode: Mode,
+    mut on_cell: impl FnMut(usize, &EvalResult),
+) -> Vec<EvalResult> {
+    validate(dataset, batch_size, mode);
+    let wave = streaming_wave(dataset.len().div_ceil(batch_size));
+    let mut results = Vec::with_capacity(n_images);
+    let mut start = 0;
+    while start < n_images {
+        let end = (start + wave).min(n_images);
+        let images: Vec<QuantizedModel> = (start..end).map(&make_image).collect();
+        eval_chunk(
+            template,
+            &images,
+            dataset,
+            batch_size,
+            mode,
+            ItemSizing::Adaptive,
+            &mut results,
+        );
+        for (i, result) in results.iter().enumerate().take(end).skip(start) {
+            on_cell(i, result);
+        }
+        start = end;
+    }
+    results
+}
+
+/// Evaluates one model directly (no quantized image, no replica build):
+/// the single-pattern campaign behind [`crate::evaluate`]'s batch-parallel
+/// clean-eval path.
+pub(crate) fn eval_model(
+    model: &Model,
+    dataset: &Dataset,
+    batch_size: usize,
+    mode: Mode,
+) -> EvalResult {
+    validate(dataset, batch_size, mode);
+    let mut results = Vec::with_capacity(1);
+    eval_replicas(&[model], dataset, batch_size, mode, ItemSizing::Adaptive, &mut results);
+    results.pop().expect("single-pattern campaign yields one result")
 }
 
 fn validate(dataset: &Dataset, batch_size: usize, mode: Mode) {
@@ -189,24 +358,51 @@ fn eval_chunk(
     dataset: &Dataset,
     batch_size: usize,
     mode: Mode,
+    sizing: ItemSizing,
+    results: &mut Vec<EvalResult>,
+) {
+    let owned: Vec<Model> = chunk.iter().map(|q| build_replica(template, q)).collect();
+    let replicas: Vec<&Model> = owned.iter().collect();
+    eval_replicas(&replicas, dataset, batch_size, mode, sizing, results);
+}
+
+/// The engine core: evaluates shared model replicas over `dataset`,
+/// appending one [`EvalResult`] per replica in order.
+///
+/// Work items (runs of consecutive batches of one pattern, per `sizing`)
+/// fan out over the thread pool; every `(pattern, batch)` partial is
+/// written to its own dedicated slot, then reduced serially in
+/// `(pattern, batch)` order — so results are independent of thread count,
+/// scheduling, *and* work-item sizing.
+fn eval_replicas(
+    replicas: &[&Model],
+    dataset: &Dataset,
+    batch_size: usize,
+    mode: Mode,
+    sizing: ItemSizing,
     results: &mut Vec<EvalResult>,
 ) {
     let n = dataset.len();
     let n_batches = n.div_ceil(batch_size);
-    let replicas: Vec<Model> = chunk.iter().map(|q| build_replica(template, q)).collect();
-    let total = chunk.len() * n_batches;
-    let partials: Vec<OnceLock<BatchPartial>> = (0..total).map(|_| OnceLock::new()).collect();
-    parallel_for(total, |item| {
-        let pattern = item / n_batches;
-        let batch = item % n_batches;
-        let start = batch * batch_size;
-        let end = (start + batch_size).min(n);
-        let partial = eval_batch(&replicas[pattern], dataset, start, end, mode);
-        assert!(partials[item].set(partial).is_ok(), "work item {item} visited twice");
+    let group = batches_per_item(sizing, replicas.len(), n_batches);
+    let groups_per_pattern = n_batches.div_ceil(group);
+    let partials: Vec<OnceLock<BatchPartial>> =
+        (0..replicas.len() * n_batches).map(|_| OnceLock::new()).collect();
+    parallel_for(replicas.len() * groups_per_pattern, |item| {
+        let pattern = item / groups_per_pattern;
+        let first = (item % groups_per_pattern) * group;
+        let last = (first + group).min(n_batches);
+        for batch in first..last {
+            let start = batch * batch_size;
+            let end = (start + batch_size).min(n);
+            let partial = eval_batch(replicas[pattern], dataset, start, end, mode);
+            let slot = pattern * n_batches + batch;
+            assert!(partials[slot].set(partial).is_ok(), "batch slot {slot} visited twice");
+        }
     });
     // Serial reduction in (pattern, batch) order keeps float sums
     // independent of scheduling.
-    for pattern in 0..chunk.len() {
+    for pattern in 0..replicas.len() {
         let mut wrong = 0usize;
         let mut conf = 0f64;
         for batch in 0..n_batches {
@@ -292,6 +488,17 @@ impl CampaignGrid {
     }
 }
 
+/// Identifies one cell of a [`CampaignGrid`] by its indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridCell {
+    /// Index into [`CampaignGrid::schemes`].
+    pub scheme: usize,
+    /// Index into [`CampaignGrid::rates`].
+    pub rate: usize,
+    /// Chip index in `0..n_chips`.
+    pub chip: usize,
+}
+
 /// Runs a whole [`CampaignGrid`] as **one** parallel campaign.
 ///
 /// Quantizes the model once per scheme, injects every (rate, chip) pattern,
@@ -299,19 +506,40 @@ impl CampaignGrid {
 /// [`RobustEval`]s whose per-chip `errors` are bit-identical to running
 /// `robust_eval_uniform` serially per rate with the same seeds.
 ///
-/// The model is only read (quantization needs `&mut` for parameter
-/// traversal); its weights are unchanged on return.
+/// The model is only read; its weights are never touched (patterns live in
+/// per-pattern replicas).
 ///
 /// # Panics
 ///
 /// Panics if the grid is empty in any dimension, or on the
 /// [`eval_images`] conditions.
 pub fn run_grid(
-    model: &mut Model,
+    model: &Model,
     grid: &CampaignGrid,
     dataset: &Dataset,
     batch_size: usize,
     mode: Mode,
+) -> Vec<Vec<RobustEval>> {
+    run_grid_streaming(model, grid, dataset, batch_size, mode, |_, _| {})
+}
+
+/// [`run_grid`] with a per-cell progress callback: `on_cell(cell, result)`
+/// fires for every (scheme, rate, chip) cell — in scheme-major, then
+/// rate-major, then chip order — as soon as the cell's wave of the
+/// campaign completes. The returned grid is byte-identical to
+/// [`run_grid`]'s; the callback only adds observability (long sweeps use
+/// it for progress output).
+///
+/// # Panics
+///
+/// As [`run_grid`].
+pub fn run_grid_streaming(
+    model: &Model,
+    grid: &CampaignGrid,
+    dataset: &Dataset,
+    batch_size: usize,
+    mode: Mode,
+    mut on_cell: impl FnMut(GridCell, &EvalResult),
 ) -> Vec<Vec<RobustEval>> {
     assert!(!grid.schemes.is_empty(), "campaign grid needs at least one scheme");
     assert!(!grid.rates.is_empty(), "campaign grid needs at least one rate");
@@ -319,12 +547,13 @@ pub fn run_grid(
 
     grid.schemes
         .iter()
-        .map(|&scheme| {
+        .enumerate()
+        .map(|(scheme_index, &scheme)| {
             // Quantize once per scheme; inject each (rate, chip) pattern
-            // lazily as its chunk is reached, so peak memory stays at one
-            // chunk of images + replicas however large the grid.
+            // lazily as its wave is reached, so peak memory stays at one
+            // wave of images + replicas however large the grid.
             let q0 = QuantizedModel::quantize(model, scheme);
-            let cells = eval_images_with(
+            let cells = eval_images_streaming_with(
                 model,
                 grid.rates.len() * grid.n_chips,
                 |cell| {
@@ -337,6 +566,14 @@ pub fn run_grid(
                 dataset,
                 batch_size,
                 mode,
+                |cell, result| {
+                    let id = GridCell {
+                        scheme: scheme_index,
+                        rate: cell / grid.n_chips,
+                        chip: cell % grid.n_chips,
+                    };
+                    on_cell(id, result);
+                },
             );
             cells.chunks(grid.n_chips).map(RobustEval::from_results).collect()
         })
@@ -391,7 +628,7 @@ mod tests {
             .iter()
             .map(|q| {
                 q.write_to(&mut model);
-                evaluate(&mut model, &test, EVAL_BATCH, Mode::Eval)
+                evaluate(&model, &test, EVAL_BATCH, Mode::Eval)
             })
             .collect();
         model.set_param_tensors(&snapshot);
@@ -403,9 +640,9 @@ mod tests {
 
     #[test]
     fn robust_eval_uniform_is_deterministic_across_calls() {
-        let (mut model, test) = tiny_setup();
+        let (model, test) = tiny_setup();
         let a = robust_eval_uniform(
-            &mut model,
+            &model,
             QuantScheme::rquant(8),
             &test,
             0.01,
@@ -415,7 +652,7 @@ mod tests {
             Mode::Eval,
         );
         let b = robust_eval_uniform(
-            &mut model,
+            &model,
             QuantScheme::rquant(8),
             &test,
             0.01,
@@ -430,21 +667,21 @@ mod tests {
 
     #[test]
     fn run_grid_groups_cells_by_scheme_and_rate() {
-        let (mut model, test) = tiny_setup();
+        let (model, test) = tiny_setup();
         let grid = CampaignGrid {
             schemes: vec![QuantScheme::rquant(8), QuantScheme::rquant(4)],
             rates: vec![0.001, 0.01],
             n_chips: 3,
             chip_seed_base: 1000,
         };
-        let out = run_grid(&mut model, &grid, &test, EVAL_BATCH, Mode::Eval);
+        let out = run_grid(&model, &grid, &test, EVAL_BATCH, Mode::Eval);
         assert_eq!(out.len(), 2);
         assert!(out.iter().all(|per_rate| per_rate.len() == 2));
         assert!(out.iter().flatten().all(|r| r.errors.len() == 3));
 
         // Each grid cell must equal the standalone uniform evaluation.
         let standalone = robust_eval_uniform(
-            &mut model,
+            &model,
             QuantScheme::rquant(8),
             &test,
             0.01,

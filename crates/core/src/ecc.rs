@@ -178,8 +178,8 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let mut net = Sequential::new();
         net.push(Linear::new(32, 16, &mut rng));
-        let mut model = Model::new("toy", net);
-        let q = QuantizedModel::quantize(&mut model, QuantScheme::rquant(8));
+        let model = Model::new("toy", net);
+        let q = QuantizedModel::quantize(&model, QuantScheme::rquant(8));
         (model, q)
     }
 

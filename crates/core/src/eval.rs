@@ -1,4 +1,18 @@
 //! Clean and robust evaluation (`Err` and `RErr`, Sec. 5 "Metrics").
+//!
+//! Every entry point here takes `&Model`: evaluation is read-only, runs on
+//! the immutable [`Model::infer`](bitrobust_nn::Model::infer) path, and
+//! fans out over the thread pool through the campaign engine
+//! ([`crate::campaign`]). Clean evaluation is a single-pattern campaign
+//! (batches are the work items); robust evaluation is a multi-pattern one
+//! (chips × batches). Results are byte-identical to the serial reference
+//! paths ([`evaluate_serial`], [`crate::eval_images_serial`]) at any
+//! thread count.
+//!
+//! The only deliberately-serial paths are the probe-recording ones
+//! ([`evaluate_probed`], [`quantized_error_probed`]): activation probes
+//! record "most recent batch" statistics, which stay deterministic only
+//! when batches run in order on the probed model itself.
 
 use bitrobust_biterror::{ErrorInjector, UniformChip};
 use bitrobust_data::Dataset;
@@ -6,6 +20,7 @@ use bitrobust_nn::{Mode, Model};
 use bitrobust_quant::QuantScheme;
 use bitrobust_tensor::softmax_rows;
 
+use crate::probe::has_attached_probes;
 use crate::QuantizedModel;
 
 /// Default evaluation batch size.
@@ -20,9 +35,81 @@ pub struct EvalResult {
     pub confidence: f32,
 }
 
-/// Evaluates the model as-is on a dataset.
-pub fn evaluate(model: &mut Model, dataset: &Dataset, batch_size: usize, mode: Mode) -> EvalResult {
+/// Evaluates the model as-is on a dataset, batch-parallel.
+///
+/// Batches fan out over the thread pool as a single-pattern campaign
+/// ([`crate::campaign`]); the result is byte-identical to
+/// [`evaluate_serial`] at any thread count. Probe state is never touched:
+/// if the model carries attached activation probes, evaluation runs on a
+/// detached replica (use [`evaluate_probed`] when you *want* probe stats).
+///
+/// # Panics
+///
+/// Panics if `batch_size == 0`, `dataset` is empty, or `mode` is
+/// [`Mode::Train`].
+pub fn evaluate(model: &Model, dataset: &Dataset, batch_size: usize, mode: Mode) -> EvalResult {
+    if has_attached_probes(model) {
+        // Cloning detaches probes, so concurrent batches can't race on the
+        // shared stats handles.
+        let detached = model.clone();
+        crate::campaign::eval_model(&detached, dataset, batch_size, mode)
+    } else {
+        crate::campaign::eval_model(model, dataset, batch_size, mode)
+    }
+}
+
+/// The serial reference implementation of [`evaluate`]: one batch at a
+/// time on the calling thread, bit-identical results. Exists for the
+/// determinism suite and the clean-eval benchmark; real callers should use
+/// [`evaluate`]. Like [`evaluate`], it never records probe statistics.
+///
+/// # Panics
+///
+/// As [`evaluate`].
+pub fn evaluate_serial(
+    model: &Model,
+    dataset: &Dataset,
+    batch_size: usize,
+    mode: Mode,
+) -> EvalResult {
+    if has_attached_probes(model) {
+        serial_pass(&model.clone(), dataset, batch_size, mode)
+    } else {
+        serial_pass(model, dataset, batch_size, mode)
+    }
+}
+
+/// Evaluates the model serially, recording activation-probe statistics.
+///
+/// This is the explicit probe-populating pass: batches run in dataset
+/// order on `model` itself, so each probe's "most recent batch" stats are
+/// deterministic (the final batch). The returned [`EvalResult`] is
+/// byte-identical to [`evaluate`]'s.
+///
+/// # Panics
+///
+/// Panics if `model` has no attached [`crate::ActivationProbe`] — a
+/// detached replica (e.g. a campaign clone) cannot silently skip
+/// recording — and on the [`evaluate`] conditions.
+pub fn evaluate_probed(
+    model: &Model,
+    dataset: &Dataset,
+    batch_size: usize,
+    mode: Mode,
+) -> EvalResult {
+    assert!(
+        has_attached_probes(model),
+        "evaluate_probed requires attached activation probes \
+         (clones/replicas carry detached probes; probe the original model)"
+    );
+    serial_pass(model, dataset, batch_size, mode)
+}
+
+/// One serial batch loop over `infer`, accumulating in dataset order.
+fn serial_pass(model: &Model, dataset: &Dataset, batch_size: usize, mode: Mode) -> EvalResult {
     assert!(batch_size > 0, "batch size must be positive");
+    mode.assert_inference();
+    assert!(!dataset.is_empty(), "dataset must not be empty");
     let mut wrong = 0usize;
     let mut conf_sum = 0f64;
     let n = dataset.len();
@@ -30,7 +117,7 @@ pub fn evaluate(model: &mut Model, dataset: &Dataset, batch_size: usize, mode: M
     while index < n {
         let end = (index + batch_size).min(n);
         let (x, labels) = dataset.batch_range(index, end);
-        let logits = model.forward(&x, mode);
+        let logits = model.infer(&x, mode);
         let probs = softmax_rows(&logits);
         let preds = probs.argmax_rows();
         for (row, (&label, &pred)) in labels.iter().zip(&preds).enumerate() {
@@ -45,8 +132,36 @@ pub fn evaluate(model: &mut Model, dataset: &Dataset, batch_size: usize, mode: M
 }
 
 /// Evaluates the model after quantization (the clean `Err` the paper
-/// reports for quantized DNNs). Restores the float weights afterwards.
+/// reports for quantized DNNs). The model itself is never written: the
+/// quantized weights go into a campaign replica, and batches fan out in
+/// parallel. Probe stats are untouched (see [`quantized_error_probed`]).
+///
+/// # Panics
+///
+/// As [`evaluate`].
 pub fn quantized_error(
+    model: &Model,
+    scheme: QuantScheme,
+    dataset: &Dataset,
+    batch_size: usize,
+    mode: Mode,
+) -> EvalResult {
+    let q = QuantizedModel::quantize(model, scheme);
+    crate::campaign::eval_images(model, std::slice::from_ref(&q), dataset, batch_size, mode)
+        .pop()
+        .expect("single-image campaign yields one result")
+}
+
+/// [`quantized_error`] variant that records activation-probe statistics:
+/// writes the dequantized weights into `model`, runs the serial probed
+/// pass, and restores the float weights afterwards. This is what the
+/// redundancy analysis (Fig. 6 / Fig. 10) uses to measure ReLU relevance
+/// under quantization.
+///
+/// # Panics
+///
+/// As [`evaluate_probed`].
+pub fn quantized_error_probed(
     model: &mut Model,
     scheme: QuantScheme,
     dataset: &Dataset,
@@ -56,7 +171,7 @@ pub fn quantized_error(
     let snapshot = model.param_tensors();
     let q = QuantizedModel::quantize(model, scheme);
     q.write_to(model);
-    let result = evaluate(model, dataset, batch_size, mode);
+    let result = evaluate_probed(model, dataset, batch_size, mode);
     model.set_param_tensors(&snapshot);
     result
 }
@@ -108,15 +223,15 @@ impl RobustEval {
 /// A thin wrapper over the parallel campaign engine
 /// ([`crate::eval_images`]): all (pattern, batch) work items fan out over
 /// the workspace thread pool, and the per-chip `errors` are bit-identical
-/// to the historical serial loop. The model's weights are left untouched
-/// (patterns are written into per-pattern replicas, never the model).
+/// to the historical serial loop. The model is only read — patterns are
+/// written into per-pattern replicas, never the model.
 ///
 /// The injectors are the "chips": for the paper's headline numbers these
 /// are [`UniformChip`]s at a common rate `p` (see [`robust_eval_uniform`]);
 /// for the generalization experiments they are profiled chips at an
 /// operating voltage with varying memory offsets.
 pub fn robust_eval<I: ErrorInjector>(
-    model: &mut Model,
+    model: &Model,
     scheme: QuantScheme,
     dataset: &Dataset,
     injectors: &[I],
@@ -144,7 +259,7 @@ pub fn robust_eval<I: ErrorInjector>(
 /// models and rates so results are comparable).
 #[allow(clippy::too_many_arguments)] // mirrors the paper's evaluation protocol knobs
 pub fn robust_eval_uniform(
-    model: &mut Model,
+    model: &Model,
     scheme: QuantScheme,
     dataset: &Dataset,
     p: f64,
@@ -153,9 +268,45 @@ pub fn robust_eval_uniform(
     batch_size: usize,
     mode: Mode,
 ) -> RobustEval {
-    let injectors: Vec<_> =
-        (0..n_chips).map(|c| UniformChip::new(chip_seed_base + c as u64).at_rate(p)).collect();
+    let injectors = uniform_chips(p, n_chips, chip_seed_base);
     robust_eval(model, scheme, dataset, &injectors, batch_size, mode)
+}
+
+/// The serial reference implementation of [`robust_eval_uniform`], built
+/// on [`crate::eval_images_serial`]: bit-identical results, one pattern
+/// and one batch at a time. Exists for determinism tests (e.g. the
+/// serial-vs-parallel in-training RErr probe comparison); real callers
+/// should use [`robust_eval_uniform`].
+#[allow(clippy::too_many_arguments)] // mirrors robust_eval_uniform exactly
+pub fn robust_eval_uniform_serial(
+    model: &Model,
+    scheme: QuantScheme,
+    dataset: &Dataset,
+    p: f64,
+    n_chips: usize,
+    chip_seed_base: u64,
+    batch_size: usize,
+    mode: Mode,
+) -> RobustEval {
+    let q0 = QuantizedModel::quantize(model, scheme);
+    let images: Vec<QuantizedModel> = uniform_chips(p, n_chips, chip_seed_base)
+        .iter()
+        .map(|chip| {
+            let mut q = q0.clone();
+            q.inject(chip);
+            q
+        })
+        .collect();
+    let results = crate::campaign::eval_images_serial(model, &images, dataset, batch_size, mode);
+    RobustEval::from_results(&results)
+}
+
+fn uniform_chips(
+    p: f64,
+    n_chips: usize,
+    chip_seed_base: u64,
+) -> Vec<bitrobust_biterror::UniformInjector> {
+    (0..n_chips).map(|c| UniformChip::new(chip_seed_base + c as u64).at_rate(p)).collect()
 }
 
 #[cfg(test)]
@@ -174,28 +325,55 @@ mod tests {
 
     #[test]
     fn untrained_model_is_near_chance() {
-        let (mut model, test) = tiny_setup();
-        let r = evaluate(&mut model, &test, EVAL_BATCH, Mode::Eval);
+        let (model, test) = tiny_setup();
+        let r = evaluate(&model, &test, EVAL_BATCH, Mode::Eval);
         assert!(r.error > 0.6, "untrained error {} should be near chance", r.error);
         assert!(r.confidence > 0.0 && r.confidence <= 1.0);
     }
 
     #[test]
-    fn quantized_error_restores_weights() {
-        let (mut model, test) = tiny_setup();
-        let before = model.param_tensors();
-        let _ = quantized_error(&mut model, QuantScheme::rquant(8), &test, EVAL_BATCH, Mode::Eval);
-        let after = model.param_tensors();
-        for (a, b) in before.iter().zip(&after) {
-            assert_eq!(a, b, "float weights must be restored");
+    fn evaluate_matches_serial_reference() {
+        let (model, test) = tiny_setup();
+        for batch_size in [EVAL_BATCH, 7, 1000, 2048] {
+            let parallel = evaluate(&model, &test, batch_size, Mode::Eval);
+            let serial = evaluate_serial(&model, &test, batch_size, Mode::Eval);
+            assert_eq!(parallel, serial, "batch_size {batch_size}");
         }
     }
 
     #[test]
-    fn robust_eval_produces_one_result_per_chip() {
+    fn quantized_error_leaves_weights_untouched() {
+        let (model, test) = tiny_setup();
+        let before = model.param_tensors();
+        let _ = quantized_error(&model, QuantScheme::rquant(8), &test, EVAL_BATCH, Mode::Eval);
+        let after = model.param_tensors();
+        for (a, b) in before.iter().zip(&after) {
+            assert_eq!(a, b, "float weights must be untouched");
+        }
+    }
+
+    #[test]
+    fn quantized_error_probed_restores_weights_and_matches_parallel() {
         let (mut model, test) = tiny_setup();
-        let r = robust_eval_uniform(
+        let before = model.param_tensors();
+        let parallel =
+            quantized_error(&model, QuantScheme::rquant(8), &test, EVAL_BATCH, Mode::Eval);
+        let probed = quantized_error_probed(
             &mut model,
+            QuantScheme::rquant(8),
+            &test,
+            EVAL_BATCH,
+            Mode::Eval,
+        );
+        assert_eq!(parallel, probed);
+        assert_eq!(before, model.param_tensors(), "float weights must be restored");
+    }
+
+    #[test]
+    fn robust_eval_produces_one_result_per_chip() {
+        let (model, test) = tiny_setup();
+        let r = robust_eval_uniform(
+            &model,
             QuantScheme::rquant(8),
             &test,
             0.01,
@@ -229,10 +407,10 @@ mod tests {
 
     #[test]
     fn robust_eval_leaves_model_weights_untouched() {
-        let (mut model, test) = tiny_setup();
+        let (model, test) = tiny_setup();
         let before = model.param_tensors();
         let _ = robust_eval_uniform(
-            &mut model,
+            &model,
             QuantScheme::rquant(8),
             &test,
             0.05,
@@ -245,12 +423,37 @@ mod tests {
     }
 
     #[test]
+    fn robust_eval_uniform_serial_is_bit_identical() {
+        let (model, test) = tiny_setup();
+        let parallel = robust_eval_uniform(
+            &model,
+            QuantScheme::rquant(8),
+            &test,
+            0.02,
+            4,
+            1000,
+            EVAL_BATCH,
+            Mode::Eval,
+        );
+        let serial = robust_eval_uniform_serial(
+            &model,
+            QuantScheme::rquant(8),
+            &test,
+            0.02,
+            4,
+            1000,
+            EVAL_BATCH,
+            Mode::Eval,
+        );
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
     fn zero_rate_matches_quantized_error() {
-        let (mut model, test) = tiny_setup();
-        let clean =
-            quantized_error(&mut model, QuantScheme::rquant(8), &test, EVAL_BATCH, Mode::Eval);
+        let (model, test) = tiny_setup();
+        let clean = quantized_error(&model, QuantScheme::rquant(8), &test, EVAL_BATCH, Mode::Eval);
         let robust = robust_eval_uniform(
-            &mut model,
+            &model,
             QuantScheme::rquant(8),
             &test,
             0.0,

@@ -76,14 +76,20 @@ mod train;
 pub use arch::{build, ArchKind, BuiltModel, NormKind};
 pub use bound::{deviation_bound, deviation_probability};
 pub use campaign::{
-    eval_images, eval_images_serial, eval_images_with, run_grid, CampaignGrid, MAX_REPLICAS,
+    eval_images, eval_images_serial, eval_images_sized, eval_images_streaming,
+    eval_images_streaming_with, eval_images_with, run_grid, run_grid_streaming, CampaignGrid,
+    GridCell, ItemSizing, MAX_REPLICAS,
 };
 pub use ecc::{apply_secded, multi_error_probability, DoubleErrorPolicy, EccStats, SecdedConfig};
 pub use energy::{best_saving_within, energy_tradeoff, TradeoffPoint};
 pub use eval::{
-    evaluate, quantized_error, robust_eval, robust_eval_uniform, EvalResult, RobustEval, EVAL_BATCH,
+    evaluate, evaluate_probed, evaluate_serial, quantized_error, quantized_error_probed,
+    robust_eval, robust_eval_uniform, robust_eval_uniform_serial, EvalResult, RobustEval,
+    EVAL_BATCH,
 };
-pub use probe::{ActivationProbe, ProbeHandle, ProbeStats};
+pub use probe::{has_attached_probes, probe_handles, ActivationProbe, ProbeHandle, ProbeStats};
 pub use qmodel::QuantizedModel;
 pub use redundancy::{redundancy_metrics, RedundancyMetrics};
-pub use train::{train, PattPattern, RandBetVariant, TrainConfig, TrainMethod, TrainReport};
+pub use train::{
+    train, PattPattern, RErrProbe, RandBetVariant, TrainConfig, TrainMethod, TrainReport,
+};

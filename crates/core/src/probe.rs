@@ -1,9 +1,26 @@
 //! A pass-through layer recording activation statistics (for the paper's
 //! redundancy analysis, Fig. 6 / Fig. 10).
+//!
+//! # Attachment is explicit
+//!
+//! A probe is either **attached** to a [`ProbeHandle`] (it records into the
+//! shared stats slot) or **detached** (a pure identity layer). Cloning a
+//! layer tree — which is how the parallel campaign engine builds its
+//! evaluation replicas — always yields *detached* probes: replicas run
+//! concurrently, and racing writes into one handle would make the surviving
+//! value scheduling-dependent, breaking the repo's
+//! every-number-reproducible-from-seed guarantee.
+//!
+//! Consequently the parallel evaluation paths ([`crate::evaluate`],
+//! [`crate::quantized_error`], the campaign engine) never touch probe
+//! state. To populate probe statistics, run the explicit serial passes
+//! [`crate::evaluate_probed`] / [`crate::quantized_error_probed`] — they
+//! assert the model actually has attached probes ([`probe_handles`]), so a
+//! detached replica can't silently skip recording.
 
 use std::sync::{Arc, Mutex};
 
-use bitrobust_nn::{Layer, Mode};
+use bitrobust_nn::{Layer, Mode, Model};
 use bitrobust_tensor::Tensor;
 
 /// Statistics captured by an [`ActivationProbe`] on its most recent forward.
@@ -22,32 +39,51 @@ pub struct ProbeStats {
 pub type ProbeHandle = Arc<Mutex<ProbeStats>>;
 
 /// Identity layer that records [`ProbeStats`] about its input on every
-/// forward pass.
+/// forward pass — when attached (see the module-level docs above for the
+/// attached/detached distinction).
 ///
 /// The architecture builders place one after the final ReLU so experiments
 /// can measure how many units a trained network relies on — the mechanism
 /// behind weight clipping's robustness (Sec. 4.2).
 #[derive(Debug)]
 pub struct ActivationProbe {
-    stats: ProbeHandle,
+    stats: Option<ProbeHandle>,
 }
 
 impl ActivationProbe {
-    /// Creates a probe and returns it with its stats handle.
+    /// Creates an **attached** probe and returns it with its stats handle.
     pub fn new() -> (Self, ProbeHandle) {
         let stats: ProbeHandle = Arc::new(Mutex::new(ProbeStats::default()));
-        (Self { stats: Arc::clone(&stats) }, stats)
+        (Self { stats: Some(Arc::clone(&stats)) }, stats)
     }
-}
 
-impl ActivationProbe {
-    /// Records this input's statistics into the shared handle.
+    /// Creates a **detached** probe: a pure identity layer that records
+    /// nothing (what [`Layer::clone_layer`] produces for campaign replicas).
+    pub fn detached() -> Self {
+        Self { stats: None }
+    }
+
+    /// Whether this probe records into a shared handle.
+    pub fn is_attached(&self) -> bool {
+        self.stats.is_some()
+    }
+
+    /// The shared stats handle, if attached.
+    pub fn handle(&self) -> Option<ProbeHandle> {
+        self.stats.as_ref().map(Arc::clone)
+    }
+
+    /// Records this input's statistics into the shared handle (no-op when
+    /// detached).
     fn record(&self, input: &Tensor) {
+        let Some(stats) = &self.stats else {
+            return;
+        };
         let n = input.numel();
         if n > 0 {
             let positive = input.data().iter().filter(|&&v| v > 0.0).count();
             let mean_abs = input.data().iter().map(|v| v.abs() as f64).sum::<f64>() / n as f64;
-            *self.stats.lock().expect("probe mutex poisoned") =
+            *stats.lock().expect("probe mutex poisoned") =
                 ProbeStats { fraction_positive: positive as f64 / n as f64, mean_abs, count: n };
         }
     }
@@ -66,17 +102,20 @@ impl Layer for ActivationProbe {
     }
 
     fn clone_layer(&self) -> Box<dyn Layer> {
-        // The clone gets a *detached* stats handle. Campaign replicas run
-        // concurrently; if they shared the original handle, the surviving
-        // value would depend on scheduling, breaking the repo's
-        // every-number-reproducible-from-seed guarantee. Probe consumers
-        // populate stats with an explicit serial pass (e.g. `evaluate`) on
+        // Clones are *detached*: campaign replicas run concurrently, and a
+        // shared handle would make the surviving value depend on
+        // scheduling. Probe consumers populate stats with the explicit
+        // serial passes (`evaluate_probed`, `quantized_error_probed`) on
         // the model that owns the handle.
-        Box::new(Self { stats: Arc::new(Mutex::new(ProbeStats::default())) })
+        Box::new(Self::detached())
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         grad_output.clone()
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 
     fn layer_type(&self) -> &'static str {
@@ -84,9 +123,36 @@ impl Layer for ActivationProbe {
     }
 }
 
+/// Collects the stats handles of all **attached** probes in `model`, in
+/// layer order. Detached probes (e.g. in campaign replicas) are skipped.
+pub fn probe_handles(model: &Model) -> Vec<ProbeHandle> {
+    let mut handles = Vec::new();
+    model.visit_layers(&mut |layer| {
+        if let Some(probe) = layer.as_any().and_then(|any| any.downcast_ref::<ActivationProbe>()) {
+            if let Some(handle) = probe.handle() {
+                handles.push(handle);
+            }
+        }
+    });
+    handles
+}
+
+/// Whether `model` contains at least one attached [`ActivationProbe`].
+pub fn has_attached_probes(model: &Model) -> bool {
+    let mut found = false;
+    model.visit_layers(&mut |layer| {
+        if let Some(probe) = layer.as_any().and_then(|any| any.downcast_ref::<ActivationProbe>()) {
+            found |= probe.is_attached();
+        }
+    });
+    found
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bitrobust_nn::{Linear, Sequential};
+    use rand::SeedableRng;
 
     #[test]
     fn records_fraction_positive() {
@@ -105,5 +171,67 @@ mod tests {
         let (mut probe, _) = ActivationProbe::new();
         let g = Tensor::from_vec(vec![2], vec![3.0, -4.0]);
         assert_eq!(probe.backward(&g), g);
+    }
+
+    #[test]
+    fn detached_probe_records_nothing_and_stays_identity() {
+        let mut probe = ActivationProbe::detached();
+        assert!(!probe.is_attached());
+        assert!(probe.handle().is_none());
+        let x = Tensor::from_vec(vec![1, 3], vec![1.0, -2.0, 3.0]);
+        assert_eq!(probe.forward(&x, Mode::Eval), x);
+        assert_eq!(probe.infer(&x, Mode::Eval), x);
+    }
+
+    #[test]
+    fn clone_layer_detaches() {
+        let (probe, handle) = ActivationProbe::new();
+        let clone = probe.clone_layer();
+        let x = Tensor::from_vec(vec![1, 2], vec![5.0, 5.0]);
+        let _ = clone.infer(&x, Mode::Eval);
+        // The original handle must be untouched by the clone's traffic.
+        assert_eq!(*handle.lock().unwrap(), ProbeStats::default());
+    }
+
+    fn probed_model() -> (Model, ProbeHandle) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut net = Sequential::new();
+        net.push(Linear::new(4, 4, &mut rng));
+        let (probe, handle) = ActivationProbe::new();
+        net.push(probe);
+        (Model::new("probed", net), handle)
+    }
+
+    #[test]
+    fn probe_handles_finds_attached_probes_and_skips_clones() {
+        let (model, handle) = probed_model();
+        let found = probe_handles(&model);
+        assert_eq!(found.len(), 1);
+        assert!(Arc::ptr_eq(&found[0], &handle));
+        assert!(has_attached_probes(&model));
+
+        // Replicas built by `Model::clone` carry only detached probes.
+        let replica = model.clone();
+        assert!(probe_handles(&replica).is_empty());
+        assert!(!has_attached_probes(&replica));
+    }
+
+    #[test]
+    fn probe_discovery_descends_into_nested_containers() {
+        use bitrobust_nn::Residual;
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut body = Sequential::new();
+        body.push(Linear::new(4, 4, &mut rng));
+        let (probe, handle) = ActivationProbe::new();
+        body.push(probe);
+        let mut net = Sequential::new();
+        net.push(Residual::new(body));
+        let model = Model::new("nested", net);
+
+        let found = probe_handles(&model);
+        assert_eq!(found.len(), 1, "probe inside a residual body must be discovered");
+        assert!(Arc::ptr_eq(&found[0], &handle));
+        assert!(has_attached_probes(&model));
     }
 }

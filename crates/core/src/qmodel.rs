@@ -41,13 +41,15 @@ pub struct QuantizedModel {
 }
 
 impl QuantizedModel {
-    /// Quantizes all parameters of `model` under `scheme`.
+    /// Quantizes all parameters of `model` under `scheme`. Needs only
+    /// shared access, so snapshots can be taken from models that are
+    /// concurrently serving evaluation workers.
     ///
     /// For [`Granularity::Global`] schemes a single range spanning every
     /// parameter is computed first; per-tensor schemes adapt each tensor's
     /// range individually ("the quantization range always adapts to the
     /// weight range at hand", Sec. 4.2).
-    pub fn quantize(model: &mut Model, scheme: QuantScheme) -> Self {
+    pub fn quantize(model: &Model, scheme: QuantScheme) -> Self {
         let params = model.param_tensors();
         let global_range: Option<QuantRange> = match scheme.granularity {
             Granularity::Global => {
@@ -186,7 +188,7 @@ mod tests {
     fn quantize_write_round_trip_is_close() {
         let mut model = toy_model(1);
         let before = model.param_tensors();
-        let q = QuantizedModel::quantize(&mut model, QuantScheme::rquant(8));
+        let q = QuantizedModel::quantize(&model, QuantScheme::rquant(8));
         assert_eq!(q.total_weights(), 6 * 12 + 12 + 12 * 4 + 4);
         q.write_to(&mut model);
         let after = model.param_tensors();
@@ -200,8 +202,8 @@ mod tests {
 
     #[test]
     fn global_scheme_shares_one_range() {
-        let mut model = toy_model(2);
-        let q = QuantizedModel::quantize(&mut model, QuantScheme::eq1_global(8));
+        let model = toy_model(2);
+        let q = QuantizedModel::quantize(&model, QuantScheme::eq1_global(8));
         let first = q.tensors()[0].range();
         for t in q.tensors() {
             assert_eq!(t.range(), first, "global granularity must share the range");
@@ -217,15 +219,15 @@ mod tests {
                 p.value_mut().map_inplace(|v| v + 3.0);
             }
         });
-        let q = QuantizedModel::quantize(&mut model, QuantScheme::rquant(8));
+        let q = QuantizedModel::quantize(&model, QuantScheme::rquant(8));
         let ranges: Vec<_> = q.tensors().iter().map(|t| t.range()).collect();
         assert!(ranges.windows(2).any(|w| w[0] != w[1]));
     }
 
     #[test]
     fn inject_changes_outputs_consistently_with_offsets() {
-        let mut model = toy_model(4);
-        let q0 = QuantizedModel::quantize(&mut model, QuantScheme::rquant(8));
+        let model = toy_model(4);
+        let q0 = QuantizedModel::quantize(&model, QuantScheme::rquant(8));
         let mut q1 = q0.clone();
         let mut q2 = q0.clone();
         let chip = UniformChip::new(9);
@@ -251,7 +253,7 @@ mod tests {
             &mut rand::rngs::StdRng::seed_from_u64(0),
         );
         let clean_out = model.forward(&x, Mode::Eval);
-        let mut q = QuantizedModel::quantize(&mut model, QuantScheme::rquant(8));
+        let mut q = QuantizedModel::quantize(&model, QuantScheme::rquant(8));
         q.inject(&UniformChip::new(1).at_rate(0.1));
         q.write_to(&mut model);
         let dirty_out = model.forward(&x, Mode::Eval);
@@ -263,8 +265,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "shape mismatch")]
     fn write_to_rejects_mismatched_model() {
-        let mut model = toy_model(6);
-        let q = QuantizedModel::quantize(&mut model, QuantScheme::rquant(8));
+        let model = toy_model(6);
+        let q = QuantizedModel::quantize(&model, QuantScheme::rquant(8));
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
         let mut other_net = Sequential::new();
         other_net.push(Linear::new(5, 12, &mut rng));

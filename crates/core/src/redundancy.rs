@@ -31,7 +31,7 @@ pub struct RedundancyMetrics {
 /// Computes redundancy metrics for `model` under `scheme`, measuring the
 /// bit-error perturbation at rate `p` averaged over `n_chips` chips.
 pub fn redundancy_metrics(
-    model: &mut Model,
+    model: &Model,
     scheme: QuantScheme,
     p: f64,
     n_chips: usize,
@@ -116,31 +116,31 @@ mod tests {
     #[test]
     fn uniform_weights_have_high_relevance() {
         // All weights equal -> relevance 1.
-        let mut m = model_with_weights(|_| 0.05);
-        let r = redundancy_metrics(&mut m, QuantScheme::rquant(8), 0.01, 2, 0);
+        let m = model_with_weights(|_| 0.05);
+        let r = redundancy_metrics(&m, QuantScheme::rquant(8), 0.01, 2, 0);
         assert!(r.weight_relevance > 0.95, "relevance {}", r.weight_relevance);
     }
 
     #[test]
     fn spiky_weights_have_low_relevance() {
         // One dominant weight -> relevance near 0.
-        let mut m = model_with_weights(|k| if k == 1 { 1.0 } else { 0.001 });
-        let r = redundancy_metrics(&mut m, QuantScheme::rquant(8), 0.01, 2, 0);
+        let m = model_with_weights(|k| if k == 1 { 1.0 } else { 0.001 });
+        let r = redundancy_metrics(&m, QuantScheme::rquant(8), 0.01, 2, 0);
         assert!(r.weight_relevance < 0.1, "relevance {}", r.weight_relevance);
     }
 
     #[test]
     fn higher_rate_increases_relative_error() {
-        let mut m = model_with_weights(|k| ((k % 13) as f32 - 6.0) * 0.01);
-        let lo = redundancy_metrics(&mut m, QuantScheme::rquant(8), 0.001, 3, 7);
-        let hi = redundancy_metrics(&mut m, QuantScheme::rquant(8), 0.05, 3, 7);
+        let m = model_with_weights(|k| ((k % 13) as f32 - 6.0) * 0.01);
+        let lo = redundancy_metrics(&m, QuantScheme::rquant(8), 0.001, 3, 7);
+        let hi = redundancy_metrics(&m, QuantScheme::rquant(8), 0.05, 3, 7);
         assert!(hi.relative_abs_error > lo.relative_abs_error);
     }
 
     #[test]
     fn fractions_are_probabilities() {
-        let mut m = model_with_weights(|k| (k % 5) as f32 * 0.01);
-        let r = redundancy_metrics(&mut m, QuantScheme::rquant(8), 0.01, 1, 0);
+        let m = model_with_weights(|k| (k % 5) as f32 * 0.01);
+        let r = redundancy_metrics(&m, QuantScheme::rquant(8), 0.01, 1, 0);
         assert!((0.0..=1.0).contains(&r.fraction_zero));
         assert!((0.0..=1.0).contains(&r.fraction_large));
     }

@@ -8,7 +8,10 @@ use bitrobust_quant::QuantScheme;
 use rand::Rng;
 use rand::SeedableRng;
 
-use crate::eval::{evaluate, quantized_error, EVAL_BATCH};
+use crate::eval::{
+    evaluate, quantized_error, robust_eval_uniform, robust_eval_uniform_serial, RobustEval,
+    EVAL_BATCH,
+};
 use crate::QuantizedModel;
 
 /// RandBET variants evaluated in Tab. 13.
@@ -95,6 +98,38 @@ impl TrainMethod {
     }
 }
 
+/// Configuration of the optional per-epoch robust-error probe.
+///
+/// When set on [`TrainConfig::rerr_probe`], training measures `RErr` on
+/// the test set after every epoch: the model is [`Model::clone`]d (so
+/// training state — caches, gradients, probes — is untouched), clipped
+/// like the final evaluation would be, and evaluated over `n_chips`
+/// uniform chips through the parallel campaign engine. The per-epoch
+/// results land in [`TrainReport::epoch_rerr`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RErrProbe {
+    /// Bit error rate to probe at.
+    pub p: f64,
+    /// Number of uniform chips per probe.
+    pub n_chips: usize,
+    /// Seed of chip 0 (chip `c` uses `chip_seed_base + c`).
+    pub chip_seed_base: u64,
+    /// Evaluation batch size.
+    pub batch_size: usize,
+    /// Route the probe through the serial reference engine instead of the
+    /// parallel campaign. Results are bit-identical either way — this
+    /// exists so the determinism suite can prove exactly that.
+    pub serial: bool,
+}
+
+impl RErrProbe {
+    /// A probe at rate `p` over `n_chips` chips with the protocol defaults
+    /// (chip seed base 1000, [`EVAL_BATCH`], parallel engine).
+    pub fn new(p: f64, n_chips: usize) -> Self {
+        Self { p, n_chips, chip_seed_base: 1000, batch_size: EVAL_BATCH, serial: false }
+    }
+}
+
 /// Full training configuration.
 #[derive(Debug, Clone)]
 pub struct TrainConfig {
@@ -122,6 +157,9 @@ pub struct TrainConfig {
     pub warmup_loss: f32,
     /// RNG seed for shuffling, augmentation, and per-step chips.
     pub seed: u64,
+    /// Optional per-epoch `RErr` probe on the test set (requires a
+    /// quantization scheme). See [`RErrProbe`].
+    pub rerr_probe: Option<RErrProbe>,
 }
 
 impl TrainConfig {
@@ -140,12 +178,13 @@ impl TrainConfig {
             augment: AugmentConfig::cifar(),
             warmup_loss: 1.75,
             seed: 0,
+            rerr_probe: None,
         }
     }
 }
 
 /// Summary of a completed training run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainReport {
     /// Mean clean training loss over the final epoch.
     pub final_loss: f32,
@@ -155,6 +194,11 @@ pub struct TrainReport {
     pub clean_confidence: f32,
     /// Epoch at which bit error injection became active (`None` if never).
     pub bit_errors_started_at: Option<usize>,
+    /// Mean clean training loss per epoch (the training trajectory).
+    pub epoch_losses: Vec<f32>,
+    /// Per-epoch robust-error probe results; empty unless
+    /// [`TrainConfig::rerr_probe`] is set.
+    pub epoch_rerr: Vec<RobustEval>,
 }
 
 enum PattChipState {
@@ -176,6 +220,10 @@ pub fn train(
     cfg: &TrainConfig,
 ) -> TrainReport {
     assert!(cfg.epochs > 0, "need at least one epoch");
+    assert!(
+        cfg.rerr_probe.is_none() || cfg.scheme.is_some(),
+        "the per-epoch RErr probe requires a quantization scheme"
+    );
     let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ 0x0072_A117);
     let loss_fn = match cfg.label_smoothing {
         Some(tau) => CrossEntropyLoss::with_label_smoothing(tau),
@@ -204,6 +252,8 @@ pub fn train(
     let mut bit_errors_active = false;
     let mut bit_errors_started_at = None;
     let mut final_loss = f32::INFINITY;
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    let mut epoch_rerr = Vec::new();
 
     for epoch in 0..cfg.epochs {
         sgd.set_lr(schedule.lr_at(epoch));
@@ -301,6 +351,44 @@ pub fn train(
             step += 1;
         }
         final_loss = (epoch_loss / batches.max(1) as f64) as f32;
+        epoch_losses.push(final_loss);
+
+        // Per-epoch RErr probe: evaluate a clipped *clone* through the
+        // campaign engine, so training state (caches, gradients, probes)
+        // and the float weights are untouched. The clone's detached
+        // probes and immutable `infer` make the fan-out safe.
+        if let Some(probe) = cfg.rerr_probe {
+            let scheme =
+                cfg.scheme.expect("the per-epoch RErr probe requires a quantization scheme");
+            let mut snapshot = model.clone();
+            if let Some(wmax) = cfg.method.wmax() {
+                snapshot.clip_params(wmax);
+            }
+            let r = if probe.serial {
+                robust_eval_uniform_serial(
+                    &snapshot,
+                    scheme,
+                    test_ds,
+                    probe.p,
+                    probe.n_chips,
+                    probe.chip_seed_base,
+                    probe.batch_size,
+                    Mode::Eval,
+                )
+            } else {
+                robust_eval_uniform(
+                    &snapshot,
+                    scheme,
+                    test_ds,
+                    probe.p,
+                    probe.n_chips,
+                    probe.chip_seed_base,
+                    probe.batch_size,
+                    Mode::Eval,
+                )
+            };
+            epoch_rerr.push(r);
+        }
     }
 
     // Final projection + evaluation.
@@ -317,6 +405,8 @@ pub fn train(
         clean_error: result.error,
         clean_confidence: result.confidence,
         bit_errors_started_at,
+        epoch_losses,
+        epoch_rerr,
     }
 }
 
@@ -449,6 +539,48 @@ mod tests {
             let report = train(&mut model, &train_ds, &test_ds, &cfg);
             assert!(report.clean_error.is_finite());
         }
+    }
+
+    #[test]
+    fn rerr_probe_records_one_result_per_epoch() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let built = build(ArchKind::Mlp, [1, 14, 14], 10, NormKind::Group, &mut rng);
+        let mut model = built.model;
+        let (train_ds, test_ds) = mnist_subset();
+        let mut cfg = quick_cfg(TrainMethod::RandBet {
+            wmax: Some(0.1),
+            p: 0.01,
+            variant: RandBetVariant::Standard,
+        });
+        cfg.warmup_loss = 100.0;
+        cfg.epochs = 2;
+        cfg.rerr_probe = Some(RErrProbe::new(0.01, 3));
+        let report = train(&mut model, &train_ds, &test_ds, &cfg);
+        assert_eq!(report.epoch_losses.len(), 2);
+        assert_eq!(report.epoch_rerr.len(), 2);
+        assert!(report.epoch_rerr.iter().all(|r| r.errors.len() == 3));
+        assert_eq!(report.final_loss, *report.epoch_losses.last().unwrap());
+    }
+
+    #[test]
+    fn rerr_probe_serial_and_parallel_agree() {
+        let mut reports = Vec::new();
+        for serial in [false, true] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+            let built = build(ArchKind::Mlp, [1, 14, 14], 10, NormKind::Group, &mut rng);
+            let mut model = built.model;
+            let (train_ds, test_ds) = mnist_subset();
+            let mut cfg = quick_cfg(TrainMethod::RandBet {
+                wmax: Some(0.1),
+                p: 0.01,
+                variant: RandBetVariant::Standard,
+            });
+            cfg.warmup_loss = 100.0;
+            cfg.epochs = 2;
+            cfg.rerr_probe = Some(RErrProbe { serial, ..RErrProbe::new(0.01, 2) });
+            reports.push(train(&mut model, &train_ds, &test_ds, &cfg));
+        }
+        assert_eq!(reports[0], reports[1], "probe engine must not affect any reported number");
     }
 
     #[test]

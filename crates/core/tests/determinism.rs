@@ -1,0 +1,259 @@
+//! Determinism suite for the batch-parallel evaluation surface.
+//!
+//! The invariant being pinned: **parallel == serial == seed**. Every
+//! parallel path — clean `evaluate`, the campaign engine under both
+//! work-item sizings, the streaming campaign, and the in-training RErr
+//! probes — must produce byte-identical results to its serial reference,
+//! and those results must be byte-identical across thread counts.
+//!
+//! The in-process tests check parallel-vs-serial at whatever thread count
+//! this process runs with. The `thread_matrix` test re-executes this test
+//! binary with `BITROBUST_THREADS` set to 1, 2, and the machine maximum
+//! (the pool is sized once per process, so distinct counts need distinct
+//! processes), and asserts the fingerprints printed by the
+//! [`worker_fingerprints`] helper are identical across all three runs.
+
+use std::fmt::Write as _;
+
+use bitrobust_core::{
+    build, eval_images, eval_images_serial, eval_images_sized, eval_images_streaming, evaluate,
+    evaluate_serial, run_grid, run_grid_streaming, train, ArchKind, CampaignGrid, EvalResult,
+    ItemSizing, NormKind, QuantizedModel, RErrProbe, RandBetVariant, TrainConfig, TrainMethod,
+    TrainReport, EVAL_BATCH,
+};
+use bitrobust_data::{AugmentConfig, Dataset, SynthDataset};
+use bitrobust_nn::{Mode, Model};
+use bitrobust_quant::QuantScheme;
+use rand::SeedableRng;
+
+fn tiny_setup() -> (Model, Dataset) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let built = build(ArchKind::Mlp, [1, 14, 14], 10, NormKind::Group, &mut rng);
+    let (_, test) = SynthDataset::Mnist.generate(0);
+    (built.model, test)
+}
+
+fn chip_images(model: &Model, n_chips: usize, p: f64) -> Vec<QuantizedModel> {
+    use bitrobust_biterror::UniformChip;
+    let q0 = QuantizedModel::quantize(model, QuantScheme::rquant(8));
+    (0..n_chips)
+        .map(|c| {
+            let mut q = q0.clone();
+            q.inject(&UniformChip::new(1000 + c as u64).at_rate(p));
+            q
+        })
+        .collect()
+}
+
+fn mnist_subset() -> (Dataset, Dataset) {
+    let (train_ds, test_ds) = SynthDataset::Mnist.generate(1);
+    let train_idx: Vec<usize> = (0..600).collect();
+    let test_idx: Vec<usize> = (0..300).collect();
+    let (xt, yt) = train_ds.batch(&train_idx);
+    let (xe, ye) = test_ds.batch(&test_idx);
+    (Dataset::new("train", xt, yt, 10), Dataset::new("test", xe, ye, 10))
+}
+
+/// A short RandBET run with the per-epoch RErr probe enabled.
+fn probed_training_report(serial_probe: bool) -> TrainReport {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let built = build(ArchKind::Mlp, [1, 14, 14], 10, NormKind::Group, &mut rng);
+    let mut model = built.model;
+    let (train_ds, test_ds) = mnist_subset();
+    let mut cfg = TrainConfig::new(
+        Some(QuantScheme::rquant(8)),
+        TrainMethod::RandBet { wmax: Some(0.1), p: 0.01, variant: RandBetVariant::Standard },
+    );
+    cfg.epochs = 2;
+    cfg.batch_size = 128;
+    cfg.augment = AugmentConfig::none();
+    cfg.warmup_loss = 100.0;
+    cfg.rerr_probe = Some(RErrProbe { serial: serial_probe, ..RErrProbe::new(0.01, 2) });
+    train(&mut model, &train_ds, &test_ds, &cfg)
+}
+
+fn fp_result(out: &mut String, r: &EvalResult) {
+    write!(out, "{:08x}:{:08x};", r.error.to_bits(), r.confidence.to_bits()).unwrap();
+}
+
+fn fp_results(results: &[EvalResult]) -> String {
+    let mut out = String::new();
+    for r in results {
+        fp_result(&mut out, r);
+    }
+    out
+}
+
+fn fp_report(report: &TrainReport) -> String {
+    let mut out = String::new();
+    write!(out, "{:08x}:{:08x};", report.final_loss.to_bits(), report.clean_error.to_bits())
+        .unwrap();
+    for loss in &report.epoch_losses {
+        write!(out, "{:08x};", loss.to_bits()).unwrap();
+    }
+    for rerr in &report.epoch_rerr {
+        write!(out, "{:08x}:", rerr.mean_error.to_bits()).unwrap();
+        for e in &rerr.errors {
+            write!(out, "{:08x},", e.to_bits()).unwrap();
+        }
+        out.push(';');
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// (a) clean evaluate: parallel vs serial
+// ---------------------------------------------------------------------------
+
+#[test]
+fn clean_evaluate_parallel_matches_serial() {
+    let (model, test) = tiny_setup();
+    // Batch sizes that divide the dataset, don't divide it, and exceed it.
+    for batch_size in [1, 7, EVAL_BATCH, 999, 1000, 4096] {
+        let parallel = evaluate(&model, &test, batch_size, Mode::Eval);
+        let serial = evaluate_serial(&model, &test, batch_size, Mode::Eval);
+        assert_eq!(parallel, serial, "batch_size {batch_size}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// (b) streaming vs batch campaign
+// ---------------------------------------------------------------------------
+
+#[test]
+fn streaming_campaign_matches_batch() {
+    let (model, test) = tiny_setup();
+    let images = chip_images(&model, 6, 0.02);
+    let batch = eval_images(&model, &images, &test, EVAL_BATCH, Mode::Eval);
+
+    let mut streamed_cells = Vec::new();
+    let streamed = eval_images_streaming(&model, &images, &test, EVAL_BATCH, Mode::Eval, |i, r| {
+        streamed_cells.push((i, *r))
+    });
+    assert_eq!(batch, streamed, "streaming must not change results");
+    let in_order: Vec<(usize, EvalResult)> = batch.iter().copied().enumerate().collect();
+    assert_eq!(streamed_cells, in_order, "cells must stream exactly once, in order");
+}
+
+#[test]
+fn streaming_grid_matches_batch_grid() {
+    let (model, test) = tiny_setup();
+    let grid = CampaignGrid {
+        schemes: vec![QuantScheme::rquant(8), QuantScheme::rquant(4)],
+        rates: vec![0.001, 0.01],
+        n_chips: 3,
+        chip_seed_base: 1000,
+    };
+    let batch = run_grid(&model, &grid, &test, EVAL_BATCH, Mode::Eval);
+    let mut cells = 0usize;
+    let streamed =
+        run_grid_streaming(&model, &grid, &test, EVAL_BATCH, Mode::Eval, |_, _| cells += 1);
+    assert_eq!(batch, streamed);
+    assert_eq!(cells, grid.n_cells());
+}
+
+// ---------------------------------------------------------------------------
+// (c) adaptive vs fixed work-item sizing
+// ---------------------------------------------------------------------------
+
+#[test]
+fn adaptive_and_per_batch_sizing_match_serial() {
+    let (model, test) = tiny_setup();
+    let images = chip_images(&model, 6, 0.02);
+    let serial = eval_images_serial(&model, &images, &test, EVAL_BATCH, Mode::Eval);
+    for sizing in [ItemSizing::PerBatch, ItemSizing::Adaptive] {
+        let sized = eval_images_sized(&model, &images, &test, EVAL_BATCH, Mode::Eval, sizing);
+        assert_eq!(sized, serial, "{sizing:?} must be bit-identical to the serial reference");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// (d) in-training RErr probes: parallel vs serial
+// ---------------------------------------------------------------------------
+
+#[test]
+fn in_training_probes_parallel_matches_serial() {
+    let parallel = probed_training_report(false);
+    let serial = probed_training_report(true);
+    assert_eq!(parallel, serial, "the probe engine must not affect any reported number");
+    assert_eq!(parallel.epoch_rerr.len(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count matrix: 1, 2, and max threads must agree byte-for-byte.
+// ---------------------------------------------------------------------------
+
+/// Hidden helper: computes every case's canonical fingerprint at this
+/// process's thread count (after asserting parallel == serial in-process)
+/// and prints them as `FP <case> <hex>` lines for [`thread_matrix`].
+#[test]
+#[ignore = "subprocess worker for thread_matrix; run via BITROBUST_THREADS matrix"]
+fn worker_fingerprints() {
+    let (model, test) = tiny_setup();
+
+    // (a) clean evaluate.
+    let mut clean = String::new();
+    for batch_size in [7, EVAL_BATCH, 1000] {
+        let parallel = evaluate(&model, &test, batch_size, Mode::Eval);
+        assert_eq!(parallel, evaluate_serial(&model, &test, batch_size, Mode::Eval));
+        fp_result(&mut clean, &parallel);
+    }
+    println!("FP clean_evaluate {clean}");
+
+    // (b)+(c) campaign: serial reference vs streaming and both sizings.
+    let images = chip_images(&model, 6, 0.02);
+    let serial = eval_images_serial(&model, &images, &test, EVAL_BATCH, Mode::Eval);
+    let streamed = eval_images_streaming(&model, &images, &test, EVAL_BATCH, Mode::Eval, |_, _| {});
+    assert_eq!(serial, streamed);
+    for sizing in [ItemSizing::PerBatch, ItemSizing::Adaptive] {
+        let sized = eval_images_sized(&model, &images, &test, EVAL_BATCH, Mode::Eval, sizing);
+        assert_eq!(serial, sized, "{sizing:?}");
+    }
+    println!("FP campaign {}", fp_results(&serial));
+
+    // (d) in-training probes.
+    let report = probed_training_report(false);
+    assert_eq!(report, probed_training_report(true));
+    println!("FP probed_training {}", fp_report(&report));
+}
+
+/// Extracts the `FP <case> <hex>` lines from a worker run's stdout. With
+/// `--nocapture` the libtest harness prints `test ... ` on the same line
+/// as the worker's first fingerprint, so match anywhere in the line.
+fn fingerprint_lines(stdout: &str) -> Vec<String> {
+    let lines: Vec<String> =
+        stdout.lines().filter_map(|l| l.find("FP ").map(|at| l[at..].to_string())).collect();
+    assert_eq!(lines.len(), 3, "worker must print one fingerprint per case:\n{stdout}");
+    lines
+}
+
+#[test]
+fn thread_matrix_results_identical_at_1_2_and_max_threads() {
+    let exe = std::env::current_exe().expect("test binary path");
+    let max = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let counts = ["1".to_string(), "2".to_string(), max.to_string()];
+
+    let mut runs = Vec::new();
+    for threads in &counts {
+        let output = std::process::Command::new(&exe)
+            .args(["worker_fingerprints", "--exact", "--ignored", "--nocapture"])
+            .env("BITROBUST_THREADS", threads)
+            .output()
+            .expect("spawn worker");
+        let stdout = String::from_utf8_lossy(&output.stdout).into_owned();
+        assert!(
+            output.status.success(),
+            "worker failed at BITROBUST_THREADS={threads}:\n{stdout}\n{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        runs.push((threads.clone(), fingerprint_lines(&stdout)));
+    }
+
+    let (_, reference) = &runs[0];
+    for (threads, lines) in &runs[1..] {
+        assert_eq!(
+            lines, reference,
+            "results at BITROBUST_THREADS={threads} differ from the 1-thread reference"
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! Golden pinning tests: committed bit-exact values for a short RandBET
+//! training trajectory (loss + RErr per epoch) and one campaign grid cell.
+//!
+//! Purpose: parallelization refactors keep claiming "byte-identical
+//! results" — these tests pin the actual bytes, so a refactor that
+//! silently drifts numerics (different reduction order, a changed seed
+//! path, a lost clip) fails here even if parallel and serial paths still
+//! agree with *each other*.
+//!
+//! If a change intentionally alters numerics, regenerate the constants
+//! with:
+//!
+//! ```text
+//! cargo test -p bitrobust-core --test golden print_golden_values \
+//!     -- --exact --ignored --nocapture
+//! ```
+//!
+//! and update this file, explaining in the commit why the numbers moved.
+
+use bitrobust_core::{
+    build, run_grid, train, ArchKind, CampaignGrid, NormKind, RErrProbe, RandBetVariant,
+    TrainConfig, TrainMethod, TrainReport, EVAL_BATCH,
+};
+use bitrobust_data::{AugmentConfig, Dataset, SynthDataset};
+use bitrobust_nn::{Mode, Model};
+use bitrobust_quant::QuantScheme;
+use rand::SeedableRng;
+
+// ---------------------------------------------------------------------------
+// Pinned values (f32 bit patterns; see the module docs to regenerate).
+// ---------------------------------------------------------------------------
+
+/// Per-epoch mean clean training loss of the pinned RandBET run.
+const GOLDEN_EPOCH_LOSSES: [u32; 3] = [0x3fe6_6185, 0x3f4a_965e, 0x3f49_38fd];
+
+/// Per-epoch probe `mean_error` of the pinned RandBET run.
+const GOLDEN_EPOCH_RERR_MEANS: [u32; 3] = [0x3e08_8888, 0x3e03_69d0, 0x3e01_b4e8];
+
+/// Per-chip probe errors of the final epoch.
+const GOLDEN_FINAL_EPOCH_CHIP_ERRORS: [u32; 2] = [0x3dfc_9630, 0x3e05_1eb8];
+
+/// Clean quantized test error after training.
+const GOLDEN_CLEAN_ERROR: u32 = 0x3dd3_a06d;
+
+/// Per-chip errors of the pinned campaign grid cell (rate 1%, 3 chips).
+const GOLDEN_CELL_ERRORS: [u32; 3] = [0x3f55_c28f, 0x3f57_4bc7, 0x3f63_53f8];
+
+/// Mean and sample-std of the pinned cell.
+const GOLDEN_CELL_MEAN: u32 = 0x3f5a_cb6f;
+const GOLDEN_CELL_STD: u32 = 0x3ced_c19e;
+
+// ---------------------------------------------------------------------------
+
+fn golden_training_report() -> TrainReport {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let built = build(ArchKind::Mlp, [1, 14, 14], 10, NormKind::Group, &mut rng);
+    let mut model = built.model;
+    let (train_src, test_src) = SynthDataset::Mnist.generate(1);
+    let train_idx: Vec<usize> = (0..600).collect();
+    let test_idx: Vec<usize> = (0..300).collect();
+    let (xt, yt) = train_src.batch(&train_idx);
+    let (xe, ye) = test_src.batch(&test_idx);
+    let train_ds = Dataset::new("train", xt, yt, 10);
+    let test_ds = Dataset::new("test", xe, ye, 10);
+
+    let mut cfg = TrainConfig::new(
+        Some(QuantScheme::rquant(8)),
+        TrainMethod::RandBet { wmax: Some(0.1), p: 0.01, variant: RandBetVariant::Standard },
+    );
+    cfg.epochs = 3;
+    cfg.batch_size = 128;
+    cfg.augment = AugmentConfig::none();
+    cfg.warmup_loss = 100.0;
+    cfg.rerr_probe = Some(RErrProbe::new(0.01, 2));
+    train(&mut model, &train_ds, &test_ds, &cfg)
+}
+
+fn golden_grid_cell() -> (Model, Vec<f32>, f32, f32) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let model = build(ArchKind::Mlp, [1, 14, 14], 10, NormKind::Group, &mut rng).model;
+    let (_, test) = SynthDataset::Mnist.generate(0);
+    let grid = CampaignGrid::uniform(QuantScheme::rquant(8), vec![0.01], 3, 1000);
+    let cell = run_grid(&model, &grid, &test, EVAL_BATCH, Mode::Eval).remove(0).remove(0);
+    (model, cell.errors.clone(), cell.mean_error, cell.std_error)
+}
+
+fn bits(values: &[f32]) -> Vec<u32> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+fn hex(values: &[u32]) -> String {
+    let items: Vec<String> = values.iter().map(|b| format!("0x{b:08x}")).collect();
+    format!("[{}]", items.join(", "))
+}
+
+#[test]
+fn golden_randbet_trajectory_is_pinned() {
+    let report = golden_training_report();
+    assert_eq!(
+        bits(&report.epoch_losses),
+        GOLDEN_EPOCH_LOSSES,
+        "epoch losses drifted; actual {} (see module docs to regenerate)",
+        hex(&bits(&report.epoch_losses))
+    );
+    let rerr_means: Vec<f32> = report.epoch_rerr.iter().map(|r| r.mean_error).collect();
+    assert_eq!(
+        bits(&rerr_means),
+        GOLDEN_EPOCH_RERR_MEANS,
+        "per-epoch RErr drifted; actual {}",
+        hex(&bits(&rerr_means))
+    );
+    let final_chips = &report.epoch_rerr.last().expect("probe ran").errors;
+    assert_eq!(
+        bits(final_chips),
+        GOLDEN_FINAL_EPOCH_CHIP_ERRORS,
+        "final-epoch per-chip RErr drifted; actual {}",
+        hex(&bits(final_chips))
+    );
+    assert_eq!(
+        report.clean_error.to_bits(),
+        GOLDEN_CLEAN_ERROR,
+        "clean error drifted; actual 0x{:08x}",
+        report.clean_error.to_bits()
+    );
+}
+
+#[test]
+fn golden_campaign_cell_is_pinned() {
+    let (_, errors, mean, std) = golden_grid_cell();
+    assert_eq!(
+        bits(&errors),
+        GOLDEN_CELL_ERRORS,
+        "per-chip cell errors drifted; actual {}",
+        hex(&bits(&errors))
+    );
+    assert_eq!(
+        mean.to_bits(),
+        GOLDEN_CELL_MEAN,
+        "cell mean drifted; actual 0x{:08x}",
+        mean.to_bits()
+    );
+    assert_eq!(std.to_bits(), GOLDEN_CELL_STD, "cell std drifted; actual 0x{:08x}", std.to_bits());
+}
+
+/// Generator for the pinned constants above (see module docs).
+#[test]
+#[ignore = "generator: prints current golden values"]
+fn print_golden_values() {
+    let report = golden_training_report();
+    println!("GOLDEN_EPOCH_LOSSES: {}", hex(&bits(&report.epoch_losses)));
+    let rerr_means: Vec<f32> = report.epoch_rerr.iter().map(|r| r.mean_error).collect();
+    println!("GOLDEN_EPOCH_RERR_MEANS: {}", hex(&bits(&rerr_means)));
+    let final_chips = &report.epoch_rerr.last().expect("probe ran").errors;
+    println!("GOLDEN_FINAL_EPOCH_CHIP_ERRORS: {}", hex(&bits(final_chips)));
+    println!("GOLDEN_CLEAN_ERROR: 0x{:08x}", report.clean_error.to_bits());
+
+    let (_, errors, mean, std) = golden_grid_cell();
+    println!("GOLDEN_CELL_ERRORS: {}", hex(&bits(&errors)));
+    println!("GOLDEN_CELL_MEAN: 0x{:08x}", mean.to_bits());
+    println!("GOLDEN_CELL_STD: 0x{:08x}", std.to_bits());
+}

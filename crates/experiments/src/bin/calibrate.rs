@@ -20,10 +20,10 @@ fn main() {
         spec.epochs = opts.epochs(kind.default_epochs());
         spec.seed = opts.seed;
         let start = Instant::now();
-        let (mut model, report) = zoo_model(&spec, &train_ds, &test_ds, opts.no_cache);
+        let (model, report) = zoo_model(&spec, &train_ds, &test_ds, opts.no_cache);
         let train_time = start.elapsed().as_secs_f64();
         let robust = robust_eval_uniform(
-            &mut model,
+            &model,
             QuantScheme::rquant(8),
             &test_ds,
             0.005,

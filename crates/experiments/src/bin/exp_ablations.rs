@@ -43,7 +43,7 @@ fn main() {
         spec.seed = opts.seed;
         // The zoo key does not encode the warm-up override, so bypass the
         // cache for the ablated run.
-        let (mut model, report) = if no_warmup {
+        let (model, report) = if no_warmup {
             let mut cfg = bitrobust_core::TrainConfig::new(spec.scheme, spec.method);
             cfg.epochs = spec.epochs;
             cfg.warmup_loss = f32::INFINITY;
@@ -64,7 +64,7 @@ fn main() {
         } else {
             zoo_model(&spec, &train_ds, &test_ds, opts.no_cache)
         };
-        let sweep = rerr_sweep(&mut model, scheme, &test_ds, &ps, opts.chips);
+        let sweep = rerr_sweep(&model, scheme, &test_ds, &ps, opts.chips);
         let started =
             report.bit_errors_started_at.map_or("never".to_string(), |e| format!("epoch {e}"));
         let mut row = vec![name.to_string(), pct(report.clean_error as f64), started];

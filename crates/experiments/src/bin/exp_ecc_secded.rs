@@ -51,7 +51,7 @@ fn main() {
     );
     rb_spec.epochs = opts.epochs(rb_spec.epochs);
     rb_spec.seed = opts.seed;
-    let (mut randbet, _) = zoo_model(&rb_spec, &train_ds, &test_ds, opts.no_cache);
+    let (randbet, _) = zoo_model(&rb_spec, &train_ds, &test_ds, opts.no_cache);
 
     let mut header = vec!["configuration".to_string()];
     header.extend(ps.iter().map(|p| format!("RErr p={:.1}%", 100.0 * p)));
@@ -62,7 +62,7 @@ fn main() {
     let mut row = vec!["RQUANT, no ECC".to_string()];
     for &p in &ps {
         let r = robust_eval_uniform(
-            &mut rquant,
+            &rquant,
             scheme,
             &test_ds,
             p,
@@ -89,7 +89,7 @@ fn main() {
     let mut row = vec!["RANDBET 0.1 p=1%, no ECC".to_string()];
     for &p in &ps {
         let r = robust_eval_uniform(
-            &mut randbet,
+            &randbet,
             scheme,
             &test_ds,
             p,

@@ -9,7 +9,8 @@
 use bitrobust_core::{best_saving_within, energy_tradeoff, RandBetVariant, TrainMethod};
 use bitrobust_experiments::zoo::ZooSpec;
 use bitrobust_experiments::{
-    dataset_pair, p_grid_cifar, pct, pct_pm, rerr_sweep, zoo_model, DatasetKind, ExpOptions, Table,
+    dataset_pair, p_grid_cifar, pct, pct_pm, progress_dots, rerr_sweep_streaming, zoo_model,
+    DatasetKind, ExpOptions, Table,
 };
 use bitrobust_quant::QuantScheme;
 use bitrobust_sram::{EnergyModel, VoltageErrorModel};
@@ -45,8 +46,17 @@ fn main() {
         let mut spec = ZooSpec::new(DatasetKind::Cifar10, Some(scheme), method);
         spec.epochs = opts.epochs(spec.epochs);
         spec.seed = opts.seed;
-        let (mut model, report) = zoo_model(&spec, &train_ds, &test_ds, opts.no_cache);
-        let sweep = rerr_sweep(&mut model, scheme, &test_ds, &ps, opts.chips);
+        let (model, report) = zoo_model(&spec, &train_ds, &test_ds, opts.no_cache);
+        // Stream the campaign: one dot per (rate, chip) cell as it lands.
+        eprint!("sweep {name}: ");
+        let sweep = rerr_sweep_streaming(
+            &model,
+            scheme,
+            &test_ds,
+            &ps,
+            opts.chips,
+            progress_dots(ps.len() * opts.chips),
+        );
         let mut row = vec![name.to_string(), pct(report.clean_error as f64)];
         row.extend(sweep.iter().map(|r| pct_pm(r.mean_error as f64, r.std_error as f64)));
         table.row_owned(row);

@@ -6,7 +6,7 @@
 //! fractions), and the "ReLU relevance" measured by the activation probe.
 
 use bitrobust_core::{
-    evaluate, quantized_error, redundancy_metrics, robust_eval_uniform, RandBetVariant,
+    evaluate, quantized_error_probed, redundancy_metrics, robust_eval_uniform, RandBetVariant,
     TrainMethod, EVAL_BATCH,
 };
 use bitrobust_experiments::zoo::ZooSpec;
@@ -47,10 +47,10 @@ fn main() {
         let mut spec = ZooSpec::new(DatasetKind::Cifar10, Some(scheme), method);
         spec.epochs = opts.epochs(spec.epochs);
         spec.seed = opts.seed;
-        let (mut model, report) = zoo_model(&spec, &train_ds, &test_ds, opts.no_cache);
+        let (model, report) = zoo_model(&spec, &train_ds, &test_ds, opts.no_cache);
 
         let robust = robust_eval_uniform(
-            &mut model,
+            &model,
             scheme,
             &test_ds,
             p,
@@ -59,7 +59,7 @@ fn main() {
             EVAL_BATCH,
             Mode::Eval,
         );
-        let red = redundancy_metrics(&mut model, scheme, p, opts.chips.min(5), CHIP_SEED);
+        let red = redundancy_metrics(&model, scheme, p, opts.chips.min(5), CHIP_SEED);
 
         // ReLU relevance via a probe-equipped fresh forward: rebuild the
         // architecture, load the trained weights, run the test set.
@@ -74,11 +74,13 @@ fn main() {
             );
             let mut probed = built.model;
             probed.set_param_tensors(&model.param_tensors());
-            let _ = quantized_error(&mut probed, scheme, &test_ds, EVAL_BATCH, Mode::Eval);
+            // The explicit serial probed pass: the parallel `quantized_error`
+            // never touches probe state (campaign replicas are detached).
+            let _ = quantized_error_probed(&mut probed, scheme, &test_ds, EVAL_BATCH, Mode::Eval);
             let fraction = built.probe.lock().unwrap().fraction_positive;
             fraction
         };
-        let clean = evaluate(&mut model, &test_ds, EVAL_BATCH, Mode::Eval);
+        let clean = evaluate(&model, &test_ds, EVAL_BATCH, Mode::Eval);
         let _ = clean;
 
         table.row_owned(vec![

@@ -8,8 +8,8 @@
 use bitrobust_core::{RandBetVariant, TrainMethod};
 use bitrobust_experiments::zoo::ZooSpec;
 use bitrobust_experiments::{
-    dataset_pair, p_grid_cifar, p_grid_cifar100, p_grid_mnist, pct, pct_pm, rerr_sweep, zoo_model,
-    DatasetKind, ExpOptions, Table,
+    dataset_pair, p_grid_cifar, p_grid_cifar100, p_grid_mnist, pct, pct_pm, progress_dots,
+    rerr_sweep_streaming, warm_zoo, DatasetKind, ExpOptions, Table,
 };
 use bitrobust_quant::QuantScheme;
 
@@ -24,7 +24,7 @@ fn main() {
 }
 
 fn run_dataset(kind: DatasetKind, opts: &ExpOptions) {
-    let (train_ds, test_ds) = dataset_pair(kind, opts.seed);
+    let (_, test_ds) = dataset_pair(kind, opts.seed);
     let ps = match kind {
         DatasetKind::Cifar10 => p_grid_cifar(),
         DatasetKind::Cifar100 => p_grid_cifar100(),
@@ -82,12 +82,31 @@ fn run_dataset(kind: DatasetKind, opts: &ExpOptions) {
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
     let mut table = Table::new(&header_refs);
 
-    for (name, scheme, method) in runs {
-        let mut spec = ZooSpec::new(kind, Some(scheme), method);
-        spec.epochs = opts.epochs(spec.epochs);
-        spec.seed = opts.seed;
-        let (mut model, report) = zoo_model(&spec, &train_ds, &test_ds, opts.no_cache);
-        let sweep = rerr_sweep(&mut model, scheme, &test_ds, &ps, opts.chips);
+    // Warm the zoo for the whole method stack in one parallel pass (each
+    // spec trains independently over the thread pool), then sweep each
+    // model with streamed per-cell progress.
+    let specs: Vec<ZooSpec> = runs
+        .iter()
+        .map(|(_, scheme, method)| {
+            let mut spec = ZooSpec::new(kind, Some(*scheme), *method);
+            spec.epochs = opts.epochs(spec.epochs);
+            spec.seed = opts.seed;
+            spec
+        })
+        .collect();
+    eprintln!("warming {} {} zoo models...", specs.len(), kind.name());
+    let warmed = warm_zoo(&specs, opts.seed, opts.no_cache);
+
+    for ((name, scheme, _), (model, report)) in runs.into_iter().zip(warmed) {
+        eprint!("sweep {name}: ");
+        let sweep = rerr_sweep_streaming(
+            &model,
+            scheme,
+            &test_ds,
+            &ps,
+            opts.chips,
+            progress_dots(ps.len() * opts.chips),
+        );
         let mut row = vec![name, pct(report.clean_error as f64)];
         row.extend(sweep.iter().map(|r| pct_pm(r.mean_error as f64, r.std_error as f64)));
         table.row_owned(row);

@@ -39,9 +39,9 @@ fn main() {
         let mut spec = ZooSpec::new(DatasetKind::Cifar10, Some(scheme), method);
         spec.epochs = opts.epochs(spec.epochs);
         spec.seed = opts.seed;
-        let (mut model, _) = zoo_model(&spec, &train_ds, &test_ds, opts.no_cache);
+        let (model, _) = zoo_model(&spec, &train_ds, &test_ds, opts.no_cache);
         let small = robust_eval_uniform(
-            &mut model,
+            &model,
             scheme,
             &test_ds,
             p,
@@ -51,7 +51,7 @@ fn main() {
             Mode::Eval,
         );
         let large = robust_eval_uniform(
-            &mut model,
+            &model,
             scheme,
             &test_ds,
             p,

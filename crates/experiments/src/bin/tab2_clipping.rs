@@ -36,9 +36,9 @@ fn main() {
         spec.label_smoothing = ls;
         spec.epochs = opts.epochs(spec.epochs);
         spec.seed = opts.seed;
-        let (mut model, report) = zoo_model(&spec, &train_ds, &test_ds, opts.no_cache);
+        let (model, report) = zoo_model(&spec, &train_ds, &test_ds, opts.no_cache);
         let r_small = robust_eval_uniform(
-            &mut model,
+            &model,
             scheme,
             &test_ds,
             1e-3,
@@ -48,7 +48,7 @@ fn main() {
             Mode::Eval,
         );
         let r_large = robust_eval_uniform(
-            &mut model,
+            &model,
             scheme,
             &test_ds,
             1e-2,

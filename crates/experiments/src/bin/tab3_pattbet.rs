@@ -68,21 +68,15 @@ fn main() {
         let mut spec = ZooSpec::new(DatasetKind::Cifar10, Some(scheme), method);
         spec.epochs = opts.epochs(spec.epochs);
         spec.seed = opts.seed;
-        let (mut model, report) = zoo_model(&spec, &train_ds, &test_ds, opts.no_cache);
+        let (model, report) = zoo_model(&spec, &train_ds, &test_ds, opts.no_cache);
 
         // Evaluation on the exact trained pattern: same chip seed. Lower
         // rates are subsets of the trained pattern by construction.
         let fixed = UniformChip::new(FIXED_CHIP_SEED);
-        let same_low = robust_eval(
-            &mut model,
-            scheme,
-            &test_ds,
-            &[fixed.at_rate(p_low)],
-            EVAL_BATCH,
-            Mode::Eval,
-        );
+        let same_low =
+            robust_eval(&model, scheme, &test_ds, &[fixed.at_rate(p_low)], EVAL_BATCH, Mode::Eval);
         let same_train = robust_eval(
-            &mut model,
+            &model,
             scheme,
             &test_ds,
             &[fixed.at_rate(p_train)],
@@ -91,7 +85,7 @@ fn main() {
         );
         // Evaluation on unseen random patterns.
         let rand_low = robust_eval_uniform(
-            &mut model,
+            &model,
             scheme,
             &test_ds,
             p_low,
@@ -101,7 +95,7 @@ fn main() {
             Mode::Eval,
         );
         let rand_train = robust_eval_uniform(
-            &mut model,
+            &model,
             scheme,
             &test_ds,
             p_train,

@@ -48,8 +48,8 @@ fn main() {
         let mut spec = ZooSpec::new(DatasetKind::Cifar10, Some(scheme), method);
         spec.epochs = opts.epochs(spec.epochs);
         spec.seed = opts.seed;
-        let (mut model, report) = zoo_model(&spec, &train_ds, &test_ds, opts.no_cache);
-        let sweep = rerr_sweep(&mut model, scheme, &test_ds, &ps, opts.chips);
+        let (model, report) = zoo_model(&spec, &train_ds, &test_ds, opts.no_cache);
+        let sweep = rerr_sweep(&model, scheme, &test_ds, &ps, opts.chips);
         let mut row = vec![name.to_string(), pct(report.clean_error as f64)];
         row.extend(sweep.iter().map(|r| pct_pm(r.mean_error as f64, r.std_error as f64)));
         table.row_owned(row);

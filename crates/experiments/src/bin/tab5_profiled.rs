@@ -45,13 +45,13 @@ fn main() {
             let mut spec = ZooSpec::new(DatasetKind::Cifar10, Some(scheme), *method);
             spec.epochs = opts.epochs(spec.epochs);
             spec.seed = opts.seed;
-            let (mut model, report) = zoo_model(&spec, &train_ds, &test_ds, opts.no_cache);
+            let (model, report) = zoo_model(&spec, &train_ds, &test_ds, opts.no_cache);
             let mut row = vec![name.to_string(), pct(report.clean_error as f64)];
 
             // One campaign over all (rate, mapping offset) cells: inject
             // each pattern into its own quantized image up front, evaluate
             // every cell in a single parallel fan-out, then group per rate.
-            let q0 = QuantizedModel::quantize(&mut model, scheme);
+            let q0 = QuantizedModel::quantize(&model, scheme);
             let mut images = Vec::with_capacity(rates.len() * n_offsets);
             for &rate in rates {
                 let v = chip.voltage_for_rate(rate);

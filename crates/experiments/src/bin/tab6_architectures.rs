@@ -14,7 +14,7 @@ fn main() {
 
     println!("Tab. 6 (left/middle): architectures\n");
     for kind in [DatasetKind::Mnist, DatasetKind::Cifar10, DatasetKind::Cifar100] {
-        let mut built = build(
+        let built = build(
             kind.default_arch(),
             kind.image_shape(),
             kind.n_classes(),
@@ -23,7 +23,7 @@ fn main() {
         );
         println!("{}: {}", kind.name(), built.model.summary());
     }
-    let mut resnet = build(ArchKind::ResNetMini, [3, 16, 16], 10, NormKind::Group, &mut rng);
+    let resnet = build(ArchKind::ResNetMini, [3, 16, 16], 10, NormKind::Group, &mut rng);
     println!("resnet-mini: {}\n", resnet.model.summary());
 
     println!("Tab. 6 (right): expected number of bit errors p*m*W (m = 8 bits)\n");
@@ -31,7 +31,7 @@ fn main() {
         (DatasetKind::Mnist, vec![0.10, 0.05, 0.015, 0.01, 0.005]),
         (DatasetKind::Cifar10, vec![0.01, 0.005, 1e-4]),
     ] {
-        let mut built = build(
+        let built = build(
             kind.default_arch(),
             kind.image_shape(),
             kind.n_classes(),

@@ -14,6 +14,9 @@ pub mod table;
 pub mod zoo;
 
 pub use cli::ExpOptions;
-pub use protocol::{p_grid_cifar, p_grid_cifar100, p_grid_mnist, rerr_sweep, CHIP_SEED};
+pub use protocol::{
+    p_grid_cifar, p_grid_cifar100, p_grid_mnist, progress_dots, rerr_sweep, rerr_sweep_streaming,
+    CHIP_SEED,
+};
 pub use table::{pct, pct_pm, Table};
-pub use zoo::{dataset_pair, zoo_model, DatasetKind, ZooSpec};
+pub use zoo::{dataset_pair, warm_zoo, zoo_model, DatasetKind, ZooSpec};

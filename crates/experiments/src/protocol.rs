@@ -2,7 +2,9 @@
 //! grids, so every experiment binary measures RErr on the *same* simulated
 //! chips (as the paper fixes its 50 error patterns across all models).
 
-use bitrobust_core::{run_grid, CampaignGrid, RobustEval, EVAL_BATCH};
+use bitrobust_core::{
+    run_grid, run_grid_streaming, CampaignGrid, EvalResult, RobustEval, EVAL_BATCH,
+};
 use bitrobust_data::Dataset;
 use bitrobust_nn::{Mode, Model};
 use bitrobust_quant::QuantScheme;
@@ -33,7 +35,7 @@ pub fn p_grid_mnist() -> Vec<f64> {
 /// over the thread pool together, instead of nested serial loops. Per-chip
 /// errors are bit-identical to calling `robust_eval_uniform` per rate.
 pub fn rerr_sweep(
-    model: &mut Model,
+    model: &Model,
     scheme: QuantScheme,
     test_ds: &Dataset,
     ps: &[f64],
@@ -43,9 +45,50 @@ pub fn rerr_sweep(
     run_grid(model, &grid, test_ds, EVAL_BATCH, Mode::Eval).remove(0)
 }
 
+/// [`rerr_sweep`] with per-cell progress: `on_cell(rate_index, chip_index,
+/// result)` fires — in rate-major, then chip order — as each cell's wave of
+/// the streaming campaign ([`bitrobust_core::run_grid_streaming`]) lands.
+/// The returned sweep is byte-identical to [`rerr_sweep`]'s; long-running
+/// experiment binaries use the callback for progress output.
+pub fn rerr_sweep_streaming(
+    model: &Model,
+    scheme: QuantScheme,
+    test_ds: &Dataset,
+    ps: &[f64],
+    chips: usize,
+    mut on_cell: impl FnMut(usize, usize, &EvalResult),
+) -> Vec<RobustEval> {
+    let grid = CampaignGrid::uniform(scheme, ps.to_vec(), chips, CHIP_SEED);
+    run_grid_streaming(model, &grid, test_ds, EVAL_BATCH, Mode::Eval, |cell, result| {
+        on_cell(cell.rate, cell.chip, result)
+    })
+    .remove(0)
+}
+
+/// Writes one progress dot per completed campaign cell to stderr, with a
+/// newline after the final cell — the shared progress style of the
+/// long-running experiment binaries ([`rerr_sweep_streaming`]'s usual
+/// `on_cell`).
+pub fn progress_dots(total_cells: usize) -> impl FnMut(usize, usize, &EvalResult) {
+    use std::io::Write;
+    let mut done = 0usize;
+    move |_rate, _chip, _result| {
+        done += 1;
+        let mut err = std::io::stderr();
+        let _ = write!(err, ".");
+        if done == total_cells {
+            let _ = writeln!(err);
+        }
+        let _ = err.flush();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bitrobust_core::{build, ArchKind, NormKind};
+    use bitrobust_data::SynthDataset;
+    use rand::SeedableRng;
 
     #[test]
     fn grids_are_sorted_and_positive() {
@@ -53,5 +96,29 @@ mod tests {
             assert!(grid.windows(2).all(|w| w[0] < w[1]));
             assert!(grid.iter().all(|&p| p > 0.0 && p < 1.0));
         }
+    }
+
+    #[test]
+    fn streaming_sweep_matches_batch_and_covers_every_cell_in_order() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let model = build(ArchKind::Mlp, [1, 14, 14], 10, NormKind::Group, &mut rng).model;
+        let (_, test_ds) = SynthDataset::Mnist.generate(0);
+        let ps = [0.001, 0.01];
+        let chips = 3;
+
+        let batch = rerr_sweep(&model, QuantScheme::rquant(8), &test_ds, &ps, chips);
+        let mut seen = Vec::new();
+        let streamed = rerr_sweep_streaming(
+            &model,
+            QuantScheme::rquant(8),
+            &test_ds,
+            &ps,
+            chips,
+            |r, c, _| seen.push((r, c)),
+        );
+        assert_eq!(batch, streamed, "streaming must not change results");
+        let expected: Vec<(usize, usize)> =
+            (0..ps.len()).flat_map(|r| (0..chips).map(move |c| (r, c))).collect();
+        assert_eq!(seen, expected, "every cell must stream exactly once, in order");
     }
 }

@@ -8,6 +8,7 @@
 
 use std::fs;
 use std::path::PathBuf;
+use std::sync::OnceLock;
 
 use bitrobust_core::{
     build, train, ArchKind, NormKind, PattPattern, RandBetVariant, TrainConfig, TrainMethod,
@@ -16,6 +17,7 @@ use bitrobust_core::{
 use bitrobust_data::{AugmentConfig, Dataset, SynthDataset};
 use bitrobust_nn::Model;
 use bitrobust_quant::{Granularity, IntegerRepr, QuantScheme, RangeMode, Rounding};
+use bitrobust_tensor::parallel_for;
 use rand::SeedableRng;
 
 /// The dataset a zoo model is trained on.
@@ -266,13 +268,60 @@ pub fn zoo_model(
     (model, report)
 }
 
+/// Ensures every spec is trained and cached, fanning the work out over the
+/// thread pool. Returns one `(model, report)` per spec, in input order.
+///
+/// Duplicate specs (same [`ZooSpec::key`]) are trained once and cloned, so
+/// no two workers ever touch the same cache file. Each training run is
+/// self-contained — its own datasets, RNG, and model — so the results are
+/// bit-identical to calling [`zoo_model`] for each spec serially; nested
+/// `parallel_for` calls inside training run inline on the claiming worker.
+///
+/// This is the cache-warmup path for experiment binaries that need many
+/// models: warm the zoo once in parallel, then reload per model in
+/// milliseconds.
+pub fn warm_zoo(specs: &[ZooSpec], data_seed: u64, no_cache: bool) -> Vec<(Model, TrainReport)> {
+    // Dedupe by cache key; remember which unique entry serves each spec.
+    let mut unique: Vec<&ZooSpec> = Vec::new();
+    let mut keys: Vec<String> = Vec::new();
+    let assignment: Vec<usize> = specs
+        .iter()
+        .map(|spec| {
+            let key = spec.key();
+            match keys.iter().position(|k| *k == key) {
+                Some(i) => i,
+                None => {
+                    keys.push(key);
+                    unique.push(spec);
+                    unique.len() - 1
+                }
+            }
+        })
+        .collect();
+
+    let slots: Vec<OnceLock<(Model, TrainReport)>> =
+        (0..unique.len()).map(|_| OnceLock::new()).collect();
+    parallel_for(unique.len(), |i| {
+        let spec = unique[i];
+        let (train_ds, test_ds) = dataset_pair(spec.dataset, data_seed);
+        let trained = zoo_model(spec, &train_ds, &test_ds, no_cache);
+        assert!(slots[i].set(trained).is_ok(), "zoo spec {i} trained twice");
+    });
+    assignment
+        .into_iter()
+        .map(|i| slots[i].get().expect("missing zoo warmup result").clone())
+        .collect()
+}
+
 fn write_meta(r: &TrainReport) -> String {
+    let losses: Vec<String> = r.epoch_losses.iter().map(|l| l.to_string()).collect();
     format!(
-        "final_loss={}\nclean_error={}\nclean_confidence={}\nstarted_at={}\n",
+        "final_loss={}\nclean_error={}\nclean_confidence={}\nstarted_at={}\nepoch_losses={}\n",
         r.final_loss,
         r.clean_error,
         r.clean_confidence,
-        r.bit_errors_started_at.map_or(-1i64, |e| e as i64)
+        r.bit_errors_started_at.map_or(-1i64, |e| e as i64),
+        losses.join(",")
     )
 }
 
@@ -281,6 +330,7 @@ fn read_meta(text: &str) -> TrainReport {
     let mut clean_error = 0.0;
     let mut clean_confidence = 0.0;
     let mut started_at = -1i64;
+    let mut epoch_losses = Vec::new();
     for line in text.lines() {
         if let Some((k, v)) = line.split_once('=') {
             match k {
@@ -288,6 +338,9 @@ fn read_meta(text: &str) -> TrainReport {
                 "clean_error" => clean_error = v.parse().unwrap_or(0.0),
                 "clean_confidence" => clean_confidence = v.parse().unwrap_or(0.0),
                 "started_at" => started_at = v.parse().unwrap_or(-1),
+                "epoch_losses" => {
+                    epoch_losses = v.split(',').filter_map(|s| s.parse().ok()).collect()
+                }
                 _ => {}
             }
         }
@@ -297,6 +350,10 @@ fn read_meta(text: &str) -> TrainReport {
         clean_error,
         clean_confidence,
         bit_errors_started_at: if started_at >= 0 { Some(started_at as usize) } else { None },
+        epoch_losses,
+        // Zoo training never configures an RErr probe, so there is no
+        // per-epoch RErr history to cache.
+        epoch_rerr: Vec::new(),
     }
 }
 
@@ -337,11 +394,37 @@ mod tests {
             clean_error: 0.043,
             clean_confidence: 0.97,
             bit_errors_started_at: Some(3),
+            epoch_losses: vec![1.25, 0.75, 0.5],
+            epoch_rerr: Vec::new(),
         };
         let back = read_meta(&write_meta(&r));
         assert_eq!(back, r);
-        let r2 = TrainReport { bit_errors_started_at: None, ..r };
+        let r2 = TrainReport { bit_errors_started_at: None, epoch_losses: Vec::new(), ..r };
         assert_eq!(read_meta(&write_meta(&r2)), r2);
+    }
+
+    #[test]
+    fn warm_zoo_matches_serial_training_and_dedupes() {
+        let mut spec =
+            ZooSpec::new(DatasetKind::Mnist, Some(QuantScheme::rquant(8)), TrainMethod::Normal);
+        spec.epochs = 2;
+        let mut other = spec.clone();
+        other.seed = 1;
+
+        // Bypass the on-disk cache so the test exercises the training path.
+        let specs = vec![spec.clone(), other.clone(), spec.clone()];
+        let warmed = warm_zoo(&specs, 0, true);
+        assert_eq!(warmed.len(), 3);
+
+        let (train_ds, test_ds) = dataset_pair(DatasetKind::Mnist, 0);
+        let (serial_model, serial_report) = zoo_model(&spec, &train_ds, &test_ds, true);
+        assert_eq!(warmed[0].1, serial_report, "parallel warmup must match serial training");
+        assert_eq!(warmed[0].0.param_tensors(), serial_model.param_tensors());
+        // Duplicate specs share one training run.
+        assert_eq!(warmed[0].0.param_tensors(), warmed[2].0.param_tensors());
+        assert_eq!(warmed[0].1, warmed[2].1);
+        // Distinct seeds are genuinely different runs.
+        assert_ne!(warmed[0].1, warmed[1].1);
     }
 
     #[test]

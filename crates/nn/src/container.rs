@@ -107,6 +107,18 @@ impl Layer for Sequential {
         }
     }
 
+    fn visit_params_ref(&self, visitor: &mut dyn FnMut(&Param)) {
+        for layer in &self.layers {
+            layer.visit_params_ref(visitor);
+        }
+    }
+
+    fn visit_children(&self, visitor: &mut dyn FnMut(&dyn Layer)) {
+        for layer in &self.layers {
+            visitor(layer.as_ref());
+        }
+    }
+
     fn layer_type(&self) -> &'static str {
         "Sequential"
     }
@@ -198,6 +210,20 @@ impl Layer for Residual {
         self.body.visit_params(visitor);
         if let Some(layer) = &mut self.shortcut {
             layer.visit_params(visitor);
+        }
+    }
+
+    fn visit_params_ref(&self, visitor: &mut dyn FnMut(&Param)) {
+        self.body.visit_params_ref(visitor);
+        if let Some(layer) = &self.shortcut {
+            layer.visit_params_ref(visitor);
+        }
+    }
+
+    fn visit_children(&self, visitor: &mut dyn FnMut(&dyn Layer)) {
+        visitor(&self.body);
+        if let Some(layer) = &self.shortcut {
+            visitor(layer.as_ref());
         }
     }
 

@@ -233,6 +233,11 @@ impl Layer for Conv2d {
         visitor(&mut self.bias);
     }
 
+    fn visit_params_ref(&self, visitor: &mut dyn FnMut(&Param)) {
+        visitor(&self.weight);
+        visitor(&self.bias);
+    }
+
     fn layer_type(&self) -> &'static str {
         "Conv2d"
     }

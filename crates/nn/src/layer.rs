@@ -84,6 +84,38 @@ pub trait Layer: Send + Sync {
         let _ = visitor;
     }
 
+    /// Visits all trainable parameters immutably, in the **same order** as
+    /// [`Layer::visit_params`]. This is what lets read-only consumers
+    /// (quantization snapshots, parameter statistics, serialization) work
+    /// from a shared `&Model` instead of demanding exclusive access.
+    ///
+    /// **Contract:** any layer that overrides [`Layer::visit_params`] MUST
+    /// override this too, yielding the same parameters in the same order —
+    /// the default visits nothing, so forgetting the override makes
+    /// quantization and serialization silently skip the layer's weights.
+    /// `Model::param_tensors` (ref path) is asserted against `visit_params`
+    /// (mut path) in the test suites; keep new layers covered there.
+    fn visit_params_ref(&self, visitor: &mut dyn FnMut(&Param)) {
+        let _ = visitor;
+    }
+
+    /// Visits the layer's *direct* children (containers override; leaf
+    /// layers have none). Combined with [`crate::Model::visit_layers`] this
+    /// gives a depth-first walk of the whole layer tree.
+    ///
+    /// **Contract:** any container holding child layers MUST override this,
+    /// or tree walks (e.g. activation-probe discovery) will not see the
+    /// children.
+    fn visit_children(&self, visitor: &mut dyn FnMut(&dyn Layer)) {
+        let _ = visitor;
+    }
+
+    /// The layer as [`std::any::Any`] for capability discovery (e.g.
+    /// finding activation probes in a model); `None` opts out.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+
     /// A short human-readable layer type name (e.g. `"Conv2d"`).
     fn layer_type(&self) -> &'static str;
 

@@ -110,6 +110,11 @@ impl Layer for Linear {
         visitor(&mut self.bias);
     }
 
+    fn visit_params_ref(&self, visitor: &mut dyn FnMut(&Param)) {
+        visitor(&self.weight);
+        visitor(&self.bias);
+    }
+
     fn layer_type(&self) -> &'static str {
         "Linear"
     }

@@ -80,24 +80,42 @@ impl Model {
         self.root.visit_params(visitor);
     }
 
+    /// Visits all parameters immutably, in the same order as
+    /// [`Model::visit_params`]. Read-only consumers (quantization,
+    /// statistics, serialization) use this so they can share a `&Model`
+    /// with concurrent evaluation workers.
+    pub fn visit_params_ref(&self, visitor: &mut dyn FnMut(&Param)) {
+        self.root.visit_params_ref(visitor);
+    }
+
+    /// Visits every layer in the tree depth-first (containers before their
+    /// children), including nested layers inside residual blocks.
+    pub fn visit_layers(&self, visitor: &mut dyn FnMut(&dyn Layer)) {
+        fn walk(layer: &dyn Layer, visitor: &mut dyn FnMut(&dyn Layer)) {
+            visitor(layer);
+            layer.visit_children(&mut |child| walk(child, visitor));
+        }
+        walk(&self.root, visitor);
+    }
+
     /// Total number of trainable scalars.
-    pub fn num_params(&mut self) -> usize {
+    pub fn num_params(&self) -> usize {
         let mut n = 0;
-        self.visit_params(&mut |p| n += p.numel());
+        self.visit_params_ref(&mut |p| n += p.numel());
         n
     }
 
     /// Number of parameter tensors.
-    pub fn num_param_tensors(&mut self) -> usize {
+    pub fn num_param_tensors(&self) -> usize {
         let mut n = 0;
-        self.visit_params(&mut |_| n += 1);
+        self.visit_params_ref(&mut |_| n += 1);
         n
     }
 
     /// Clones all parameter tensors in visit order.
-    pub fn param_tensors(&mut self) -> Vec<Tensor> {
+    pub fn param_tensors(&self) -> Vec<Tensor> {
         let mut out = Vec::new();
-        self.visit_params(&mut |p| out.push(p.value().clone()));
+        self.visit_params_ref(&mut |p| out.push(p.value().clone()));
         out
     }
 
@@ -149,10 +167,10 @@ impl Model {
     /// # Errors
     ///
     /// Returns any I/O error from the writer.
-    pub fn save_params<W: Write>(&mut self, w: W) -> io::Result<()> {
+    pub fn save_params<W: Write>(&self, w: W) -> io::Result<()> {
         let mut entries = Vec::new();
         let mut index = 0;
-        self.visit_params(&mut |p| {
+        self.visit_params_ref(&mut |p| {
             entries.push((format!("p{index}.{}", p.name()), p.value().clone()));
             index += 1;
         });
@@ -176,7 +194,7 @@ impl Model {
     }
 
     /// A compact per-layer summary (layer types and parameter counts).
-    pub fn summary(&mut self) -> String {
+    pub fn summary(&self) -> String {
         let n_params = self.num_params();
         let types: Vec<&str> = self.root.layers().map(|l| l.layer_type()).collect();
         format!("{}: {} layers, {} params [{}]", self.name, types.len(), n_params, types.join(", "))
@@ -213,7 +231,7 @@ mod tests {
 
     #[test]
     fn num_params_counts_scalars() {
-        let mut m = toy_model(3);
+        let m = toy_model(3);
         assert_eq!(m.num_params(), 4 * 8 + 8 + 8 * 3 + 3);
         assert_eq!(m.num_param_tensors(), 4);
     }
@@ -286,11 +304,64 @@ mod tests {
     }
 
     #[test]
+    fn visit_params_ref_matches_mutable_order() {
+        let mut m = toy_model(12);
+        let mut mutable = Vec::new();
+        m.visit_params(&mut |p| mutable.push((p.name().to_string(), p.value().clone())));
+        let mut immutable = Vec::new();
+        m.visit_params_ref(&mut |p| immutable.push((p.name().to_string(), p.value().clone())));
+        assert_eq!(mutable, immutable);
+        assert_eq!(m.param_tensors().len(), m.num_param_tensors());
+    }
+
+    #[test]
+    fn visit_layers_walks_the_tree() {
+        let m = toy_model(13);
+        let mut types = Vec::new();
+        m.visit_layers(&mut |l| types.push(l.layer_type()));
+        assert_eq!(types, vec!["Sequential", "Linear", "Relu", "Linear"]);
+    }
+
+    #[test]
     fn summary_mentions_layers_and_params() {
-        let mut m = toy_model(7);
+        let m = toy_model(7);
         let s = m.summary();
         assert!(s.contains("Linear"));
         assert!(s.contains("Relu"));
         assert!(s.contains(&format!("{}", 4 * 8 + 8 + 8 * 3 + 3)));
+    }
+
+    /// Guards the `visit_params` / `visit_params_ref` pairing contract over
+    /// every parameter-bearing layer and container in the crate: a layer
+    /// that overrides only the mutable visitor would silently vanish from
+    /// quantization and serialization (which use the ref path).
+    #[test]
+    fn every_param_layer_agrees_between_ref_and_mut_visitors() {
+        use crate::{BatchNorm2d, Conv2d, Flatten, GroupNorm, Residual};
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(14);
+        let mut body = Sequential::new();
+        body.push(Conv2d::new(2, 2, 3, 1, 1, &mut rng));
+        body.push(GroupNorm::new(2, 1));
+        let mut net = Sequential::new();
+        net.push(Conv2d::new(2, 2, 3, 1, 1, &mut rng));
+        net.push(BatchNorm2d::new(2));
+        net.push(Residual::with_shortcut(body, Conv2d::new(2, 2, 1, 1, 0, &mut rng)));
+        net.push(Flatten::new());
+        net.push(Linear::new(2 * 4 * 4, 3, &mut rng));
+        let mut m = Model::new("all-layers", net);
+
+        let mut mutable = Vec::new();
+        m.visit_params(&mut |p| mutable.push((p.name().to_string(), p.value().clone())));
+        let mut immutable = Vec::new();
+        m.visit_params_ref(&mut |p| immutable.push((p.name().to_string(), p.value().clone())));
+        assert!(!mutable.is_empty());
+        assert_eq!(mutable, immutable, "ref visitor must mirror the mutable visitor exactly");
+
+        // The tree walk must descend into the residual body and shortcut.
+        let mut types = Vec::new();
+        m.visit_layers(&mut |l| types.push(l.layer_type()));
+        assert_eq!(types.iter().filter(|t| **t == "Conv2d").count(), 3);
+        assert_eq!(types.iter().filter(|t| **t == "Sequential").count(), 2);
     }
 }

@@ -206,6 +206,11 @@ impl Layer for GroupNorm {
         visitor(&mut self.shift);
     }
 
+    fn visit_params_ref(&self, visitor: &mut dyn FnMut(&Param)) {
+        visitor(&self.scale);
+        visitor(&self.shift);
+    }
+
     fn layer_type(&self) -> &'static str {
         "GroupNorm"
     }
@@ -447,6 +452,11 @@ impl Layer for BatchNorm2d {
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
         visitor(&mut self.scale);
         visitor(&mut self.shift);
+    }
+
+    fn visit_params_ref(&self, visitor: &mut dyn FnMut(&Param)) {
+        visitor(&self.scale);
+        visitor(&self.shift);
     }
 
     fn layer_type(&self) -> &'static str {

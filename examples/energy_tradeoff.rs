@@ -38,16 +38,8 @@ fn main() {
     let curve: Vec<(f64, f64)> = ps
         .iter()
         .map(|&p| {
-            let r = robust_eval_uniform(
-                &mut model,
-                scheme,
-                &test_ds,
-                p,
-                10,
-                42,
-                EVAL_BATCH,
-                Mode::Eval,
-            );
+            let r =
+                robust_eval_uniform(&model, scheme, &test_ds, p, 10, 42, EVAL_BATCH, Mode::Eval);
             (p, r.mean_error as f64)
         })
         .collect();

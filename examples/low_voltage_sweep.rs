@@ -40,8 +40,7 @@ fn main() {
     for i in 0..8 {
         let v = 1.0 - 0.03 * i as f64;
         let p = volts.rate_at(v);
-        let r =
-            robust_eval_uniform(&mut model, scheme, &test_ds, p, 10, 42, EVAL_BATCH, Mode::Eval);
+        let r = robust_eval_uniform(&model, scheme, &test_ds, p, 10, 42, EVAL_BATCH, Mode::Eval);
         println!(
             "{v:>7.3} {:>10.4} {:>11.1}% {:>10.2}",
             100.0 * p,

@@ -41,7 +41,7 @@ fn main() {
             let stats = chip.stats_at(v);
             // Average over four different weight-to-memory mappings.
             let injectors: Vec<_> = (0..4).map(|k| chip.at_voltage(v, k * 99_991, false)).collect();
-            let r = robust_eval(&mut model, scheme, &test_ds, &injectors, EVAL_BATCH, Mode::Eval);
+            let r = robust_eval(&model, scheme, &test_ds, &injectors, EVAL_BATCH, Mode::Eval);
             println!(
                 "  V/Vmin {v:.3}: p {:.2}% (0->1 {:.2}%, 1->0 {:.2}%) -> RErr {:.2}% ± {:.2}",
                 100.0 * stats.rate,

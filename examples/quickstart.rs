@@ -44,8 +44,7 @@ fn main() {
     //    weights of 10 simulated chips per rate.
     println!("bit error rate p -> robust test error (RErr):");
     for p in [0.001, 0.01, 0.05, 0.1] {
-        let r =
-            robust_eval_uniform(&mut model, scheme, &test_ds, p, 10, 42, EVAL_BATCH, Mode::Eval);
+        let r = robust_eval_uniform(&model, scheme, &test_ds, p, 10, 42, EVAL_BATCH, Mode::Eval);
         println!(
             "  p = {:>5.1}% -> RErr {:.2}% ± {:.2}",
             100.0 * p,

@@ -30,12 +30,12 @@ fn trained_mnist_model() -> (Model, Dataset) {
 
 #[test]
 fn rerr_grows_with_bit_error_rate() {
-    let (mut model, test_ds) = trained_mnist_model();
+    let (model, test_ds) = trained_mnist_model();
     let scheme = QuantScheme::rquant(8);
     let mut last = 0.0f32;
     let mut increased = 0;
     for p in [0.0, 0.01, 0.05, 0.15] {
-        let r = robust_eval_uniform(&mut model, scheme, &test_ds, p, 5, 42, EVAL_BATCH, Mode::Eval);
+        let r = robust_eval_uniform(&model, scheme, &test_ds, p, 5, 42, EVAL_BATCH, Mode::Eval);
         assert!(
             r.mean_error >= last - 0.02,
             "RErr should not drop much: {} -> {}",
@@ -53,10 +53,10 @@ fn rerr_grows_with_bit_error_rate() {
 
 #[test]
 fn quantization_loses_little_accuracy_at_8_bit() {
-    let (mut model, test_ds) = trained_mnist_model();
-    let float_err = evaluate(&mut model, &test_ds, EVAL_BATCH, Mode::Eval).error;
+    let (model, test_ds) = trained_mnist_model();
+    let float_err = evaluate(&model, &test_ds, EVAL_BATCH, Mode::Eval).error;
     let q8 =
-        quantized_error(&mut model, QuantScheme::rquant(8), &test_ds, EVAL_BATCH, Mode::Eval).error;
+        quantized_error(&model, QuantScheme::rquant(8), &test_ds, EVAL_BATCH, Mode::Eval).error;
     assert!(
         (q8 - float_err).abs() < 0.02,
         "8-bit quantization must be nearly free: {float_err} vs {q8}"
@@ -65,10 +65,10 @@ fn quantization_loses_little_accuracy_at_8_bit() {
 
 #[test]
 fn robust_eval_restores_float_weights_exactly() {
-    let (mut model, test_ds) = trained_mnist_model();
+    let (model, test_ds) = trained_mnist_model();
     let before = model.param_tensors();
     let _ = robust_eval_uniform(
-        &mut model,
+        &model,
         QuantScheme::rquant(8),
         &test_ds,
         0.05,
@@ -85,9 +85,9 @@ fn robust_eval_restores_float_weights_exactly() {
 fn model_level_subset_property() {
     // Flips at p' <= p on the same chip are a subset at the whole-model
     // level, so raising the voltage can only remove errors.
-    let (mut model, _) = trained_mnist_model();
+    let (model, _) = trained_mnist_model();
     let scheme = QuantScheme::rquant(8);
-    let q0 = QuantizedModel::quantize(&mut model, scheme);
+    let q0 = QuantizedModel::quantize(&model, scheme);
     let chip = UniformChip::new(1234);
     let mut q_low = q0.clone();
     q_low.inject(&chip.at_rate(0.01));
@@ -105,9 +105,9 @@ fn model_level_subset_property() {
 
 #[test]
 fn different_chips_give_different_rerr_samples() {
-    let (mut model, test_ds) = trained_mnist_model();
+    let (model, test_ds) = trained_mnist_model();
     let r = robust_eval_uniform(
-        &mut model,
+        &model,
         QuantScheme::rquant(8),
         &test_ds,
         0.1,
@@ -126,9 +126,9 @@ fn different_chips_give_different_rerr_samples() {
 fn lower_precision_is_not_more_robust_for_a_normal_model() {
     // At the same p, a 4-bit quantization of an 8-bit-trained model suffers
     // at least comparably — each flip is a larger fraction of the range.
-    let (mut model, test_ds) = trained_mnist_model();
+    let (model, test_ds) = trained_mnist_model();
     let r8 = robust_eval_uniform(
-        &mut model,
+        &model,
         QuantScheme::rquant(8),
         &test_ds,
         0.05,
@@ -138,7 +138,7 @@ fn lower_precision_is_not_more_robust_for_a_normal_model() {
         Mode::Eval,
     );
     let r4 = robust_eval_uniform(
-        &mut model,
+        &model,
         QuantScheme::rquant(4),
         &test_ds,
         0.05,

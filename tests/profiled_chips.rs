@@ -52,13 +52,13 @@ fn chip2_is_column_biased_and_0to1_dominant() {
 
 #[test]
 fn profiled_rerr_is_worse_at_lower_voltage() {
-    let (mut model, test_ds) = trained_model();
+    let (model, test_ds) = trained_model();
     let chip = ProfiledChip::synthesize(ChipKind::Chip1, 7);
     let scheme = QuantScheme::rquant(8);
     let v_hi = chip.voltage_for_rate(0.005);
     let v_lo = chip.voltage_for_rate(0.06);
     let at_hi = robust_eval(
-        &mut model,
+        &model,
         scheme,
         &test_ds,
         &[chip.at_voltage(v_hi, 0, false)],
@@ -66,7 +66,7 @@ fn profiled_rerr_is_worse_at_lower_voltage() {
         Mode::Eval,
     );
     let at_lo = robust_eval(
-        &mut model,
+        &model,
         scheme,
         &test_ds,
         &[chip.at_voltage(v_lo, 0, false)],
@@ -83,12 +83,12 @@ fn profiled_rerr_is_worse_at_lower_voltage() {
 
 #[test]
 fn offsets_simulate_different_mappings() {
-    let (mut model, test_ds) = trained_model();
+    let (model, test_ds) = trained_model();
     let chip = ProfiledChip::synthesize(ChipKind::Chip2, 8);
     let scheme = QuantScheme::rquant(8);
     let v = chip.voltage_for_rate(0.02);
     let injectors: Vec<_> = (0..4).map(|k| chip.at_voltage(v, k * 100_003, false)).collect();
-    let r = robust_eval(&mut model, scheme, &test_ds, &injectors, EVAL_BATCH, Mode::Eval);
+    let r = robust_eval(&model, scheme, &test_ds, &injectors, EVAL_BATCH, Mode::Eval);
     assert_eq!(r.errors.len(), 4);
     let distinct: std::collections::HashSet<u32> = r.errors.iter().map(|e| e.to_bits()).collect();
     assert!(distinct.len() > 1, "different mappings must hit different weights");

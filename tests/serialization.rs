@@ -31,15 +31,15 @@ fn quantized_weights_survive_save_load() {
     // Quantize → save float params → load → quantize again: identical words.
     let mut rng = rand::rngs::StdRng::seed_from_u64(2);
     let built = build(ArchKind::Mlp, [1, 14, 14], 10, NormKind::Group, &mut rng);
-    let mut model = built.model;
-    let q1 = QuantizedModel::quantize(&mut model, QuantScheme::rquant(8));
+    let model = built.model;
+    let q1 = QuantizedModel::quantize(&model, QuantScheme::rquant(8));
 
     let mut buf = Vec::new();
     model.save_params(&mut buf).unwrap();
     let built2 = build(ArchKind::Mlp, [1, 14, 14], 10, NormKind::Group, &mut rng);
     let mut model2 = built2.model;
     model2.load_params(&buf[..]).unwrap();
-    let q2 = QuantizedModel::quantize(&mut model2, QuantScheme::rquant(8));
+    let q2 = QuantizedModel::quantize(&model2, QuantScheme::rquant(8));
     assert_eq!(q1.hamming_distance(&q2), 0);
 }
 
@@ -66,7 +66,7 @@ fn tensor_file_round_trip_with_many_entries() {
 fn load_rejects_model_shape_mismatch() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(4);
     let built = build(ArchKind::Mlp, [1, 14, 14], 10, NormKind::Group, &mut rng);
-    let mut model = built.model;
+    let model = built.model;
     let mut buf = Vec::new();
     model.save_params(&mut buf).unwrap();
 

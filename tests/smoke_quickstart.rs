@@ -46,8 +46,8 @@ fn quickstart_train(method: TrainMethod) -> (Model, f32, Dataset) {
 fn quickstart_randbet_beats_uninjected_baseline() {
     let scheme = QuantScheme::rquant(8);
 
-    let (mut baseline, baseline_err, test_ds) = quickstart_train(TrainMethod::Normal);
-    let (mut randbet, randbet_err, _) = quickstart_train(TrainMethod::RandBet {
+    let (baseline, baseline_err, test_ds) = quickstart_train(TrainMethod::Normal);
+    let (randbet, randbet_err, _) = quickstart_train(TrainMethod::RandBet {
         wmax: Some(0.2),
         p: EVAL_RATE,
         variant: RandBetVariant::Standard,
@@ -61,7 +61,7 @@ fn quickstart_randbet_beats_uninjected_baseline() {
     // The headline claim: at the trained error rate, the RandBET model's
     // robust error is clearly below the uninjected baseline's.
     let r_base = robust_eval_uniform(
-        &mut baseline,
+        &baseline,
         scheme,
         &test_ds,
         EVAL_RATE,
@@ -71,7 +71,7 @@ fn quickstart_randbet_beats_uninjected_baseline() {
         Mode::Eval,
     );
     let r_randbet = robust_eval_uniform(
-        &mut randbet,
+        &randbet,
         scheme,
         &test_ds,
         EVAL_RATE,

@@ -36,8 +36,8 @@ fn train_with(method: TrainMethod, seed: u64, epochs: usize) -> (Model, f32, Dat
 #[test]
 fn randbet_beats_normal_at_the_trained_rate() {
     let p = 0.08;
-    let (mut normal, normal_err, test_ds) = train_with(TrainMethod::Normal, 5, 8);
-    let (mut randbet, randbet_err, _) = train_with(
+    let (normal, normal_err, test_ds) = train_with(TrainMethod::Normal, 5, 8);
+    let (randbet, randbet_err, _) = train_with(
         TrainMethod::RandBet { wmax: Some(0.2), p, variant: RandBetVariant::Standard },
         5,
         8,
@@ -46,9 +46,9 @@ fn randbet_beats_normal_at_the_trained_rate() {
 
     let scheme = QuantScheme::rquant(SCHEME_BITS);
     let r_normal =
-        robust_eval_uniform(&mut normal, scheme, &test_ds, p, 8, 500, EVAL_BATCH, Mode::Eval);
+        robust_eval_uniform(&normal, scheme, &test_ds, p, 8, 500, EVAL_BATCH, Mode::Eval);
     let r_randbet =
-        robust_eval_uniform(&mut randbet, scheme, &test_ds, p, 8, 500, EVAL_BATCH, Mode::Eval);
+        robust_eval_uniform(&randbet, scheme, &test_ds, p, 8, 500, EVAL_BATCH, Mode::Eval);
     assert!(
         r_randbet.mean_error < r_normal.mean_error - 0.05,
         "RandBET must be clearly more robust at p={p}: {} vs {}",
@@ -62,24 +62,16 @@ fn randbet_generalizes_to_lower_rates() {
     // Robustness at the trained rate must extend to lower rates (higher
     // voltages) — the property PattBET lacks.
     let p = 0.08;
-    let (mut randbet, _, test_ds) = train_with(
+    let (randbet, _, test_ds) = train_with(
         TrainMethod::RandBet { wmax: Some(0.2), p, variant: RandBetVariant::Standard },
         6,
         8,
     );
     let scheme = QuantScheme::rquant(SCHEME_BITS);
     let at_train =
-        robust_eval_uniform(&mut randbet, scheme, &test_ds, p, 6, 700, EVAL_BATCH, Mode::Eval);
-    let at_half = robust_eval_uniform(
-        &mut randbet,
-        scheme,
-        &test_ds,
-        p / 2.0,
-        6,
-        700,
-        EVAL_BATCH,
-        Mode::Eval,
-    );
+        robust_eval_uniform(&randbet, scheme, &test_ds, p, 6, 700, EVAL_BATCH, Mode::Eval);
+    let at_half =
+        robust_eval_uniform(&randbet, scheme, &test_ds, p / 2.0, 6, 700, EVAL_BATCH, Mode::Eval);
     assert!(
         at_half.mean_error <= at_train.mean_error + 0.02,
         "lower rate must not be worse: {} vs {}",
@@ -95,7 +87,7 @@ fn pattbet_fails_on_unseen_patterns() {
     // robustness of its own).
     let p = 0.2;
     let fixed_seed = 31_337;
-    let (mut patt, _, test_ds) = train_with(
+    let (patt, _, test_ds) = train_with(
         TrainMethod::PattBet { wmax: None, pattern: PattPattern::Uniform { seed: fixed_seed, p } },
         7,
         8,
@@ -103,7 +95,7 @@ fn pattbet_fails_on_unseen_patterns() {
     let scheme = QuantScheme::rquant(SCHEME_BITS);
     // On its own pattern: fine.
     let own = bitrobust_core::robust_eval(
-        &mut patt,
+        &patt,
         scheme,
         &test_ds,
         &[bitrobust_biterror::UniformChip::new(fixed_seed).at_rate(p)],
@@ -111,8 +103,7 @@ fn pattbet_fails_on_unseen_patterns() {
         Mode::Eval,
     );
     // On random patterns: much worse.
-    let random =
-        robust_eval_uniform(&mut patt, scheme, &test_ds, p, 8, 900, EVAL_BATCH, Mode::Eval);
+    let random = robust_eval_uniform(&patt, scheme, &test_ds, p, 8, 900, EVAL_BATCH, Mode::Eval);
     assert!(
         random.mean_error > own.mean_error + 0.05,
         "PattBET must not generalize to random patterns: own {} vs random {}",
