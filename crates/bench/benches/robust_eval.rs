@@ -1,22 +1,25 @@
 //! End-to-end robust evaluation cost: quantize → inject → dequantize →
 //! forward over a test set, per simulated chip — comparing the serial
 //! reference path against the parallel fault-injection campaign engine,
-//! plus clean (single-pattern) evaluation through the same engine.
+//! plus clean (single-pattern) evaluation through the same engine, plus
+//! single-model vs data-parallel RandBET training.
 //!
 //! Besides the criterion benchmarks, running this bench writes a
 //! machine-readable `BENCH_robust_eval.json` at the workspace root with
-//! serial vs campaign wall-clock and the resulting speedups. CI uploads
-//! the file as an artifact and **fails the build if the campaign path
-//! regresses to slower than serial** (`speedup < 1.0`).
+//! serial vs parallel wall-clock and the resulting speedups. CI uploads
+//! the file as an artifact and **fails the build if the campaign path or
+//! data-parallel training regresses to slower than serial** on multi-core
+//! runners (`speedup < 1.0`).
 
 use std::time::Instant;
 
 use bitrobust_biterror::UniformChip;
 use bitrobust_core::{
-    build, eval_images, eval_images_serial, evaluate, evaluate_serial, robust_eval_uniform,
-    ArchKind, NormKind, QuantizedModel,
+    build, eval_images, eval_images_serial, evaluate, evaluate_serial, robust_eval_uniform, train,
+    ArchKind, DataParallel, NormKind, QuantizedModel, RandBetVariant, TrainConfig, TrainMethod,
+    TrainReport,
 };
-use bitrobust_data::{Dataset, SynthDataset};
+use bitrobust_data::{AugmentConfig, Dataset, SynthDataset};
 use bitrobust_nn::{Mode, Model};
 use bitrobust_quant::QuantScheme;
 use criterion::{criterion_group, Criterion};
@@ -25,12 +28,37 @@ use rand::SeedableRng;
 const N_CHIPS: usize = 8;
 const RATE: f64 = 0.01;
 const BATCH: usize = 256;
+const TRAIN_EPOCHS: usize = 2;
+const TRAIN_BATCH: usize = 128;
 
 fn setup() -> (Model, Dataset) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(0);
     let built = build(ArchKind::Mlp, [1, 14, 14], 10, NormKind::Group, &mut rng);
     let (_, test_ds) = SynthDataset::Mnist.generate(0);
     (built.model, test_ds)
+}
+
+/// A short RandBET training run, single-model (`data_parallel: None`) or
+/// sharded; returns the report so callers can sanity-check determinism.
+fn train_once(data_parallel: Option<DataParallel>) -> TrainReport {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let built = build(ArchKind::Mlp, [1, 14, 14], 10, NormKind::Group, &mut rng);
+    let mut model = built.model;
+    let (train_src, test_src) = SynthDataset::Mnist.generate(0);
+    let (xt, yt) = train_src.batch_range(0, 600);
+    let (xe, ye) = test_src.batch_range(0, 300);
+    let train_ds = Dataset::new("train", xt, yt, 10);
+    let test_ds = Dataset::new("test", xe, ye, 10);
+    let mut cfg = TrainConfig::new(
+        Some(QuantScheme::rquant(8)),
+        TrainMethod::RandBet { wmax: Some(0.1), p: 0.01, variant: RandBetVariant::Standard },
+    );
+    cfg.epochs = TRAIN_EPOCHS;
+    cfg.batch_size = TRAIN_BATCH;
+    cfg.augment = AugmentConfig::none();
+    cfg.warmup_loss = 100.0;
+    cfg.data_parallel = data_parallel;
+    train(&mut model, &train_ds, &test_ds, &cfg)
 }
 
 fn chip_images(model: &Model) -> Vec<QuantizedModel> {
@@ -79,6 +107,10 @@ fn bench_robust_eval(c: &mut Criterion) {
     group.bench_function("quantize_model", |b| {
         b.iter(|| QuantizedModel::quantize(&model, QuantScheme::rquant(8)))
     });
+    group.bench_function("train_serial_2ep_600ex", |b| b.iter(|| train_once(None)));
+    group.bench_function("train_parallel_2ep_600ex", |b| {
+        b.iter(|| train_once(Some(DataParallel::protocol())))
+    });
     group.finish();
 }
 
@@ -95,9 +127,9 @@ fn best_of<F: FnMut()>(mut f: F, reps: usize) -> f64 {
     best
 }
 
-/// Measures serial vs campaign throughput (robust and clean evaluation)
-/// and writes the comparison to `BENCH_robust_eval.json` at the workspace
-/// root.
+/// Measures serial vs parallel throughput (robust evaluation, clean
+/// evaluation, and single-model vs data-parallel training) and writes the
+/// comparison to `BENCH_robust_eval.json` at the workspace root.
 fn emit_json_comparison() {
     let (model, test_ds) = setup();
     let images = chip_images(&model);
@@ -111,6 +143,16 @@ fn emit_json_comparison() {
     assert_eq!(
         clean_serial_ref, clean_campaign_ref,
         "clean evaluate must be bit-identical to its serial reference"
+    );
+
+    // Data-parallel training must be bit-identical to its serial shard
+    // reference; the shard count, not the thread count, defines the bits.
+    let train_parallel_ref = train_once(Some(DataParallel::protocol()));
+    let train_shard_serial_ref =
+        train_once(Some(DataParallel { serial: true, ..DataParallel::protocol() }));
+    assert_eq!(
+        train_parallel_ref, train_shard_serial_ref,
+        "data-parallel training must be bit-identical to its serial shard reference"
     );
 
     let reps = 3;
@@ -130,6 +172,8 @@ fn emit_json_comparison() {
         },
         reps,
     );
+    let train_serial_secs = best_of(|| drop(train_once(None)), reps);
+    let train_parallel_secs = best_of(|| drop(train_once(Some(DataParallel::protocol()))), reps);
 
     // The pool's own accounting (BITROBUST_THREADS override included).
     let threads = bitrobust_tensor::pool_parallelism();
@@ -139,6 +183,8 @@ fn emit_json_comparison() {
          \"threads\": {},\n  \"serial_secs\": {:.6},\n  \"campaign_secs\": {:.6},\n  \
          \"speedup\": {:.3},\n  \"clean_serial_secs\": {:.6},\n  \
          \"clean_campaign_secs\": {:.6},\n  \"clean_speedup\": {:.3},\n  \
+         \"train_serial_secs\": {:.6},\n  \"train_parallel_secs\": {:.6},\n  \
+         \"train_speedup\": {:.3},\n  \"train_shards\": {},\n  \
          \"bit_identical\": true\n}}\n",
         test_ds.name(),
         test_ds.len(),
@@ -152,6 +198,10 @@ fn emit_json_comparison() {
         clean_serial_secs,
         clean_campaign_secs,
         clean_serial_secs / clean_campaign_secs,
+        train_serial_secs,
+        train_parallel_secs,
+        train_serial_secs / train_parallel_secs,
+        bitrobust_core::TRAIN_SHARDS,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_robust_eval.json");
     std::fs::write(path, &json).expect("write BENCH_robust_eval.json");

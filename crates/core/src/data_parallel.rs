@@ -1,0 +1,383 @@
+//! Deterministic data-parallel training backend.
+//!
+//! Alg. 1 training was the last exclusive-access hot path: evaluation went
+//! batch-parallel over `&Model` in the campaign engine, but every training
+//! forward/backward still serialized through `&mut Model`. This module
+//! shards each mini-batch over **backward-capable replicas** and combines
+//! their gradients deterministically, so RandBET/PattBET training scales
+//! the same way evaluation does.
+//!
+//! # Execution model
+//!
+//! Per forward/backward pass, the mini-batch's rows are split into
+//! [`DataParallel::shards`] contiguous shards (sizes differing by at most
+//! one). Each shard worker:
+//!
+//! 1. clones the current model ([`Model::clone`] — parameters and
+//!    normalization state; caches and probes start detached),
+//! 2. zeroes the replica's gradients and runs `forward(Mode::Train)` +
+//!    `backward` on its shard, with the loss normalized by the *full*
+//!    batch size ([`CrossEntropyLoss::compute_scaled`]), and
+//! 3. hands back `(loss_sum, grad_tensors)`.
+//!
+//! Shard results land in per-shard slots (campaign-engine style), then the
+//! gradient buffers are combined with the fixed-shape serial
+//! [`tree_reduce_grads`] and the loss sums are added in shard order.
+//!
+//! # Determinism contract
+//!
+//! The combined gradient and loss are **bit-identical regardless of thread
+//! count** (`BITROBUST_THREADS=1`, `2`, max — pinned by the core
+//! determinism suite), because each shard's computation is independent and
+//! itself thread-count-deterministic, and everything that mixes shards is
+//! serial with a fixed shape. [`DataParallel::serial`] routes the shard
+//! loop through an in-order serial execution of the *same* shard
+//! computations so tests can prove exactly that. The shard **count** is
+//! part of the numerical contract (it decides where float sums split), so
+//! it lives in the config — deliberately not derived from the pool size —
+//! and experiment protocols fix it at [`TRAIN_SHARDS`].
+//!
+//! BatchNorm models are rejected: training-mode BatchNorm couples rows
+//! through whole-batch statistics and updates running state, which
+//! per-shard replicas would silently compute per-shard and then discard.
+
+use std::sync::OnceLock;
+
+use bitrobust_nn::{tree_reduce_grads, CrossEntropyLoss, Mode, Model};
+use bitrobust_tensor::{parallel_for, Tensor};
+
+/// Shard count fixed by the experiment protocol (zoo training, paper
+/// reproduction binaries): enough to keep typical core counts busy, small
+/// enough that per-shard batches stay substantial, and — because the shard
+/// count decides where float sums split — constant so published numbers
+/// are identical on every machine.
+pub const TRAIN_SHARDS: usize = 8;
+
+/// Configuration of data-parallel training (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataParallel {
+    /// Number of contiguous shards each mini-batch is split into. Part of
+    /// the numerical contract: changing it changes where float gradient
+    /// sums split (thread count, by design, does not).
+    pub shards: usize,
+    /// Route the shard loop through an in-order serial execution instead of
+    /// the thread pool. Results are bit-identical either way — this exists
+    /// so the determinism suite can prove exactly that.
+    pub serial: bool,
+}
+
+impl DataParallel {
+    /// Data-parallel training over `shards` shards on the thread pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "data-parallel training needs at least one shard");
+        Self { shards, serial: false }
+    }
+
+    /// The experiment-protocol configuration: [`TRAIN_SHARDS`] shards.
+    pub fn protocol() -> Self {
+        Self::new(TRAIN_SHARDS)
+    }
+}
+
+/// The result of one sharded pass over a mini-batch.
+pub(crate) struct ShardedPass {
+    /// Batch-mean loss (shard loss sums reduced in shard order, f64).
+    pub loss: f32,
+    /// Gradient of the batch-mean loss, in parameter visit order, already
+    /// tree-reduced across shards; `None` for a forward-only pass.
+    pub grads: Option<Vec<Tensor>>,
+}
+
+/// Balanced contiguous shard boundaries: `rows` rows into `n` ranges whose
+/// sizes differ by at most one, earlier shards taking the remainder.
+fn shard_bounds(rows: usize, n: usize) -> Vec<(usize, usize)> {
+    let base = rows / n;
+    let rem = rows % n;
+    (0..n)
+        .map(|s| {
+            let start = s * base + s.min(rem);
+            let end = start + base + usize::from(s < rem);
+            (start, end)
+        })
+        .collect()
+}
+
+/// Copies rows `start..end` of a batched tensor into a new tensor.
+fn slice_rows(x: &Tensor, start: usize, end: usize) -> Tensor {
+    let rows = x.dim(0);
+    debug_assert!(start < end && end <= rows);
+    let sample = x.numel() / rows;
+    let mut shape = x.shape().to_vec();
+    shape[0] = end - start;
+    Tensor::from_vec(shape, x.data()[start * sample..end * sample].to_vec())
+}
+
+/// One data-parallel forward (and, with `need_grads`, backward) over
+/// `(x, labels)` against the current state of `model` (which is only read;
+/// gradients come back in the returned buffers and are merged by the
+/// caller). `need_grads: false` skips the per-shard backward, gradient
+/// extraction, and reduction entirely — the warm-up latch only needs the
+/// loss when the clean gradient is about to be discarded (the
+/// PerturbedOnly ablation past warm-up).
+///
+/// Empty shards cannot occur: the effective shard count is capped at the
+/// row count, so a final partial mini-batch smaller than the configured
+/// shard count simply uses fewer shards.
+pub(crate) fn sharded_forward_backward(
+    model: &Model,
+    x: &Tensor,
+    labels: &[usize],
+    loss_fn: &CrossEntropyLoss,
+    dp: &DataParallel,
+    need_grads: bool,
+) -> ShardedPass {
+    let rows = x.dim(0);
+    assert!(rows > 0, "cannot train on an empty mini-batch");
+    assert_eq!(labels.len(), rows, "labels/batch size mismatch");
+    // `DataParallel`'s fields are public; re-establish the `new` invariant
+    // here so a literal `shards: 0` fails with intent, not a divide-by-zero.
+    assert!(dp.shards > 0, "data-parallel training needs at least one shard");
+
+    let n_shards = dp.shards.min(rows);
+    let bounds = shard_bounds(rows, n_shards);
+    let run_shard = |s: usize| {
+        let (start, end) = bounds[s];
+        let shard_x = slice_rows(x, start, end);
+        let mut replica = model.clone();
+        // `Layer::clone_layer` copies `Param`s verbatim, so replicas inherit
+        // whatever gradients the primary has accumulated; their backward
+        // must start from zero.
+        replica.zero_grads();
+        let logits = replica.forward(&shard_x, Mode::Train);
+        let out = loss_fn.compute_scaled(&logits, &labels[start..end], rows);
+        if !need_grads {
+            return (out.loss_sum, Vec::new());
+        }
+        replica.backward(&out.grad);
+        (out.loss_sum, replica.grad_tensors())
+    };
+
+    let slots: Vec<OnceLock<(f64, Vec<Tensor>)>> = (0..n_shards).map(|_| OnceLock::new()).collect();
+    if dp.serial {
+        for (s, slot) in slots.iter().enumerate() {
+            assert!(slot.set(run_shard(s)).is_ok(), "shard {s} ran twice");
+        }
+    } else {
+        parallel_for(n_shards, |s| {
+            assert!(slots[s].set(run_shard(s)).is_ok(), "shard {s} ran twice");
+        });
+    }
+
+    let mut loss_sum = 0f64;
+    let mut buffers = Vec::with_capacity(n_shards);
+    for slot in slots {
+        let (shard_loss, shard_grads) = slot.into_inner().expect("missing shard result");
+        loss_sum += shard_loss;
+        buffers.push(shard_grads);
+    }
+    ShardedPass {
+        loss: (loss_sum / rows as f64) as f32,
+        grads: need_grads.then(|| tree_reduce_grads(buffers)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{build, ArchKind, NormKind};
+    use bitrobust_data::SynthDataset;
+    use rand::SeedableRng;
+
+    fn setup(batch: usize) -> (Model, Tensor, Vec<usize>) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let model = build(ArchKind::Mlp, [1, 14, 14], 10, NormKind::Group, &mut rng).model;
+        let (train_ds, _) = SynthDataset::Mnist.generate(0);
+        let (x, labels) = train_ds.batch_range(0, batch);
+        (model, x, labels)
+    }
+
+    fn grad_bits(grads: &[Tensor]) -> Vec<u32> {
+        grads.iter().flat_map(|t| t.data().iter().map(|v| v.to_bits())).collect()
+    }
+
+    #[test]
+    fn shard_bounds_are_balanced_and_cover_all_rows() {
+        for rows in [1usize, 5, 8, 17, 128] {
+            for n in 1..=rows.min(9) {
+                let bounds = shard_bounds(rows, n);
+                assert_eq!(bounds.len(), n);
+                assert_eq!(bounds[0].0, 0);
+                assert_eq!(bounds[n - 1].1, rows);
+                for w in bounds.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "shards must be contiguous");
+                }
+                let sizes: Vec<usize> = bounds.iter().map(|(s, e)| e - s).collect();
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "rows {rows} shards {n}: {sizes:?}");
+                assert!(*min >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn slice_rows_matches_dataset_range() {
+        let (_, x, _) = setup(12);
+        let s = slice_rows(&x, 3, 7);
+        assert_eq!(s.shape(), &[4, 1, 14, 14]);
+        let sample = 14 * 14;
+        assert_eq!(s.data(), &x.data()[3 * sample..7 * sample]);
+    }
+
+    /// A single shard is exactly the direct forward/backward on the model:
+    /// same loss bits, same gradient bits.
+    #[test]
+    fn one_shard_matches_direct_backward_bit_for_bit() {
+        let (mut model, x, labels) = setup(32);
+        let loss_fn = CrossEntropyLoss::new();
+
+        let pass =
+            sharded_forward_backward(&model, &x, &labels, &loss_fn, &DataParallel::new(1), true);
+
+        model.zero_grads();
+        let logits = model.forward(&x, Mode::Train);
+        let out = loss_fn.compute(&logits, &labels);
+        model.backward(&out.grad);
+
+        assert_eq!(pass.loss.to_bits(), out.loss.to_bits());
+        let grads = pass.grads.expect("gradients were requested");
+        assert_eq!(grad_bits(&grads), grad_bits(&model.grad_tensors()));
+    }
+
+    /// Parallel and serial shard execution must be byte-identical for every
+    /// shard count, including counts exceeding the row count.
+    #[test]
+    fn parallel_matches_serial_reference_for_all_shard_counts() {
+        let (model, x, labels) = setup(19);
+        let loss_fn = CrossEntropyLoss::new();
+        for shards in [1usize, 2, 3, 8, 64] {
+            let parallel = sharded_forward_backward(
+                &model,
+                &x,
+                &labels,
+                &loss_fn,
+                &DataParallel { shards, serial: false },
+                true,
+            );
+            let serial = sharded_forward_backward(
+                &model,
+                &x,
+                &labels,
+                &loss_fn,
+                &DataParallel { shards, serial: true },
+                true,
+            );
+            assert_eq!(parallel.loss.to_bits(), serial.loss.to_bits(), "shards {shards}");
+            assert_eq!(
+                grad_bits(&parallel.grads.expect("requested")),
+                grad_bits(&serial.grads.expect("requested")),
+                "shards {shards}"
+            );
+        }
+    }
+
+    /// Sharding approximates the direct gradient to float tolerance (the
+    /// exact bits legitimately differ: the split changes summation order).
+    #[test]
+    fn sharded_gradient_is_numerically_the_batch_gradient() {
+        let (mut model, x, labels) = setup(40);
+        let loss_fn = CrossEntropyLoss::new();
+        let pass =
+            sharded_forward_backward(&model, &x, &labels, &loss_fn, &DataParallel::new(4), true);
+
+        model.zero_grads();
+        let logits = model.forward(&x, Mode::Train);
+        let out = loss_fn.compute(&logits, &labels);
+        model.backward(&out.grad);
+
+        assert!((pass.loss - out.loss).abs() < 1e-5);
+        let direct = model.grad_tensors();
+        for (s, d) in pass.grads.expect("requested").iter().zip(&direct) {
+            for (sv, dv) in s.data().iter().zip(d.data()) {
+                assert!((sv - dv).abs() < 1e-5, "{sv} vs {dv}");
+            }
+        }
+    }
+
+    /// The primary model is untouched: no gradient, parameter, or cache
+    /// changes leak out of a sharded pass.
+    #[test]
+    fn model_state_is_untouched() {
+        let (mut model, x, labels) = setup(16);
+        model.zero_grads();
+        let params_before = model.param_tensors();
+        let grads_before = model.grad_tensors();
+        let _ = sharded_forward_backward(
+            &model,
+            &x,
+            &labels,
+            &CrossEntropyLoss::new(),
+            &DataParallel::protocol(),
+            true,
+        );
+        assert_eq!(model.param_tensors(), params_before);
+        assert_eq!(model.grad_tensors(), grads_before);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_is_rejected() {
+        let _ = DataParallel::new(0);
+    }
+
+    /// The public fields can bypass `DataParallel::new`; the pass itself
+    /// must still reject a zero shard count with the intended message.
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_literal_is_rejected_by_the_pass() {
+        let (model, x, labels) = setup(8);
+        let _ = sharded_forward_backward(
+            &model,
+            &x,
+            &labels,
+            &CrossEntropyLoss::new(),
+            &DataParallel { shards: 0, serial: false },
+            true,
+        );
+    }
+
+    /// A forward-only pass (the PerturbedOnly warm-up latch) yields the
+    /// same loss bits as the full pass and skips gradient work entirely.
+    #[test]
+    fn forward_only_pass_matches_loss_and_skips_grads() {
+        let (model, x, labels) = setup(24);
+        let loss_fn = CrossEntropyLoss::new();
+        let full =
+            sharded_forward_backward(&model, &x, &labels, &loss_fn, &DataParallel::new(4), true);
+        let loss_only =
+            sharded_forward_backward(&model, &x, &labels, &loss_fn, &DataParallel::new(4), false);
+        assert_eq!(loss_only.loss.to_bits(), full.loss.to_bits());
+        assert!(loss_only.grads.is_none());
+    }
+
+    /// Different shard counts split the float gradient sums differently:
+    /// the bits must actually depend on the configured count (this is what
+    /// makes the count part of the numerical contract).
+    #[test]
+    fn shard_count_changes_gradient_summation() {
+        let (model, x, labels) = setup(128);
+        let loss_fn = CrossEntropyLoss::new();
+        let two =
+            sharded_forward_backward(&model, &x, &labels, &loss_fn, &DataParallel::new(2), true);
+        let four =
+            sharded_forward_backward(&model, &x, &labels, &loss_fn, &DataParallel::new(4), true);
+        assert_ne!(
+            grad_bits(&two.grads.expect("requested")),
+            grad_bits(&four.grads.expect("requested")),
+            "gradient bits must depend on the shard count"
+        );
+    }
+}

@@ -24,6 +24,8 @@
 //! (`PATTBET`, [`TrainMethod::PattBet`]), the `Err`/`RErr` evaluation
 //! protocol ([`evaluate`], [`robust_eval_uniform`]) backed by the parallel
 //! fault-injection [`campaign`] engine ([`eval_images`], [`run_grid`]),
+//! deterministic data-parallel training
+//! ([`TrainConfig::data_parallel`] → [`data_parallel`]),
 //! the Prop. 1 generalization bound ([`deviation_bound`]), and the energy
 //! trade-off analysis combining the SRAM voltage/energy models with
 //! measured RErr curves ([`energy_tradeoff`]).
@@ -65,6 +67,7 @@
 mod arch;
 mod bound;
 pub mod campaign;
+pub mod data_parallel;
 mod ecc;
 mod energy;
 mod eval;
@@ -80,6 +83,7 @@ pub use campaign::{
     eval_images_streaming_with, eval_images_with, run_grid, run_grid_streaming, CampaignGrid,
     GridCell, ItemSizing, MAX_REPLICAS,
 };
+pub use data_parallel::{DataParallel, TRAIN_SHARDS};
 pub use ecc::{apply_secded, multi_error_probability, DoubleErrorPolicy, EccStats, SecdedConfig};
 pub use energy::{best_saving_within, energy_tradeoff, TradeoffPoint};
 pub use eval::{

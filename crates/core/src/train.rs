@@ -3,11 +3,13 @@
 
 use bitrobust_biterror::{ChipKind, ProfiledChip, UniformChip};
 use bitrobust_data::{augment_batch, AugmentConfig, Dataset};
-use bitrobust_nn::{CrossEntropyLoss, Mode, Model, MultiStepLr, Sgd};
+use bitrobust_nn::{CrossEntropyLoss, LossOutput, Mode, Model, MultiStepLr, Sgd};
 use bitrobust_quant::QuantScheme;
+use bitrobust_tensor::Tensor;
 use rand::Rng;
 use rand::SeedableRng;
 
+use crate::data_parallel::{sharded_forward_backward, DataParallel};
 use crate::eval::{
     evaluate, quantized_error, robust_eval_uniform, robust_eval_uniform_serial, RobustEval,
     EVAL_BATCH,
@@ -160,6 +162,18 @@ pub struct TrainConfig {
     /// Optional per-epoch `RErr` probe on the test set (requires a
     /// quantization scheme). See [`RErrProbe`].
     pub rerr_probe: Option<RErrProbe>,
+    /// Optional data-parallel execution of every training forward/backward:
+    /// each mini-batch is split into [`DataParallel::shards`] contiguous
+    /// shards, run on cloned replicas over the thread pool, and the
+    /// per-shard gradients are combined with a fixed-shape serial tree
+    /// reduction — byte-identical results at any thread count. `None`
+    /// (default) runs the historical single-model path. The shard count is
+    /// part of the numerical contract: `Some(DataParallel::new(n))` and
+    /// `None` produce different (equally valid) float trajectories.
+    ///
+    /// Requires a BatchNorm-free model: training-mode BatchNorm couples
+    /// batch rows through shared statistics, which sharding would change.
+    pub data_parallel: Option<DataParallel>,
 }
 
 impl TrainConfig {
@@ -179,6 +193,7 @@ impl TrainConfig {
             warmup_loss: 1.75,
             seed: 0,
             rerr_probe: None,
+            data_parallel: None,
         }
     }
 }
@@ -207,12 +222,69 @@ enum PattChipState {
     Profiled(Box<ProfiledChip>, f64, bool),
 }
 
+/// One forward/backward pass, held until the warm-up latch decides whether
+/// its gradient participates in the update.
+///
+/// The single-model path defers `Model::backward` (the activation caches
+/// from the forward are untouched in between); the data-parallel path has
+/// already reduced its shard gradients and defers only the merge.
+enum GradPass {
+    /// Direct path: the loss output whose `grad` drives `Model::backward`.
+    Direct(LossOutput),
+    /// Data-parallel path: tree-reduced gradient buffers to accumulate.
+    Sharded(Vec<Tensor>),
+}
+
+impl GradPass {
+    /// Adds this pass's gradient to the model's accumulated gradients.
+    fn accumulate(self, model: &mut Model) {
+        match self {
+            GradPass::Direct(out) => {
+                model.backward(&out.grad);
+            }
+            GradPass::Sharded(grads) => model.accumulate_grads(&grads),
+        }
+    }
+}
+
+/// Runs one training forward/backward over `(x, labels)` through the
+/// configured execution path, returning the batch-mean loss and the
+/// deferred gradient (see [`GradPass`]). With `need_grads: false` the
+/// gradient work is skipped where that saves anything (the sharded
+/// backward/reduction; the direct path defers its backward anyway) and
+/// `None` is returned — callers use this when the pass only feeds the
+/// warm-up latch.
+fn forward_backward(
+    model: &mut Model,
+    x: &Tensor,
+    labels: &[usize],
+    loss_fn: &CrossEntropyLoss,
+    dp: Option<&DataParallel>,
+    need_grads: bool,
+) -> (f32, Option<GradPass>) {
+    match dp {
+        None => {
+            let logits = model.forward(x, Mode::Train);
+            let out = loss_fn.compute(&logits, labels);
+            (out.loss, need_grads.then_some(GradPass::Direct(out)))
+        }
+        Some(dp) => {
+            let pass = sharded_forward_backward(model, x, labels, loss_fn, dp, need_grads);
+            (pass.loss, pass.grads.map(GradPass::Sharded))
+        }
+    }
+}
+
 /// Trains `model` on `train_ds` according to `cfg`, evaluating on `test_ds`.
 ///
 /// Implements Alg. 1 of the paper: per step, clip weights, quantize,
 /// run a clean forward/backward on the dequantized weights, optionally a
 /// perturbed forward/backward on bit-error-injected weights, and apply the
-/// summed gradient to the float weights.
+/// summed gradient to the float weights. With
+/// [`TrainConfig::data_parallel`] set, every forward/backward shards the
+/// mini-batch over model replicas (see [`crate::data_parallel`]); the
+/// resulting [`TrainReport`] is byte-identical across thread counts and to
+/// the [`DataParallel::serial`] reference.
 pub fn train(
     model: &mut Model,
     train_ds: &Dataset,
@@ -220,10 +292,21 @@ pub fn train(
     cfg: &TrainConfig,
 ) -> TrainReport {
     assert!(cfg.epochs > 0, "need at least one epoch");
+    assert!(!train_ds.is_empty(), "cannot train on an empty training set");
     assert!(
         cfg.rerr_probe.is_none() || cfg.scheme.is_some(),
         "the per-epoch RErr probe requires a quantization scheme"
     );
+    if cfg.data_parallel.is_some() {
+        let mut has_batchnorm = false;
+        model.visit_layers(&mut |l| has_batchnorm |= l.layer_type() == "BatchNorm2d");
+        assert!(
+            !has_batchnorm,
+            "data-parallel training requires a batch-size-independent training forward; \
+             BatchNorm2d computes whole-batch statistics and updates running state, which \
+             per-shard replicas would change and then discard — train without data_parallel"
+        );
+    }
     let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ 0x0072_A117);
     let loss_fn = match cfg.label_smoothing {
         Some(tau) => CrossEntropyLoss::with_label_smoothing(tau),
@@ -276,14 +359,31 @@ pub fn train(
             });
 
             // Clean forward (Alg. 1 line 10); the loss also drives the
-            // warm-up latch.
+            // warm-up latch. The backward (line 11) is deferred until the
+            // latch decides whether this step trains on the perturbed loss
+            // alone (the PerturbedOnly ablation); once that ablation is
+            // past warm-up its clean gradient is known-discarded, so the
+            // pass is asked for the loss only. (If the latch flips on this
+            // very batch, one computed gradient is dropped — unavoidable,
+            // since the decision needs this batch's loss.)
+            let is_perturbed_only_variant = matches!(
+                cfg.method,
+                TrainMethod::RandBet { variant: RandBetVariant::PerturbedOnly, .. }
+            );
+            let clean_grads_needed = !(bit_errors_active && is_perturbed_only_variant);
             model.zero_grads();
-            let logits = model.forward(&x, Mode::Train);
-            let out = loss_fn.compute(&logits, &labels);
-            epoch_loss += out.loss as f64;
+            let (clean_loss, clean_pass) = forward_backward(
+                model,
+                &x,
+                &labels,
+                &loss_fn,
+                cfg.data_parallel.as_ref(),
+                clean_grads_needed,
+            );
+            epoch_loss += clean_loss as f64;
             batches += 1;
 
-            if !bit_errors_active && out.loss < cfg.warmup_loss {
+            if !bit_errors_active && clean_loss < cfg.warmup_loss {
                 bit_errors_active = true;
                 bit_errors_started_at = Some(epoch);
             }
@@ -291,15 +391,11 @@ pub fn train(
             let inject_now = bit_errors_active
                 && matches!(cfg.method, TrainMethod::RandBet { .. } | TrainMethod::PattBet { .. });
 
-            // Clean backward (Alg. 1 line 11), unless this step trains on
-            // the perturbed loss alone (the PerturbedOnly ablation).
-            let perturbed_only = inject_now
-                && matches!(
-                    cfg.method,
-                    TrainMethod::RandBet { variant: RandBetVariant::PerturbedOnly, .. }
-                );
+            let perturbed_only = inject_now && is_perturbed_only_variant;
             if !perturbed_only {
-                model.backward(&out.grad);
+                clean_pass
+                    .expect("the clean gradient is computed whenever it participates")
+                    .accumulate(model);
             }
 
             let alternating = matches!(
@@ -307,50 +403,65 @@ pub fn train(
                 TrainMethod::RandBet { variant: RandBetVariant::Alternating, .. }
             );
 
-            if inject_now {
+            if inject_now && alternating {
                 let q =
                     quantized.as_ref().expect("bit error training requires a quantization scheme");
-                if alternating {
-                    // Variant: apply the clean update first.
-                    model.set_param_tensors(&float_params);
-                    sgd.step(model);
-                    model.zero_grads();
-                    // Record ranges to project the perturbed update into.
-                    let ranges: Vec<_> = q.tensors().iter().map(|t| t.range()).collect();
-                    let after_clean = model.param_tensors();
-                    let q2 =
-                        perturb(model, q, &cfg.method, &patt_chip, step, total_steps, &mut rng);
-                    q2.write_to(model);
-                    let logits = model.forward(&x, Mode::Train);
-                    let out = loss_fn.compute(&logits, &labels);
-                    model.backward(&out.grad);
-                    model.set_param_tensors(&after_clean);
-                    sgd.step(model);
-                    // Projection: perturbed updates may not grow the ranges.
-                    let mut idx = 0;
-                    model.visit_params(&mut |p| {
-                        let r = ranges[idx];
-                        p.value_mut().map_inplace(|v| v.clamp(r.lo(), r.hi()));
-                        idx += 1;
-                    });
-                    step += 1;
-                    continue;
-                }
-                // Alg. 1 lines 12-14: perturbed forward/backward.
-                let q2 = perturb(model, q, &cfg.method, &patt_chip, step, total_steps, &mut rng);
+                // Variant: apply the clean update first.
+                model.set_param_tensors(&float_params);
+                sgd.step(model);
+                model.zero_grads();
+                // Record ranges to project the perturbed update into.
+                let ranges: Vec<_> = q.tensors().iter().map(|t| t.range()).collect();
+                let after_clean = model.param_tensors();
+                let q2 = perturb(q, &cfg.method, &patt_chip, step, total_steps, &mut rng);
                 q2.write_to(model);
-                let logits = model.forward(&x, Mode::Train);
-                let out = loss_fn.compute(&logits, &labels);
-                model.backward(&out.grad);
+                let (_, perturbed_pass) = forward_backward(
+                    model,
+                    &x,
+                    &labels,
+                    &loss_fn,
+                    cfg.data_parallel.as_ref(),
+                    true,
+                );
+                perturbed_pass.expect("perturbed gradients were requested").accumulate(model);
+                model.set_param_tensors(&after_clean);
+                sgd.step(model);
+                // Projection: perturbed updates may not grow the ranges.
+                let mut idx = 0;
+                model.visit_params(&mut |p| {
+                    let r = ranges[idx];
+                    p.value_mut().map_inplace(|v| v.clamp(r.lo(), r.hi()));
+                    idx += 1;
+                });
+            } else {
+                if inject_now {
+                    let q = quantized
+                        .as_ref()
+                        .expect("bit error training requires a quantization scheme");
+                    // Alg. 1 lines 12-14: perturbed forward/backward.
+                    let q2 = perturb(q, &cfg.method, &patt_chip, step, total_steps, &mut rng);
+                    q2.write_to(model);
+                    let (_, perturbed_pass) = forward_backward(
+                        model,
+                        &x,
+                        &labels,
+                        &loss_fn,
+                        cfg.data_parallel.as_ref(),
+                        true,
+                    );
+                    perturbed_pass.expect("perturbed gradients were requested").accumulate(model);
+                }
+                // Alg. 1 line 16: update the float weights with the summed
+                // gradients.
+                model.set_param_tensors(&float_params);
+                sgd.step(model);
             }
-
-            // Alg. 1 line 16: update the float weights with the summed
-            // gradients.
-            model.set_param_tensors(&float_params);
-            sgd.step(model);
+            // The single shared step counter: every method and variant must
+            // advance it exactly once per mini-batch, because it feeds the
+            // per-step perturbation seeds and the Curricular ramp.
             step += 1;
         }
-        final_loss = (epoch_loss / batches.max(1) as f64) as f32;
+        final_loss = (epoch_loss / batches as f64) as f32;
         epoch_losses.push(final_loss);
 
         // Per-epoch RErr probe: evaluate a clipped *clone* through the
@@ -391,6 +502,15 @@ pub fn train(
         }
     }
 
+    // Warm-up step accounting: `step` seeds the per-step perturbations and
+    // the Curricular ramp divides by `total_steps`, so drift here silently
+    // changes injected error patterns. `shuffled_batches` yields the final
+    // partial batch, hence exactly ceil(len / batch) increments per epoch.
+    assert_eq!(
+        step, total_steps,
+        "step accounting drifted: a training path advanced `step` other than once per mini-batch"
+    );
+
     // Final projection + evaluation.
     if let Some(wmax) = cfg.method.wmax() {
         model.clip_params(wmax);
@@ -412,7 +532,6 @@ pub fn train(
 
 /// Produces the perturbed quantized image for the current step.
 fn perturb(
-    _model: &mut Model,
     q: &QuantizedModel,
     method: &TrainMethod,
     patt: &PattChipState,
@@ -581,6 +700,129 @@ mod tests {
             reports.push(train(&mut model, &train_ds, &test_ds, &cfg));
         }
         assert_eq!(reports[0], reports[1], "probe engine must not affect any reported number");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training set")]
+    fn empty_training_set_is_rejected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let built = build(ArchKind::Mlp, [1, 14, 14], 10, NormKind::Group, &mut rng);
+        let mut model = built.model;
+        let (_, test_ds) = mnist_subset();
+        let empty = Dataset::new("empty", Tensor::zeros(&[0, 1, 14, 14]), Vec::new(), 10);
+        let _ = train(&mut model, &empty, &test_ds, &quick_cfg(TrainMethod::Normal));
+    }
+
+    /// Every method/variant must advance `step` exactly once per mini-batch
+    /// (600 examples / 128 batch = 5 batches per epoch, final one partial);
+    /// the assertion inside `train` fires on any drift. Alternating used to
+    /// maintain its own increment on a separate control path.
+    #[test]
+    fn step_accounting_is_exact_for_every_method() {
+        let methods = [
+            TrainMethod::Normal,
+            TrainMethod::Clipping { wmax: 0.1 },
+            TrainMethod::RandBet { wmax: Some(0.1), p: 0.005, variant: RandBetVariant::Standard },
+            TrainMethod::RandBet { wmax: Some(0.1), p: 0.005, variant: RandBetVariant::Curricular },
+            TrainMethod::RandBet {
+                wmax: Some(0.1),
+                p: 0.005,
+                variant: RandBetVariant::Alternating,
+            },
+            TrainMethod::RandBet {
+                wmax: Some(0.1),
+                p: 0.005,
+                variant: RandBetVariant::PerturbedOnly,
+            },
+            TrainMethod::PattBet {
+                wmax: Some(0.1),
+                pattern: PattPattern::Uniform { seed: 7, p: 0.005 },
+            },
+        ];
+        for method in methods {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+            let built = build(ArchKind::Mlp, [1, 14, 14], 10, NormKind::Group, &mut rng);
+            let mut model = built.model;
+            let (train_ds, test_ds) = mnist_subset();
+            let mut cfg = quick_cfg(method);
+            cfg.warmup_loss = 100.0; // inject from step 0 for the BET methods
+            cfg.epochs = 2;
+            let report = train(&mut model, &train_ds, &test_ds, &cfg);
+            assert!(report.clean_error.is_finite(), "{method:?}");
+        }
+    }
+
+    #[test]
+    fn data_parallel_training_learns() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let built = build(ArchKind::Mlp, [1, 14, 14], 10, NormKind::Group, &mut rng);
+        let mut model = built.model;
+        let (train_ds, test_ds) = mnist_subset();
+        let mut cfg = quick_cfg(TrainMethod::Normal);
+        cfg.data_parallel = Some(DataParallel::new(4));
+        let report = train(&mut model, &train_ds, &test_ds, &cfg);
+        assert!(report.clean_error < 0.5, "error {} should beat chance", report.clean_error);
+    }
+
+    /// PerturbedOnly past warm-up asks the clean pass for the loss only;
+    /// the method must still train (on the perturbed gradient) under both
+    /// execution paths and report the same injection start.
+    #[test]
+    fn data_parallel_perturbed_only_trains() {
+        let mut reports = Vec::new();
+        for data_parallel in [None, Some(DataParallel::new(3))] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+            let built = build(ArchKind::Mlp, [1, 14, 14], 10, NormKind::Group, &mut rng);
+            let mut model = built.model;
+            let (train_ds, test_ds) = mnist_subset();
+            let mut cfg = quick_cfg(TrainMethod::RandBet {
+                wmax: Some(0.1),
+                p: 0.005,
+                variant: RandBetVariant::PerturbedOnly,
+            });
+            cfg.warmup_loss = 100.0;
+            cfg.epochs = 2;
+            cfg.data_parallel = data_parallel;
+            reports.push(train(&mut model, &train_ds, &test_ds, &cfg));
+        }
+        for report in &reports {
+            assert_eq!(report.bit_errors_started_at, Some(0));
+            assert!(report.clean_error.is_finite());
+        }
+    }
+
+    #[test]
+    fn data_parallel_rerr_probe_still_works() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let built = build(ArchKind::Mlp, [1, 14, 14], 10, NormKind::Group, &mut rng);
+        let mut model = built.model;
+        let (train_ds, test_ds) = mnist_subset();
+        let mut cfg = quick_cfg(TrainMethod::RandBet {
+            wmax: Some(0.1),
+            p: 0.01,
+            variant: RandBetVariant::Standard,
+        });
+        cfg.warmup_loss = 100.0;
+        cfg.epochs = 2;
+        cfg.rerr_probe = Some(RErrProbe::new(0.01, 2));
+        cfg.data_parallel = Some(DataParallel::new(3));
+        let report = train(&mut model, &train_ds, &test_ds, &cfg);
+        assert_eq!(report.epoch_rerr.len(), 2);
+        assert!(report.epoch_rerr.iter().all(|r| r.errors.len() == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "BatchNorm2d")]
+    fn data_parallel_rejects_batchnorm_models() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        // The MLP has no normalization layers; SimpleNet actually carries
+        // BatchNorm2d when built with NormKind::Batch.
+        let built = build(ArchKind::SimpleNet, [1, 14, 14], 10, NormKind::Batch, &mut rng);
+        let mut model = built.model;
+        let (train_ds, test_ds) = mnist_subset();
+        let mut cfg = quick_cfg(TrainMethod::Normal);
+        cfg.data_parallel = Some(DataParallel::new(2));
+        let _ = train(&mut model, &train_ds, &test_ds, &cfg);
     }
 
     #[test]

@@ -1,0 +1,21 @@
+//! Helpers shared between the core integration-test suites.
+
+use bitrobust_nn::Model;
+
+/// FNV-1a over all parameter bits: a byte-exact weights fingerprint.
+///
+/// Used by both the determinism thread matrix and the golden pinning
+/// tests — the committed `GOLDEN_DP_WEIGHTS_HASH` is a value of this
+/// function, so any change here invalidates that constant.
+pub fn weights_fingerprint(model: &Model) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for t in model.param_tensors() {
+        for v in t.data() {
+            for byte in v.to_bits().to_le_bytes() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+    }
+    hash
+}

@@ -12,14 +12,23 @@
 //! (the pool is sized once per process, so distinct counts need distinct
 //! processes), and asserts the fingerprints printed by the
 //! [`worker_fingerprints`] helper are identical across all three runs.
+//!
+//! Since data-parallel training landed, the same discipline covers
+//! `train()`: sharded training must be byte-identical to its in-order
+//! serial shard reference ([`bitrobust_core::DataParallel::serial`]) —
+//! losses, per-epoch RErr probes, *and* final weights — for every training
+//! method, at every thread count.
 
 use std::fmt::Write as _;
 
+mod common;
+use common::weights_fingerprint;
+
 use bitrobust_core::{
     build, eval_images, eval_images_serial, eval_images_sized, eval_images_streaming, evaluate,
-    evaluate_serial, run_grid, run_grid_streaming, train, ArchKind, CampaignGrid, EvalResult,
-    ItemSizing, NormKind, QuantizedModel, RErrProbe, RandBetVariant, TrainConfig, TrainMethod,
-    TrainReport, EVAL_BATCH,
+    evaluate_serial, run_grid, run_grid_streaming, train, ArchKind, CampaignGrid, DataParallel,
+    EvalResult, ItemSizing, NormKind, PattPattern, QuantizedModel, RErrProbe, RandBetVariant,
+    TrainConfig, TrainMethod, TrainReport, EVAL_BATCH,
 };
 use bitrobust_data::{AugmentConfig, Dataset, SynthDataset};
 use bitrobust_nn::{Mode, Model};
@@ -70,6 +79,38 @@ fn probed_training_report(serial_probe: bool) -> TrainReport {
     cfg.warmup_loss = 100.0;
     cfg.rerr_probe = Some(RErrProbe { serial: serial_probe, ..RErrProbe::new(0.01, 2) });
     train(&mut model, &train_ds, &test_ds, &cfg)
+}
+
+/// The training methods the data-parallel determinism contract is pinned
+/// over: all three bit-error training paths (Standard's summed gradients,
+/// PattBET's fixed pattern, Alternating's two-phase update).
+fn dp_methods() -> [TrainMethod; 3] {
+    [
+        TrainMethod::RandBet { wmax: Some(0.1), p: 0.01, variant: RandBetVariant::Standard },
+        TrainMethod::PattBet {
+            wmax: Some(0.1),
+            pattern: PattPattern::Uniform { seed: 77, p: 0.01 },
+        },
+        TrainMethod::RandBet { wmax: Some(0.1), p: 0.01, variant: RandBetVariant::Alternating },
+    ]
+}
+
+/// A short data-parallel training run; returns the report and the trained
+/// model so callers can compare weights byte-for-byte.
+fn dp_training_run(method: TrainMethod, dp: DataParallel) -> (TrainReport, Model) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let built = build(ArchKind::Mlp, [1, 14, 14], 10, NormKind::Group, &mut rng);
+    let mut model = built.model;
+    let (train_ds, test_ds) = mnist_subset();
+    let mut cfg = TrainConfig::new(Some(QuantScheme::rquant(8)), method);
+    cfg.epochs = 2;
+    cfg.batch_size = 128;
+    cfg.augment = AugmentConfig::none();
+    cfg.warmup_loss = 100.0;
+    cfg.rerr_probe = Some(RErrProbe::new(0.01, 2));
+    cfg.data_parallel = Some(dp);
+    let report = train(&mut model, &train_ds, &test_ds, &cfg);
+    (report, model)
 }
 
 fn fp_result(out: &mut String, r: &EvalResult) {
@@ -180,6 +221,62 @@ fn in_training_probes_parallel_matches_serial() {
 }
 
 // ---------------------------------------------------------------------------
+// (e) data-parallel training: parallel vs serial shard execution
+// ---------------------------------------------------------------------------
+
+#[test]
+fn data_parallel_training_matches_serial_reference() {
+    for method in dp_methods() {
+        let (parallel_report, parallel_model) =
+            dp_training_run(method, DataParallel { shards: 3, serial: false });
+        let (serial_report, serial_model) =
+            dp_training_run(method, DataParallel { shards: 3, serial: true });
+        assert_eq!(
+            parallel_report, serial_report,
+            "{method:?}: sharded training must not depend on how shards are scheduled"
+        );
+        assert_eq!(
+            parallel_model.param_tensors(),
+            serial_model.param_tensors(),
+            "{method:?}: final weights must be byte-identical"
+        );
+    }
+}
+
+/// The shard *count* is part of the numerical contract: different counts
+/// split float sums differently and legitimately produce different (still
+/// deterministic) trajectories. Guard against an implementation that
+/// secretly ignores the configured count. Float (unquantized) training is
+/// used because quantized training snaps last-ulp weight differences back
+/// onto the 8-bit grid, which can mask the split in the observable report.
+#[test]
+fn shard_count_is_a_numerical_contract() {
+    let run = |shards: usize| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let built = build(ArchKind::Mlp, [1, 14, 14], 10, NormKind::Group, &mut rng);
+        let mut model = built.model;
+        let (train_ds, test_ds) = mnist_subset();
+        let mut cfg = TrainConfig::new(None, TrainMethod::Clipping { wmax: 0.1 });
+        cfg.epochs = 2;
+        cfg.batch_size = 128;
+        cfg.augment = AugmentConfig::none();
+        cfg.data_parallel = Some(DataParallel::new(shards));
+        let report = train(&mut model, &train_ds, &test_ds, &cfg);
+        (report, model.param_tensors())
+    };
+    let (two, two_weights) = run(2);
+    let (two_again, two_weights_again) = run(2);
+    let (four, four_weights) = run(4);
+    assert_eq!(two, two_again, "same shard count must reproduce exactly");
+    assert_eq!(two_weights, two_weights_again);
+    assert_ne!(
+        (two.epoch_losses, two_weights),
+        (four.epoch_losses, four_weights),
+        "different shard counts should not be silently collapsed"
+    );
+}
+
+// ---------------------------------------------------------------------------
 // Thread-count matrix: 1, 2, and max threads must agree byte-for-byte.
 // ---------------------------------------------------------------------------
 
@@ -215,6 +312,26 @@ fn worker_fingerprints() {
     let report = probed_training_report(false);
     assert_eq!(report, probed_training_report(true));
     println!("FP probed_training {}", fp_report(&report));
+
+    // (e) data-parallel training: report + final weights, after asserting
+    // parallel == serial shard execution in-process.
+    let mut dp_fp = String::new();
+    for method in dp_methods() {
+        let (parallel_report, parallel_model) =
+            dp_training_run(method, DataParallel { shards: 3, serial: false });
+        let (serial_report, serial_model) =
+            dp_training_run(method, DataParallel { shards: 3, serial: true });
+        assert_eq!(parallel_report, serial_report, "{method:?}");
+        assert_eq!(parallel_model.param_tensors(), serial_model.param_tensors(), "{method:?}");
+        write!(
+            dp_fp,
+            "{}w{:016x}|",
+            fp_report(&parallel_report),
+            weights_fingerprint(&parallel_model)
+        )
+        .unwrap();
+    }
+    println!("FP dp_training {dp_fp}");
 }
 
 /// Extracts the `FP <case> <hex>` lines from a worker run's stdout. With
@@ -223,7 +340,7 @@ fn worker_fingerprints() {
 fn fingerprint_lines(stdout: &str) -> Vec<String> {
     let lines: Vec<String> =
         stdout.lines().filter_map(|l| l.find("FP ").map(|at| l[at..].to_string())).collect();
-    assert_eq!(lines.len(), 3, "worker must print one fingerprint per case:\n{stdout}");
+    assert_eq!(lines.len(), 4, "worker must print one fingerprint per case:\n{stdout}");
     lines
 }
 

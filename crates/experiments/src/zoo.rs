@@ -11,8 +11,8 @@ use std::path::PathBuf;
 use std::sync::OnceLock;
 
 use bitrobust_core::{
-    build, train, ArchKind, NormKind, PattPattern, RandBetVariant, TrainConfig, TrainMethod,
-    TrainReport,
+    build, train, ArchKind, DataParallel, NormKind, PattPattern, RandBetVariant, TrainConfig,
+    TrainMethod, TrainReport,
 };
 use bitrobust_data::{AugmentConfig, Dataset, SynthDataset};
 use bitrobust_nn::Model;
@@ -199,8 +199,16 @@ impl ZooSpec {
             }
         };
         let ls = self.label_smoothing.map_or("ls0".to_string(), |t| format!("ls{t:.2}"));
+        // The execution plan is part of the numerical identity of the
+        // trained weights: data-parallel training at k shards is a
+        // different float trajectory than the single-model path, so a
+        // cache written under one plan must never serve the other.
+        let dp = match self.train_config().data_parallel {
+            Some(d) => format!("dp{}", d.shards),
+            None => "dp0".to_string(),
+        };
         format!(
-            "{}-{arch}-{norm}-{scheme}-{method}-{ls}-e{}-s{}",
+            "{}-{arch}-{norm}-{scheme}-{method}-{ls}-e{}-s{}-{dp}",
             self.dataset.name(),
             self.epochs,
             self.seed
@@ -214,6 +222,16 @@ impl ZooSpec {
         cfg.warmup_loss = self.dataset.warmup_loss();
         cfg.augment = self.dataset.augment();
         cfg.seed = self.seed;
+        // Zoo training is data-parallel at the protocol shard count: the
+        // fixed count keeps trained weights identical on every machine and
+        // thread count, while single-model trainings (tab3/tab4-style
+        // binaries) get real wall-clock wins. Under `warm_zoo`'s own
+        // fan-out the shard loop runs inline on the claiming worker, so
+        // nothing is lost when many models train at once. BatchNorm specs
+        // must stay on the single-model path (whole-batch statistics).
+        if self.norm != NormKind::Batch {
+            cfg.data_parallel = Some(DataParallel::protocol());
+        }
         cfg
     }
 }
@@ -374,6 +392,20 @@ mod tests {
         assert_eq!(a.key(), a.key());
         assert!(a.key().contains("cifar10"));
         assert!(b.key().contains("clip0.100"));
+    }
+
+    /// The execution plan is part of the cache identity: data-parallel
+    /// weights are a different float trajectory than single-model ones, so
+    /// caches written before the dp rollout (or by the BatchNorm fallback)
+    /// must never be served to a dp training and vice versa.
+    #[test]
+    fn keys_encode_the_execution_plan() {
+        let dp =
+            ZooSpec::new(DatasetKind::Cifar10, Some(QuantScheme::rquant(8)), TrainMethod::Normal);
+        assert!(dp.key().ends_with("-dp8"), "{}", dp.key());
+        let mut single = dp.clone();
+        single.norm = NormKind::Batch;
+        assert!(single.key().ends_with("-dp0"), "{}", single.key());
     }
 
     #[test]

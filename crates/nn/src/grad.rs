@@ -1,0 +1,110 @@
+//! Deterministic combination of per-worker gradient buffers.
+//!
+//! Data-parallel training computes the gradient of one mini-batch on
+//! several model replicas, one contiguous shard of the batch each, and
+//! must then sum the per-shard gradient buffers. Floating-point addition
+//! is not associative, so the *shape* of that reduction is part of the
+//! numerical contract: as long as the shard partials themselves are
+//! deterministic, reducing them in a fixed shape makes the summed
+//! gradient bit-identical regardless of how many threads computed the
+//! partials — the same slot-then-serial-reduce discipline the evaluation
+//! campaign engine uses for its statistics.
+
+use bitrobust_tensor::Tensor;
+
+/// Sums per-shard gradient buffers with a fixed-shape pairwise tree.
+///
+/// `buffers[s]` is shard `s`'s gradient tensors in parameter visit order
+/// (see `Model::grad_tensors`). The reduction runs serially on the calling
+/// thread and always pairs `(0,1), (2,3), …` level by level, an odd
+/// leftover passing through unchanged, so for a given shard count the
+/// float summation order is a pure function of the input — independent of
+/// thread count and scheduling. The first buffer is reused as the
+/// accumulator, so no extra allocations are made.
+///
+/// # Panics
+///
+/// Panics if `buffers` is empty, or if the buffers disagree in arity or
+/// tensor shapes.
+///
+/// # Examples
+///
+/// ```
+/// use bitrobust_nn::tree_reduce_grads;
+/// use bitrobust_tensor::Tensor;
+///
+/// let shard = |v: f32| vec![Tensor::full(&[2], v)];
+/// let total = tree_reduce_grads(vec![shard(1.0), shard(2.0), shard(3.0)]);
+/// assert_eq!(total[0].data(), &[6.0, 6.0]);
+/// ```
+pub fn tree_reduce_grads(mut buffers: Vec<Vec<Tensor>>) -> Vec<Tensor> {
+    assert!(!buffers.is_empty(), "tree_reduce_grads needs at least one gradient buffer");
+    while buffers.len() > 1 {
+        let mut next = Vec::with_capacity(buffers.len().div_ceil(2));
+        let mut pairs = buffers.into_iter();
+        while let Some(mut left) = pairs.next() {
+            if let Some(right) = pairs.next() {
+                assert_eq!(left.len(), right.len(), "gradient buffer arity mismatch");
+                for (l, r) in left.iter_mut().zip(&right) {
+                    l.axpy(1.0, r);
+                }
+            }
+            next.push(left);
+        }
+        buffers = next;
+    }
+    buffers.pop().expect("non-empty by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buffer(values: &[f32]) -> Vec<Tensor> {
+        values.iter().map(|&v| Tensor::full(&[3], v)).collect()
+    }
+
+    #[test]
+    fn single_buffer_passes_through_unchanged() {
+        let out = tree_reduce_grads(vec![buffer(&[1.5, -2.0])]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].data(), &[1.5, 1.5, 1.5]);
+        assert_eq!(out[1].data(), &[-2.0, -2.0, -2.0]);
+    }
+
+    #[test]
+    fn sums_all_shards_for_every_count() {
+        for n in 1..=9usize {
+            let buffers: Vec<Vec<Tensor>> = (0..n).map(|s| buffer(&[s as f32 + 1.0])).collect();
+            let out = tree_reduce_grads(buffers);
+            let expected = (n * (n + 1) / 2) as f32;
+            assert_eq!(out[0].data(), &[expected, expected, expected], "n = {n}");
+        }
+    }
+
+    /// The reduction shape is fixed: re-running with the same inputs must
+    /// produce the same bits, including for values where float addition
+    /// order matters.
+    #[test]
+    fn reduction_is_reproducible_bit_for_bit() {
+        let make = || {
+            (0..7).map(|s| vec![Tensor::full(&[4], 0.1f32 + s as f32 * 1e-7)]).collect::<Vec<_>>()
+        };
+        let a = tree_reduce_grads(make());
+        let b = tree_reduce_grads(make());
+        let bits = |t: &Tensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<u32>>();
+        assert_eq!(bits(&a[0]), bits(&b[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one gradient buffer")]
+    fn rejects_empty_input() {
+        let _ = tree_reduce_grads(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn rejects_mismatched_arity() {
+        let _ = tree_reduce_grads(vec![buffer(&[1.0, 2.0]), buffer(&[1.0])]);
+    }
+}

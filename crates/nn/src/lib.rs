@@ -16,8 +16,11 @@
 //! * [`CrossEntropyLoss`] with the paper's label-smoothing variant;
 //! * [`Sgd`] with momentum/weight decay and the paper's [`MultiStepLr`]
 //!   schedule;
-//! * a [`Model`] wrapper with parameter snapshot/restore, clipping, and
-//!   serialization;
+//! * a [`Model`] wrapper with parameter snapshot/restore, clipping,
+//!   serialization, and a gradient buffer API
+//!   ([`Model::grad_tensors`] / [`Model::accumulate_grads`] plus the
+//!   fixed-shape [`tree_reduce_grads`] reduction) for deterministic
+//!   data-parallel training;
 //! * a finite-difference [`gradcheck`] harness validating every layer.
 //!
 //! Normalization layers implement the paper's App. E reparameterization
@@ -57,6 +60,7 @@
 mod activation;
 mod container;
 mod conv;
+mod grad;
 pub mod gradcheck;
 pub mod init;
 mod layer;
@@ -71,6 +75,7 @@ mod pooling;
 pub use activation::Relu;
 pub use container::{Flatten, Residual, Sequential};
 pub use conv::Conv2d;
+pub use grad::tree_reduce_grads;
 pub use layer::{Layer, Mode};
 pub use linear::Linear;
 pub use loss::{CrossEntropyLoss, LossOutput};

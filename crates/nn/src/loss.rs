@@ -29,9 +29,14 @@ pub struct CrossEntropyLoss {
 /// The results of a loss evaluation.
 #[derive(Debug, Clone)]
 pub struct LossOutput {
-    /// Mean loss over the batch.
+    /// Loss normalized by the denominator passed to
+    /// [`CrossEntropyLoss::compute_scaled`] — the batch mean for
+    /// [`CrossEntropyLoss::compute`].
     pub loss: f32,
-    /// Gradient of the mean loss w.r.t. the logits, `[batch, classes]`.
+    /// Unnormalized sum of per-example losses (f64, so data-parallel
+    /// shards can be reduced without losing the bits of the batch mean).
+    pub loss_sum: f64,
+    /// Gradient of the normalized loss w.r.t. the logits, `[batch, classes]`.
     pub grad: Tensor,
     /// Softmax probabilities, `[batch, classes]`.
     pub probs: Tensor,
@@ -58,17 +63,36 @@ impl CrossEntropyLoss {
         self.smoothing_target
     }
 
-    /// Computes loss, logits gradient, and probabilities.
+    /// Computes the batch-mean loss, logits gradient, and probabilities.
     ///
     /// # Panics
     ///
     /// Panics if `logits` is not 2-D, `labels.len()` differs from the batch
     /// size, or a label is out of range.
     pub fn compute(&self, logits: &Tensor, labels: &[usize]) -> LossOutput {
+        self.compute_scaled(logits, labels, logits.dim(0))
+    }
+
+    /// [`CrossEntropyLoss::compute`] with an explicit normalization
+    /// denominator: loss and gradient are divided by `denom` instead of the
+    /// number of rows in `logits`.
+    ///
+    /// This is the shard-side primitive of data-parallel training: each
+    /// worker evaluates its slice of the mini-batch with `denom` set to the
+    /// *full* batch size, so the per-shard gradients are already scaled by
+    /// `1/B` and sum — in a fixed reduction order — to the gradient of the
+    /// batch-mean loss. With `denom == logits.dim(0)` this is exactly
+    /// [`CrossEntropyLoss::compute`], bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// As [`CrossEntropyLoss::compute`], and if `denom == 0`.
+    pub fn compute_scaled(&self, logits: &Tensor, labels: &[usize], denom: usize) -> LossOutput {
         assert_eq!(logits.ndim(), 2, "logits must be [batch, classes]");
         let (batch, classes) = (logits.dim(0), logits.dim(1));
         assert_eq!(labels.len(), batch, "labels/batch size mismatch");
         assert!(classes >= 2, "need at least two classes");
+        assert!(denom > 0, "loss denominator must be positive");
 
         let probs = softmax_rows(logits);
         let (target_true, target_other) = match self.smoothing_target {
@@ -78,7 +102,7 @@ impl CrossEntropyLoss {
 
         let mut grad = probs.clone();
         let mut loss = 0.0f64;
-        let inv_batch = 1.0 / batch as f32;
+        let inv_denom = 1.0 / denom as f32;
         {
             let g = grad.data_mut();
             let p = probs.data();
@@ -90,11 +114,11 @@ impl CrossEntropyLoss {
                     if t > 0.0 {
                         loss -= t as f64 * (p[idx].max(1e-12) as f64).ln();
                     }
-                    g[idx] = (p[idx] - t) * inv_batch;
+                    g[idx] = (p[idx] - t) * inv_denom;
                 }
             }
         }
-        LossOutput { loss: (loss / batch as f64) as f32, grad, probs }
+        LossOutput { loss: (loss / denom as f64) as f32, loss_sum: loss, grad, probs }
     }
 }
 
@@ -165,5 +189,48 @@ mod tests {
     fn rejects_out_of_range_labels() {
         let loss = CrossEntropyLoss::new();
         let _ = loss.compute(&Tensor::zeros(&[1, 3]), &[3]);
+    }
+
+    #[test]
+    fn compute_scaled_with_batch_denominator_matches_compute() {
+        let loss = CrossEntropyLoss::new();
+        let logits = Tensor::from_vec(
+            vec![3, 4],
+            vec![0.5, -0.2, 0.1, 2.0, 1.0, 0.0, -1.0, 0.3, 0.2, 0.7, -0.4, 0.0],
+        );
+        let labels = [2usize, 0, 3];
+        let a = loss.compute(&logits, &labels);
+        let b = loss.compute_scaled(&logits, &labels, 3);
+        assert_eq!(a.loss.to_bits(), b.loss.to_bits());
+        assert_eq!(a.loss_sum.to_bits(), b.loss_sum.to_bits());
+        assert_eq!(a.grad, b.grad);
+    }
+
+    #[test]
+    fn sharded_loss_sums_recover_the_batch_mean() {
+        let loss = CrossEntropyLoss::new();
+        let logits = Tensor::from_vec(vec![4, 2], vec![1.0, 0.0, 0.9, 0.1, 0.0, 1.0, 0.1, 0.9]);
+        let labels = [0usize, 0, 1, 1];
+        let whole = loss.compute(&logits, &labels);
+
+        // Split into two shards, each normalized by the full batch size.
+        let top = Tensor::from_vec(vec![3, 2], logits.data()[..6].to_vec());
+        let bottom = Tensor::from_vec(vec![1, 2], logits.data()[6..].to_vec());
+        let a = loss.compute_scaled(&top, &labels[..3], 4);
+        let b = loss.compute_scaled(&bottom, &labels[3..], 4);
+        let mean = ((a.loss_sum + b.loss_sum) / 4.0) as f32;
+        assert!((mean - whole.loss).abs() < 1e-6);
+        // Shard gradients concatenate to the batch-mean gradient.
+        let merged: Vec<f32> = a.grad.data().iter().chain(b.grad.data()).copied().collect();
+        for (m, w) in merged.iter().zip(whole.grad.data()) {
+            assert!((m - w).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn compute_scaled_rejects_zero_denominator() {
+        let loss = CrossEntropyLoss::new();
+        let _ = loss.compute_scaled(&Tensor::zeros(&[1, 3]), &[0], 0);
     }
 }

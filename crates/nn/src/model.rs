@@ -140,6 +140,35 @@ impl Model {
         self.visit_params(&mut |p| p.zero_grad());
     }
 
+    /// Clones all accumulated gradient tensors in visit order — the
+    /// extraction half of the data-parallel gradient buffer API. A training
+    /// replica runs `forward`/`backward` on its shard of a mini-batch, then
+    /// its gradients are pulled out with this and merged into the primary
+    /// model via [`Model::accumulate_grads`] (after a deterministic
+    /// [`crate::tree_reduce_grads`] across shards).
+    pub fn grad_tensors(&self) -> Vec<Tensor> {
+        let mut out = Vec::new();
+        self.visit_params_ref(&mut |p| out.push(p.grad().clone()));
+        out
+    }
+
+    /// Adds `grads` (visit order, e.g. from [`Model::grad_tensors`] on a
+    /// replica) onto this model's accumulated gradients — the merge half of
+    /// the data-parallel gradient buffer API.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the count or any shape differs.
+    pub fn accumulate_grads(&mut self, grads: &[Tensor]) {
+        let mut index = 0;
+        self.visit_params(&mut |p| {
+            let g = grads.get(index).expect("fewer gradient tensors than parameters");
+            p.grad_mut().axpy(1.0, g);
+            index += 1;
+        });
+        assert_eq!(index, grads.len(), "more gradient tensors than parameters");
+    }
+
     /// Projects every parameter onto `[-wmax, wmax]` (the paper's weight
     /// clipping, Alg. 1 line 6).
     ///
@@ -301,6 +330,52 @@ mod tests {
         for y in outputs {
             assert_eq!(y, expected);
         }
+    }
+
+    #[test]
+    fn grad_tensors_round_trip_through_accumulate() {
+        use crate::CrossEntropyLoss;
+
+        let mut m = toy_model(20);
+        let x = Tensor::full(&[2, 4], 0.5);
+        let labels = [0usize, 2];
+
+        // Compute a reference gradient directly on the model.
+        m.zero_grads();
+        let logits = m.forward(&x, Mode::Train);
+        let out = CrossEntropyLoss::new().compute(&logits, &labels);
+        m.backward(&out.grad);
+        let reference = m.grad_tensors();
+        assert_eq!(reference.len(), m.num_param_tensors());
+
+        // A replica doing the same work hands its buffers back losslessly.
+        let mut replica = m.clone();
+        replica.zero_grads();
+        let logits = replica.forward(&x, Mode::Train);
+        let out = CrossEntropyLoss::new().compute(&logits, &labels);
+        replica.backward(&out.grad);
+        let shard = replica.grad_tensors();
+        assert_eq!(shard, reference);
+
+        // Accumulating onto zeroed gradients reproduces the buffer; a second
+        // accumulation doubles it (gradients accumulate, Alg. 1 style).
+        m.zero_grads();
+        m.accumulate_grads(&shard);
+        assert_eq!(m.grad_tensors(), reference);
+        m.accumulate_grads(&shard);
+        let doubled = m.grad_tensors();
+        for (d, r) in doubled.iter().zip(&reference) {
+            for (dv, rv) in d.data().iter().zip(r.data()) {
+                assert_eq!(*dv, rv + rv);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer gradient tensors")]
+    fn accumulate_grads_rejects_short_input() {
+        let mut m = toy_model(21);
+        m.accumulate_grads(&[Tensor::zeros(&[8, 4])]);
     }
 
     #[test]

@@ -101,8 +101,19 @@ impl MultiStepLr {
     }
 
     /// The paper's schedule: ×0.1 after 2/5, 3/5 and 4/5 of `epochs`.
+    ///
+    /// Zero and duplicate milestones (which integer division produces for
+    /// small epoch budgets) are dropped: a milestone of 0 would count as
+    /// already passed at epoch 0, so every short run would start at
+    /// `0.1 × base` and never train at the base learning rate, and a
+    /// duplicated milestone would apply two decay steps at once.
     pub fn paper_schedule(base: f32, epochs: usize) -> Self {
-        Self::new(base, vec![epochs * 2 / 5, epochs * 3 / 5, epochs * 4 / 5], 0.1)
+        let mut milestones: Vec<usize> = [epochs * 2 / 5, epochs * 3 / 5, epochs * 4 / 5]
+            .into_iter()
+            .filter(|&m| m > 0)
+            .collect();
+        milestones.dedup();
+        Self::new(base, milestones, 0.1)
     }
 
     /// Learning rate for the given (0-based) epoch.
@@ -168,5 +179,35 @@ mod tests {
         assert_eq!(s.lr_at(9), 1.0);
         assert_eq!(s.lr_at(10), 0.5);
         assert_eq!(s.lr_at(25), 0.25);
+    }
+
+    /// Regression test: `epochs * 2 / 5 == 0` for `epochs < 3` used to put a
+    /// milestone at epoch 0, so `lr_at(0)` already counted a passed decay and
+    /// short runs never saw the base learning rate.
+    #[test]
+    fn paper_schedule_drops_zero_and_duplicate_milestones() {
+        // epochs = 1: all milestones collapse to 0 and are dropped.
+        let s1 = MultiStepLr::paper_schedule(0.05, 1);
+        assert_eq!(s1.lr_at(0), 0.05);
+
+        // epochs = 2: milestones [0, 1, 1] -> [1]; one decay step at epoch 1.
+        let s2 = MultiStepLr::paper_schedule(0.05, 2);
+        assert_eq!(s2.lr_at(0), 0.05);
+        assert!((s2.lr_at(1) - 0.005).abs() < 1e-9);
+
+        // epochs = 5: the canonical [2, 3, 4] staircase.
+        let s5 = MultiStepLr::paper_schedule(0.05, 5);
+        assert_eq!(s5.lr_at(0), 0.05);
+        assert!((s5.lr_at(2) - 0.005).abs() < 1e-9);
+        assert!((s5.lr_at(3) - 0.0005).abs() < 1e-9);
+        assert!((s5.lr_at(4) - 0.00005).abs() < 1e-10);
+
+        // epochs = 100: unchanged by the fix.
+        let s100 = MultiStepLr::paper_schedule(0.05, 100);
+        assert_eq!(s100.lr_at(0), 0.05);
+        assert_eq!(s100.lr_at(39), 0.05);
+        assert!((s100.lr_at(40) - 0.005).abs() < 1e-9);
+        assert!((s100.lr_at(60) - 0.0005).abs() < 1e-9);
+        assert!((s100.lr_at(99) - 0.00005).abs() < 1e-10);
     }
 }
