@@ -1,23 +1,26 @@
 //! End-to-end robust evaluation cost: quantize → inject → dequantize →
 //! forward over a test set, per simulated chip — comparing the serial
 //! reference path against the parallel fault-injection campaign engine,
-//! plus clean (single-pattern) evaluation through the same engine, plus
-//! single-model vs data-parallel RandBET training.
+//! plus clean (single-pattern) evaluation through the same engine,
+//! single-model vs data-parallel RandBET training, and per-model
+//! `run_grid` loops vs the orchestrated multi-model sweep (`run_sweep`).
 //!
 //! Besides the criterion benchmarks, running this bench writes a
 //! machine-readable `BENCH_robust_eval.json` at the workspace root with
 //! serial vs parallel wall-clock and the resulting speedups. CI uploads
 //! the file as an artifact and **fails the build if the campaign path or
 //! data-parallel training regresses to slower than serial** on multi-core
-//! runners (`speedup < 1.0`).
+//! runners (`speedup < 1.0`), with a graded floor for the orchestrated
+//! sweep (its baseline is already parallel).
 
 use std::time::Instant;
 
 use bitrobust_biterror::UniformChip;
 use bitrobust_core::{
-    build, eval_images, eval_images_serial, evaluate, evaluate_serial, robust_eval_uniform, train,
-    ArchKind, DataParallel, NormKind, QuantizedModel, RandBetVariant, TrainConfig, TrainMethod,
-    TrainReport,
+    build, eval_images, eval_images_serial, evaluate, evaluate_serial, robust_eval_uniform,
+    run_grid, run_sweep, train, ArchKind, CampaignGrid, ChipAxis, DataParallel, NormKind,
+    QuantizedModel, RandBetVariant, RobustEval, SweepAxis, SweepModel, SweepOptions, TrainConfig,
+    TrainMethod, TrainReport,
 };
 use bitrobust_data::{AugmentConfig, Dataset, SynthDataset};
 use bitrobust_nn::{Mode, Model};
@@ -30,6 +33,10 @@ const RATE: f64 = 0.01;
 const BATCH: usize = 256;
 const TRAIN_EPOCHS: usize = 2;
 const TRAIN_BATCH: usize = 128;
+/// Models in the orchestrated-sweep comparison.
+const SWEEP_MODELS: usize = 2;
+/// Chips per rate of the per-model grids the sweep orchestrates.
+const SWEEP_CHIPS: usize = 4;
 
 fn setup() -> (Model, Dataset) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(0);
@@ -59,6 +66,40 @@ fn train_once(data_parallel: Option<DataParallel>) -> TrainReport {
     cfg.warmup_loss = 100.0;
     cfg.data_parallel = data_parallel;
     train(&mut model, &train_ds, &test_ds, &cfg)
+}
+
+/// The multi-model sweep comparison setup: `SWEEP_MODELS` distinct models
+/// plus the shared rate grid their cells span.
+fn sweep_setup() -> (Vec<Model>, Vec<f64>, Dataset) {
+    let (_, test_ds) = SynthDataset::Mnist.generate(0);
+    let models: Vec<Model> = (0..SWEEP_MODELS as u64)
+        .map(|seed| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            build(ArchKind::Mlp, [1, 14, 14], 10, NormKind::Group, &mut rng).model
+        })
+        .collect();
+    (models, vec![0.005, RATE], test_ds)
+}
+
+/// The baseline the orchestrator replaces: one (already parallel)
+/// `run_grid` campaign per model, in sequence.
+fn per_model_grids(models: &[Model], rates: &[f64], test_ds: &Dataset) -> Vec<Vec<RobustEval>> {
+    let grid = CampaignGrid::uniform(QuantScheme::rquant(8), rates.to_vec(), SWEEP_CHIPS, 42);
+    models.iter().map(|m| run_grid(m, &grid, test_ds, BATCH, Mode::Eval).remove(0)).collect()
+}
+
+/// The orchestrated path: every model's cells in one fan-out (no store —
+/// this measures pure compute).
+fn orchestrated_sweep(models: &[Model], rates: &[f64], test_ds: &Dataset) -> Vec<Vec<RobustEval>> {
+    let entries: Vec<SweepModel> = models
+        .iter()
+        .enumerate()
+        .map(|(i, m)| SweepModel::new(format!("bench-{i}"), QuantScheme::rquant(8), m))
+        .collect();
+    let axes = vec![SweepAxis::new("uniform", ChipAxis::uniform(rates.to_vec(), SWEEP_CHIPS, 42))];
+    let opts = SweepOptions { batch_size: BATCH, mode: Mode::Eval };
+    let results = run_sweep(&entries, &axes, test_ds, &opts, None, |_, _| {});
+    (0..models.len()).map(|mi| results.robust(mi, 0)).collect()
 }
 
 fn chip_images(model: &Model) -> Vec<QuantizedModel> {
@@ -110,6 +151,13 @@ fn bench_robust_eval(c: &mut Criterion) {
     group.bench_function("train_serial_2ep_600ex", |b| b.iter(|| train_once(None)));
     group.bench_function("train_parallel_2ep_600ex", |b| {
         b.iter(|| train_once(Some(DataParallel::protocol())))
+    });
+    let (models, rates, sweep_ds) = sweep_setup();
+    group.bench_function("per_model_grids_2model", |b| {
+        b.iter(|| per_model_grids(&models, &rates, &sweep_ds))
+    });
+    group.bench_function("orchestrated_sweep_2model", |b| {
+        b.iter(|| orchestrated_sweep(&models, &rates, &sweep_ds))
     });
     group.finish();
 }
@@ -175,6 +223,20 @@ fn emit_json_comparison() {
     let train_serial_secs = best_of(|| drop(train_once(None)), reps);
     let train_parallel_secs = best_of(|| drop(train_once(Some(DataParallel::protocol()))), reps);
 
+    // Orchestrated multi-model sweep vs sequential per-model grids: the
+    // cells must be byte-identical, the fused fan-out at least as fast.
+    let (sweep_models, sweep_rates, sweep_ds) = sweep_setup();
+    let per_model_ref = per_model_grids(&sweep_models, &sweep_rates, &sweep_ds);
+    let sweep_ref = orchestrated_sweep(&sweep_models, &sweep_rates, &sweep_ds);
+    assert_eq!(
+        per_model_ref, sweep_ref,
+        "orchestrated sweep must be bit-identical to per-model grids"
+    );
+    let per_model_secs =
+        best_of(|| drop(per_model_grids(&sweep_models, &sweep_rates, &sweep_ds)), reps);
+    let sweep_secs =
+        best_of(|| drop(orchestrated_sweep(&sweep_models, &sweep_rates, &sweep_ds)), reps);
+
     // The pool's own accounting (BITROBUST_THREADS override included).
     let threads = bitrobust_tensor::pool_parallelism();
     let json = format!(
@@ -185,6 +247,8 @@ fn emit_json_comparison() {
          \"clean_campaign_secs\": {:.6},\n  \"clean_speedup\": {:.3},\n  \
          \"train_serial_secs\": {:.6},\n  \"train_parallel_secs\": {:.6},\n  \
          \"train_speedup\": {:.3},\n  \"train_shards\": {},\n  \
+         \"sweep_models\": {},\n  \"per_model_secs\": {:.6},\n  \
+         \"sweep_secs\": {:.6},\n  \"sweep_speedup\": {:.3},\n  \
          \"bit_identical\": true\n}}\n",
         test_ds.name(),
         test_ds.len(),
@@ -202,6 +266,10 @@ fn emit_json_comparison() {
         train_parallel_secs,
         train_serial_secs / train_parallel_secs,
         bitrobust_core::TRAIN_SHARDS,
+        SWEEP_MODELS,
+        per_model_secs,
+        sweep_secs,
+        per_model_secs / sweep_secs,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_robust_eval.json");
     std::fs::write(path, &json).expect("write BENCH_robust_eval.json");

@@ -41,5 +41,5 @@ mod uniform;
 
 pub use hash::{hash_u64, hash_unit};
 pub use inject::{ErrorInjector, NoErrors};
-pub use profiled::{ChipKind, ProfiledChip, ProfiledInjector};
+pub use profiled::{ChipKind, ProfiledAxis, ProfiledChip, ProfiledInjector, TAB5_OFFSET_STRIDE};
 pub use uniform::{expected_bit_errors, UniformChip, UniformInjector};

@@ -181,6 +181,127 @@ impl ProfiledChip {
     }
 }
 
+/// A profiled-chip evaluation axis: target bit error rates (each resolved
+/// to an operating voltage on the synthesized chip) crossed with several
+/// weight-to-memory mapping offsets per rate — the Tab. 5 / App. C.1
+/// protocol as a first-class, iterable description.
+///
+/// Points are ordered **rate-major**: point `i` is
+/// `(rate[i / n_offsets], offset index i % n_offsets)`, and offset index
+/// `k` maps weights at bit-cell offset `k * offset_stride`. The order is
+/// part of the axis identity ([`ProfiledAxis::key`]) because campaign
+/// cells are stored and resumed under per-point content hashes.
+///
+/// # Examples
+///
+/// ```
+/// use bitrobust_biterror::{ChipKind, ProfiledAxis};
+///
+/// let axis = ProfiledAxis::tab5(ChipKind::Chip1, 0, vec![0.0086, 0.0275], 4);
+/// assert_eq!(axis.n_points(), 8);
+/// assert_eq!(axis.point(5), (1, 1)); // second rate, second offset
+/// let chip = axis.synthesize();
+/// let voltages = axis.voltages(&chip);
+/// assert!(voltages[0] > voltages[1], "higher rate needs lower voltage");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfiledAxis {
+    /// Which published chip to synthesize.
+    pub kind: ChipKind,
+    /// Seed selecting the chip instance.
+    pub chip_seed: u64,
+    /// Target bit error rates; each is resolved to the chip voltage whose
+    /// measured rate is closest ([`ProfiledChip::voltage_for_rate`]).
+    pub rates: Vec<f64>,
+    /// Weight-to-memory mapping offsets evaluated per rate.
+    pub n_offsets: usize,
+    /// Bit-cell stride between consecutive mapping offsets.
+    pub offset_stride: usize,
+    /// Restrict injection to persistent faults (Tab. 16).
+    pub persistent_only: bool,
+}
+
+/// The mapping-offset stride of the Tab. 5 protocol (a prime-ish constant
+/// so consecutive offsets decorrelate against the chip's column structure).
+pub const TAB5_OFFSET_STRIDE: usize = 131_071;
+
+impl ProfiledAxis {
+    /// The Tab. 5 protocol axis: all faults, [`TAB5_OFFSET_STRIDE`] between
+    /// mapping offsets.
+    pub fn tab5(kind: ChipKind, chip_seed: u64, rates: Vec<f64>, n_offsets: usize) -> Self {
+        Self {
+            kind,
+            chip_seed,
+            rates,
+            n_offsets,
+            offset_stride: TAB5_OFFSET_STRIDE,
+            persistent_only: false,
+        }
+    }
+
+    /// Total number of axis points (`rates × offsets`).
+    pub fn n_points(&self) -> usize {
+        self.rates.len() * self.n_offsets
+    }
+
+    /// Decomposes a point index into `(rate index, offset index)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point >= self.n_points()`.
+    pub fn point(&self, point: usize) -> (usize, usize) {
+        assert!(point < self.n_points(), "axis point {point} out of range");
+        (point / self.n_offsets, point % self.n_offsets)
+    }
+
+    /// Synthesizes the axis's chip (deterministic in `kind` and
+    /// `chip_seed`).
+    pub fn synthesize(&self) -> ProfiledChip {
+        ProfiledChip::synthesize(self.kind, self.chip_seed)
+    }
+
+    /// Resolves every target rate to its operating voltage on `chip`, in
+    /// rate order. Bisection is deterministic, so callers can resolve once
+    /// and share the result across all points.
+    pub fn voltages(&self, chip: &ProfiledChip) -> Vec<f64> {
+        self.rates.iter().map(|&p| chip.voltage_for_rate(p)).collect()
+    }
+
+    /// The injector for axis point `point`, given the synthesized chip and
+    /// its pre-resolved [`ProfiledAxis::voltages`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point` is out of range or `voltages` does not match the
+    /// rate count.
+    pub fn injector<'c>(
+        &self,
+        chip: &'c ProfiledChip,
+        voltages: &[f64],
+        point: usize,
+    ) -> ProfiledInjector<'c> {
+        assert_eq!(voltages.len(), self.rates.len(), "one voltage per rate");
+        let (rate, offset) = self.point(point);
+        chip.at_voltage(voltages[rate], offset * self.offset_stride, self.persistent_only)
+    }
+
+    /// A stable identity string for persistent cell keys: chip kind, seed,
+    /// offset grid, fault filter, and the exact rates (shortest round-trip
+    /// float encoding, so re-parsing yields identical `f64`s).
+    pub fn key(&self) -> String {
+        let rates: Vec<String> = self.rates.iter().map(|r| format!("{r:e}")).collect();
+        format!(
+            "{}-s{}-o{}x{}-{}-r[{}]",
+            self.kind.name(),
+            self.chip_seed,
+            self.n_offsets,
+            self.offset_stride,
+            if self.persistent_only { "pers" } else { "all" },
+            rates.join(",")
+        )
+    }
+}
+
 /// A [`ProfiledChip`] bound to a voltage and memory mapping.
 #[derive(Debug, Clone, Copy)]
 pub struct ProfiledInjector<'a> {
@@ -294,6 +415,43 @@ mod tests {
         let c_pers: u32 = pers.iter().map(|w| w.count_ones()).sum();
         assert!(c_pers < c_all);
         assert!(c_pers > 0);
+    }
+
+    #[test]
+    fn axis_points_iterate_rate_major_and_match_manual_injection() {
+        let axis = ProfiledAxis::tab5(ChipKind::Chip1, 1, vec![0.01, 0.02], 3);
+        assert_eq!(axis.n_points(), 6);
+        let order: Vec<(usize, usize)> = (0..axis.n_points()).map(|i| axis.point(i)).collect();
+        assert_eq!(order, [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]);
+
+        // Each point's injector must equal the hand-built Tab. 5 loop:
+        // voltage from the rate, offset from the stride.
+        let chip = axis.synthesize();
+        let voltages = axis.voltages(&chip);
+        for point in 0..axis.n_points() {
+            let (rate, offset) = axis.point(point);
+            let mut via_axis = vec![0u8; 2000];
+            axis.injector(&chip, &voltages, point).inject(&mut via_axis, 8, 0);
+            let mut manual = vec![0u8; 2000];
+            let v = chip.voltage_for_rate(axis.rates[rate]);
+            chip.at_voltage(v, offset * TAB5_OFFSET_STRIDE, false).inject(&mut manual, 8, 0);
+            assert_eq!(via_axis, manual, "point {point}");
+        }
+    }
+
+    #[test]
+    fn axis_keys_encode_every_identity_component() {
+        let base = ProfiledAxis::tab5(ChipKind::Chip2, 3, vec![0.0014, 0.0108], 8);
+        assert_eq!(base.key(), "chip2-s3-o8x131071-all-r[1.4e-3,1.08e-2]");
+        let mut pers = base.clone();
+        pers.persistent_only = true;
+        assert_ne!(base.key(), pers.key());
+        let mut reseeded = base.clone();
+        reseeded.chip_seed = 4;
+        assert_ne!(base.key(), reseeded.key());
+        let mut restrided = base.clone();
+        restrided.offset_stride = 1;
+        assert_ne!(base.key(), restrided.key());
     }
 
     #[test]

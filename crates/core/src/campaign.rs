@@ -88,7 +88,7 @@
 
 use std::sync::OnceLock;
 
-use bitrobust_biterror::UniformChip;
+use bitrobust_biterror::{ProfiledAxis, ProfiledChip, UniformChip};
 use bitrobust_data::Dataset;
 use bitrobust_nn::{Mode, Model};
 use bitrobust_quant::QuantScheme;
@@ -361,9 +361,68 @@ fn eval_chunk(
     sizing: ItemSizing,
     results: &mut Vec<EvalResult>,
 ) {
-    let owned: Vec<Model> = chunk.iter().map(|q| build_replica(template, q)).collect();
+    let pairs: Vec<(&Model, &QuantizedModel)> = chunk.iter().map(|q| (template, q)).collect();
+    eval_pair_chunk(&pairs, dataset, batch_size, mode, sizing, results);
+}
+
+/// Multi-template chunk evaluation: each image carries its own template
+/// model (the multi-model sweep's fan-out unit). Per-image results are
+/// byte-identical to evaluating that image in a single-template campaign.
+fn eval_pair_chunk(
+    pairs: &[(&Model, &QuantizedModel)],
+    dataset: &Dataset,
+    batch_size: usize,
+    mode: Mode,
+    sizing: ItemSizing,
+    results: &mut Vec<EvalResult>,
+) {
+    let owned: Vec<Model> = pairs.iter().map(|(t, q)| build_replica(t, q)).collect();
     let replicas: Vec<&Model> = owned.iter().collect();
     eval_replicas(&replicas, dataset, batch_size, mode, sizing, results);
+}
+
+/// The multi-model streaming campaign: evaluates `n_cells` lazily built
+/// quantized images, where cell `i`'s image is built by `make_cell(i)`
+/// against the template model `templates[make_cell(i).0]` — so one fan-out
+/// can span **several models'** cells (the sweep orchestrator's engine
+/// entry point). Waves, replica chunking, and per-cell delivery behave
+/// exactly as in [`eval_images_streaming_with`].
+///
+/// Each cell's result is **byte-identical** to evaluating the same image
+/// through a single-template campaign of its own model: cells never share
+/// state, so neither the cohort of cells in the fan-out nor their order
+/// affects any individual result (which is what lets a resumed sweep skip
+/// already-stored cells without perturbing the rest).
+///
+/// # Panics
+///
+/// Panics if a cell's template index is out of range, or on the
+/// [`eval_images`] conditions.
+pub fn eval_cells_streaming_with(
+    templates: &[&Model],
+    n_cells: usize,
+    make_cell: impl Fn(usize) -> (usize, QuantizedModel),
+    dataset: &Dataset,
+    batch_size: usize,
+    mode: Mode,
+    mut on_cell: impl FnMut(usize, &EvalResult),
+) -> Vec<EvalResult> {
+    validate(dataset, batch_size, mode);
+    let wave = streaming_wave(dataset.len().div_ceil(batch_size));
+    let mut results = Vec::with_capacity(n_cells);
+    let mut start = 0;
+    while start < n_cells {
+        let end = (start + wave).min(n_cells);
+        let cells: Vec<(usize, QuantizedModel)> = (start..end).map(&make_cell).collect();
+        let pairs: Vec<(&Model, &QuantizedModel)> =
+            cells.iter().map(|(t, q)| (templates[*t], q)).collect();
+        eval_pair_chunk(&pairs, dataset, batch_size, mode, ItemSizing::Adaptive, &mut results);
+        for (i, result) in results.iter().enumerate().take(end).skip(start) {
+            on_cell(i, result);
+        }
+        start = end;
+    }
+    results
 }
 
 /// The engine core: evaluates shared model replicas over `dataset`,
@@ -499,6 +558,214 @@ pub struct GridCell {
     pub chip: usize,
 }
 
+/// One heterogeneous injection axis: the generalization of
+/// [`CampaignGrid`]'s uniform-chips-only span to *any* family of error
+/// patterns the paper evaluates. An axis is a grid of **groups** (one per
+/// bit error rate) times **points per group** (simulated chips, or
+/// weight-to-memory mapping offsets), and every point deterministically
+/// yields one perturbed quantized image.
+///
+/// Axes are pure descriptions — cheap to clone, compare, and hash into
+/// persistent identities ([`ChipAxis::key`]) — and are *prepared* once per
+/// campaign (profiled-chip synthesis, rate→voltage resolution) before any
+/// cell is built.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChipAxis {
+    /// Uniform random chips: `rates × n_chips` cells with chip `c` seeded
+    /// `chip_seed_base + c` — exactly [`CampaignGrid`]'s span, same seeds,
+    /// same cell order (rate-major, then chip).
+    Uniform {
+        /// Bit error rates `p`.
+        rates: Vec<f64>,
+        /// Simulated chips per rate.
+        n_chips: usize,
+        /// Seed of chip 0; chip `c` uses `chip_seed_base + c`.
+        chip_seed_base: u64,
+    },
+    /// A profiled chip's voltage/offset span (Tab. 5): rates resolved to
+    /// operating voltages, crossed with mapping offsets.
+    Profiled(ProfiledAxis),
+}
+
+impl ChipAxis {
+    /// The uniform axis matching `CampaignGrid { rates, n_chips,
+    /// chip_seed_base }`.
+    pub fn uniform(rates: Vec<f64>, n_chips: usize, chip_seed_base: u64) -> Self {
+        ChipAxis::Uniform { rates, n_chips, chip_seed_base }
+    }
+
+    /// The bit error rates spanned (one per group; for profiled axes these
+    /// are the *target* rates the voltages were resolved from).
+    pub fn rates(&self) -> &[f64] {
+        match self {
+            ChipAxis::Uniform { rates, .. } => rates,
+            ChipAxis::Profiled(axis) => &axis.rates,
+        }
+    }
+
+    /// Number of groups (= rates).
+    pub fn n_groups(&self) -> usize {
+        self.rates().len()
+    }
+
+    /// Points per group (chips for uniform axes, mapping offsets for
+    /// profiled ones).
+    pub fn group_size(&self) -> usize {
+        match self {
+            ChipAxis::Uniform { n_chips, .. } => *n_chips,
+            ChipAxis::Profiled(axis) => axis.n_offsets,
+        }
+    }
+
+    /// Total number of axis points (`n_groups × group_size`).
+    pub fn n_points(&self) -> usize {
+        self.n_groups() * self.group_size()
+    }
+
+    /// A stable identity string covering every input that shapes the
+    /// injected patterns (seeds, rates in exact round-trip encoding, group
+    /// geometry). Sweep-store cell keys hash this, so two axes with equal
+    /// keys must produce byte-identical cells.
+    pub fn key(&self) -> String {
+        match self {
+            ChipAxis::Uniform { rates, n_chips, chip_seed_base } => {
+                let rates: Vec<String> = rates.iter().map(|r| format!("{r:e}")).collect();
+                format!("uniform-s{chip_seed_base}-c{n_chips}-r[{}]", rates.join(","))
+            }
+            ChipAxis::Profiled(axis) => axis.key(),
+        }
+    }
+
+    /// Resolves the axis for cell construction: synthesizes the profiled
+    /// chip and its per-rate operating voltages once, so per-point image
+    /// building is cheap. Deterministic — preparing twice yields
+    /// byte-identical cells.
+    pub(crate) fn prepare(&self) -> PreparedAxis<'_> {
+        match self {
+            ChipAxis::Uniform { rates, n_chips, chip_seed_base } => {
+                PreparedAxis::Uniform { rates, n_chips: *n_chips, chip_seed_base: *chip_seed_base }
+            }
+            ChipAxis::Profiled(axis) => {
+                let chip = axis.synthesize();
+                let voltages = axis.voltages(&chip);
+                PreparedAxis::Profiled { axis, chip, voltages }
+            }
+        }
+    }
+}
+
+/// A [`ChipAxis`] with its per-campaign state resolved (synthesized chip,
+/// rate→voltage table). Built once per sweep/campaign; shared by all of
+/// the axis's cells.
+pub(crate) enum PreparedAxis<'a> {
+    Uniform { rates: &'a [f64], n_chips: usize, chip_seed_base: u64 },
+    Profiled { axis: &'a ProfiledAxis, chip: ProfiledChip, voltages: Vec<f64> },
+}
+
+impl PreparedAxis<'_> {
+    /// Builds the perturbed quantized image of axis point `point` from the
+    /// clean quantized image `q0`.
+    pub(crate) fn make_image(&self, q0: &QuantizedModel, point: usize) -> QuantizedModel {
+        let mut q = q0.clone();
+        match self {
+            PreparedAxis::Uniform { rates, n_chips, chip_seed_base } => {
+                let p = rates[point / n_chips];
+                let c = point % n_chips;
+                q.inject(&UniformChip::new(chip_seed_base + c as u64).at_rate(p));
+            }
+            PreparedAxis::Profiled { axis, chip, voltages } => {
+                q.inject(&axis.injector(chip, voltages, point));
+            }
+        }
+        q
+    }
+}
+
+/// Identifies one cell of a [`run_axis`] campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AxisCell {
+    /// Index into the campaign's scheme list.
+    pub scheme: usize,
+    /// Group (= rate) index within the axis.
+    pub group: usize,
+    /// Point index within the group (chip or mapping offset).
+    pub point: usize,
+}
+
+/// Runs `schemes × axis` as **one** parallel campaign: quantizes the model
+/// once per scheme, builds every axis point's perturbed image lazily, and
+/// fans all cells out together. Returns `[scheme][group]` [`RobustEval`]s.
+///
+/// For a uniform axis this is exactly [`run_grid`]; profiled axes make
+/// Tab. 5-style voltage/offset sweeps run as one campaign too.
+///
+/// # Panics
+///
+/// Panics if `schemes` or the axis is empty in any dimension, or on the
+/// [`eval_images`] conditions.
+pub fn run_axis(
+    model: &Model,
+    schemes: &[QuantScheme],
+    axis: &ChipAxis,
+    dataset: &Dataset,
+    batch_size: usize,
+    mode: Mode,
+) -> Vec<Vec<RobustEval>> {
+    run_axis_streaming(model, schemes, axis, dataset, batch_size, mode, |_, _| {})
+}
+
+/// [`run_axis`] with a per-cell progress callback: `on_cell(cell, result)`
+/// fires for every (scheme, group, point) cell — scheme-major, then
+/// group-major, then point order — as soon as its wave completes. The
+/// returned grid is byte-identical to [`run_axis`]'s.
+///
+/// # Panics
+///
+/// As [`run_axis`].
+pub fn run_axis_streaming(
+    model: &Model,
+    schemes: &[QuantScheme],
+    axis: &ChipAxis,
+    dataset: &Dataset,
+    batch_size: usize,
+    mode: Mode,
+    mut on_cell: impl FnMut(AxisCell, &EvalResult),
+) -> Vec<Vec<RobustEval>> {
+    assert!(!schemes.is_empty(), "campaign needs at least one scheme");
+    assert!(axis.n_groups() > 0, "campaign axis needs at least one rate");
+    assert!(axis.group_size() > 0, "campaign axis needs at least one point per rate");
+
+    let prepared = axis.prepare();
+    let group = axis.group_size();
+    schemes
+        .iter()
+        .enumerate()
+        .map(|(scheme_index, &scheme)| {
+            // Quantize once per scheme; build each point's image lazily as
+            // its wave is reached, so peak memory stays at one wave of
+            // images + replicas however large the axis.
+            let q0 = QuantizedModel::quantize(model, scheme);
+            let cells = eval_images_streaming_with(
+                model,
+                axis.n_points(),
+                |point| prepared.make_image(&q0, point),
+                dataset,
+                batch_size,
+                mode,
+                |point, result| {
+                    let id = AxisCell {
+                        scheme: scheme_index,
+                        group: point / group,
+                        point: point % group,
+                    };
+                    on_cell(id, result);
+                },
+            );
+            cells.chunks(group).map(RobustEval::from_results).collect()
+        })
+        .collect()
+}
+
 /// Runs a whole [`CampaignGrid`] as **one** parallel campaign.
 ///
 /// Quantizes the model once per scheme, injects every (rate, chip) pattern,
@@ -541,43 +808,10 @@ pub fn run_grid_streaming(
     mode: Mode,
     mut on_cell: impl FnMut(GridCell, &EvalResult),
 ) -> Vec<Vec<RobustEval>> {
-    assert!(!grid.schemes.is_empty(), "campaign grid needs at least one scheme");
-    assert!(!grid.rates.is_empty(), "campaign grid needs at least one rate");
-    assert!(grid.n_chips > 0, "campaign grid needs at least one chip");
-
-    grid.schemes
-        .iter()
-        .enumerate()
-        .map(|(scheme_index, &scheme)| {
-            // Quantize once per scheme; inject each (rate, chip) pattern
-            // lazily as its wave is reached, so peak memory stays at one
-            // wave of images + replicas however large the grid.
-            let q0 = QuantizedModel::quantize(model, scheme);
-            let cells = eval_images_streaming_with(
-                model,
-                grid.rates.len() * grid.n_chips,
-                |cell| {
-                    let p = grid.rates[cell / grid.n_chips];
-                    let c = cell % grid.n_chips;
-                    let mut q = q0.clone();
-                    q.inject(&UniformChip::new(grid.chip_seed_base + c as u64).at_rate(p));
-                    q
-                },
-                dataset,
-                batch_size,
-                mode,
-                |cell, result| {
-                    let id = GridCell {
-                        scheme: scheme_index,
-                        rate: cell / grid.n_chips,
-                        chip: cell % grid.n_chips,
-                    };
-                    on_cell(id, result);
-                },
-            );
-            cells.chunks(grid.n_chips).map(RobustEval::from_results).collect()
-        })
-        .collect()
+    let axis = ChipAxis::uniform(grid.rates.clone(), grid.n_chips, grid.chip_seed_base);
+    run_axis_streaming(model, &grid.schemes, &axis, dataset, batch_size, mode, |cell, result| {
+        on_cell(GridCell { scheme: cell.scheme, rate: cell.group, chip: cell.point }, result)
+    })
 }
 
 #[cfg(test)]

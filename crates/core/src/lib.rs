@@ -23,7 +23,10 @@
 //! The crate also implements the non-generalizing fixed-pattern baseline
 //! (`PATTBET`, [`TrainMethod::PattBet`]), the `Err`/`RErr` evaluation
 //! protocol ([`evaluate`], [`robust_eval_uniform`]) backed by the parallel
-//! fault-injection [`campaign`] engine ([`eval_images`], [`run_grid`]),
+//! fault-injection [`campaign`] engine ([`eval_images`], [`run_grid`],
+//! profiled-chip axes via [`run_axis`]), the durable [`sweep`]
+//! orchestrator (multi-model × multi-axis campaigns checkpointed to a
+//! resumable on-disk [`SweepStore`] — [`run_sweep`]),
 //! deterministic data-parallel training
 //! ([`TrainConfig::data_parallel`] → [`data_parallel`]),
 //! the Prop. 1 generalization bound ([`deviation_bound`]), and the energy
@@ -74,14 +77,17 @@ mod eval;
 mod probe;
 mod qmodel;
 mod redundancy;
+pub mod store;
+pub mod sweep;
 mod train;
 
 pub use arch::{build, ArchKind, BuiltModel, NormKind};
 pub use bound::{deviation_bound, deviation_probability};
 pub use campaign::{
-    eval_images, eval_images_serial, eval_images_sized, eval_images_streaming,
-    eval_images_streaming_with, eval_images_with, run_grid, run_grid_streaming, CampaignGrid,
-    GridCell, ItemSizing, MAX_REPLICAS,
+    eval_cells_streaming_with, eval_images, eval_images_serial, eval_images_sized,
+    eval_images_streaming, eval_images_streaming_with, eval_images_with, run_axis,
+    run_axis_streaming, run_grid, run_grid_streaming, AxisCell, CampaignGrid, ChipAxis, GridCell,
+    ItemSizing, MAX_REPLICAS,
 };
 pub use data_parallel::{DataParallel, TRAIN_SHARDS};
 pub use ecc::{apply_secded, multi_error_probability, DoubleErrorPolicy, EccStats, SecdedConfig};
@@ -94,6 +100,8 @@ pub use eval::{
 pub use probe::{has_attached_probes, probe_handles, ActivationProbe, ProbeHandle, ProbeStats};
 pub use qmodel::QuantizedModel;
 pub use redundancy::{redundancy_metrics, RedundancyMetrics};
+pub use store::{CellRecord, StoreError, SweepStore};
+pub use sweep::{run_sweep, SweepAxis, SweepCell, SweepModel, SweepOptions, SweepResults};
 pub use train::{
     train, PattPattern, RErrProbe, RandBetVariant, TrainConfig, TrainMethod, TrainReport,
 };

@@ -1,12 +1,21 @@
 //! Helpers shared between the core integration-test suites.
 
+use bitrobust_biterror::{ChipKind, ProfiledAxis};
+use bitrobust_core::{
+    build, run_sweep, ArchKind, ChipAxis, NormKind, SweepAxis, SweepModel, SweepOptions,
+    SweepResults, SweepStore,
+};
+use bitrobust_data::{Dataset, SynthDataset};
 use bitrobust_nn::Model;
+use bitrobust_quant::QuantScheme;
+use rand::SeedableRng;
 
 /// FNV-1a over all parameter bits: a byte-exact weights fingerprint.
 ///
 /// Used by both the determinism thread matrix and the golden pinning
 /// tests — the committed `GOLDEN_DP_WEIGHTS_HASH` is a value of this
 /// function, so any change here invalidates that constant.
+#[allow(dead_code)] // not every test binary including `common` fingerprints weights
 pub fn weights_fingerprint(model: &Model) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for t in model.param_tensors() {
@@ -18,4 +27,59 @@ pub fn weights_fingerprint(model: &Model) -> u64 {
         }
     }
     hash
+}
+
+// The canonical sweep fixture — ONE plan shared by the determinism thread
+// matrix and the kill-and-resume suite, so a protocol tweak can never
+// desynchronize the two. Two seed-0 MLPs × (Chip1 profiled axis + uniform
+// axis) = 16 cells. `#[allow(dead_code)]`: `common` is compiled into every
+// test binary that declares it, and not all of them use these fixtures.
+
+/// The fixture's models and evaluation dataset.
+#[allow(dead_code)]
+pub fn sweep_fixture_models() -> (Model, Model, Dataset) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let a = build(ArchKind::Mlp, [1, 14, 14], 10, NormKind::Group, &mut rng).model;
+    let b = build(ArchKind::Mlp, [1, 14, 14], 10, NormKind::Group, &mut rng).model;
+    let (_, test) = SynthDataset::Mnist.generate(0);
+    (a, b, test)
+}
+
+/// The fixture's axes: a profiled voltage/offset axis plus a uniform axis.
+#[allow(dead_code)]
+pub fn sweep_fixture_axes() -> Vec<SweepAxis> {
+    vec![
+        SweepAxis::new(
+            "profiled",
+            ChipAxis::Profiled(ProfiledAxis::tab5(ChipKind::Chip1, 0, vec![0.01, 0.02], 2)),
+        ),
+        SweepAxis::new("uniform", ChipAxis::uniform(vec![0.001, 0.01], 2, 1000)),
+    ]
+}
+
+/// Total cells of the fixture plan.
+#[allow(dead_code)]
+pub const SWEEP_FIXTURE_CELLS: usize = 16;
+
+/// Runs the fixture plan. `on_evaluated(n)` fires after the `n`-th freshly
+/// evaluated (non-resumed) cell — the kill worker uses it to die mid-run.
+#[allow(dead_code)]
+pub fn run_sweep_fixture(
+    models: (&Model, &Model),
+    test: &Dataset,
+    store: Option<&mut SweepStore>,
+    mut on_evaluated: impl FnMut(usize),
+) -> SweepResults {
+    let scheme = QuantScheme::rquant(8);
+    let entries = vec![
+        SweepModel::new("mlp-a", scheme, models.0),
+        SweepModel::new("mlp-b", scheme, models.1),
+    ];
+    let mut evaluated = 0usize;
+    run_sweep(&entries, &sweep_fixture_axes(), test, &SweepOptions::default(), store, |cell, _| {
+        if !cell.resumed {
+            evaluated += 1;
+            on_evaluated(evaluated);
+        }
+    })
 }

@@ -18,6 +18,11 @@
 //! serial shard reference ([`bitrobust_core::DataParallel::serial`]) —
 //! losses, per-epoch RErr probes, *and* final weights — for every training
 //! method, at every thread count.
+//!
+//! The sweep orchestrator extends it once more: profiled-chip axes must
+//! match their serial reference with a pinned iteration order, and a
+//! killed-and-resumed multi-model sweep's store must fingerprint
+//! identically to a single-shot run's — again at 1, 2, and max threads.
 
 use std::fmt::Write as _;
 
@@ -26,9 +31,10 @@ use common::weights_fingerprint;
 
 use bitrobust_core::{
     build, eval_images, eval_images_serial, eval_images_sized, eval_images_streaming, evaluate,
-    evaluate_serial, run_grid, run_grid_streaming, train, ArchKind, CampaignGrid, DataParallel,
-    EvalResult, ItemSizing, NormKind, PattPattern, QuantizedModel, RErrProbe, RandBetVariant,
-    TrainConfig, TrainMethod, TrainReport, EVAL_BATCH,
+    evaluate_serial, run_axis, run_axis_streaming, run_grid, run_grid_streaming, train, ArchKind,
+    CampaignGrid, ChipAxis, DataParallel, EvalResult, ItemSizing, NormKind, PattPattern,
+    QuantizedModel, RErrProbe, RandBetVariant, SweepStore, TrainConfig, TrainMethod, TrainReport,
+    EVAL_BATCH,
 };
 use bitrobust_data::{AugmentConfig, Dataset, SynthDataset};
 use bitrobust_nn::{Mode, Model};
@@ -209,6 +215,72 @@ fn adaptive_and_per_batch_sizing_match_serial() {
 }
 
 // ---------------------------------------------------------------------------
+// (c2) profiled-chip axes: campaign vs serial reference, fixed iteration
+// ---------------------------------------------------------------------------
+
+/// The canonical two-model × two-axis (profiled + uniform) sweep plan the
+/// thread-matrix and kill-resume tests pin — defined once in
+/// [`common::run_sweep_fixture`] so both suites stay in lockstep. `None`
+/// store = pure compute.
+fn tiny_sweep(store: Option<&mut SweepStore>) -> Vec<EvalResult> {
+    let (a, b, test) = common::sweep_fixture_models();
+    common::run_sweep_fixture((&a, &b), &test, store, |_| {}).cells().to_vec()
+}
+
+/// A profiled-chip axis campaign must be byte-identical to the serial
+/// reference over manually built images, and iterate rate-major then
+/// offset-major — the order its cells are persisted and resumed under.
+#[test]
+fn profiled_axis_matches_serial_reference_and_iteration_order() {
+    use bitrobust_biterror::{ChipKind, ProfiledAxis};
+    let (model, test) = tiny_setup();
+    let scheme = QuantScheme::rquant(8);
+    let axis = ProfiledAxis::tab5(ChipKind::Chip1, 0, vec![0.01, 0.02], 3);
+
+    // The manual Tab. 5-style loop: voltage per rate, offset per column.
+    let chip = axis.synthesize();
+    let voltages = axis.voltages(&chip);
+    let q0 = QuantizedModel::quantize(&model, scheme);
+    let images: Vec<QuantizedModel> = (0..axis.n_points())
+        .map(|point| {
+            let mut q = q0.clone();
+            q.inject(&axis.injector(&chip, &voltages, point));
+            q
+        })
+        .collect();
+    let serial = eval_images_serial(&model, &images, &test, EVAL_BATCH, Mode::Eval);
+
+    let mut seen = Vec::new();
+    let campaign = run_axis_streaming(
+        &model,
+        &[scheme],
+        &ChipAxis::Profiled(axis.clone()),
+        &test,
+        EVAL_BATCH,
+        Mode::Eval,
+        |cell, _| seen.push((cell.group, cell.point)),
+    )
+    .remove(0);
+
+    assert_eq!(campaign.iter().map(|r| r.errors.len()).sum::<usize>(), axis.n_points());
+    for (group, robust) in campaign.iter().enumerate() {
+        for (offset, &error) in robust.errors.iter().enumerate() {
+            let reference = serial[group * axis.n_offsets + offset];
+            assert_eq!(error, reference.error, "cell ({group}, {offset})");
+        }
+    }
+    let expected: Vec<(usize, usize)> =
+        (0..axis.rates.len()).flat_map(|g| (0..axis.n_offsets).map(move |o| (g, o))).collect();
+    assert_eq!(seen, expected, "profiled cells must stream rate-major, in order");
+
+    // And the batch entry point agrees with the streaming one.
+    let batch =
+        run_axis(&model, &[scheme], &ChipAxis::Profiled(axis), &test, EVAL_BATCH, Mode::Eval)
+            .remove(0);
+    assert_eq!(batch, campaign);
+}
+
+// ---------------------------------------------------------------------------
 // (d) in-training RErr probes: parallel vs serial
 // ---------------------------------------------------------------------------
 
@@ -332,6 +404,42 @@ fn worker_fingerprints() {
         .unwrap();
     }
     println!("FP dp_training {dp_fp}");
+
+    // (f) the durable sweep orchestrator: a 2-model (profiled + uniform
+    // axis) sweep's store must fingerprint identically whether run in one
+    // shot or interrupted and resumed — at every thread count.
+    let dir = std::env::temp_dir();
+    let single_path = dir.join(format!("bitrobust-det-sweep-single-{}.jsonl", std::process::id()));
+    let resumed_path =
+        dir.join(format!("bitrobust-det-sweep-resumed-{}.jsonl", std::process::id()));
+    for path in [&single_path, &resumed_path] {
+        let _ = std::fs::remove_file(path);
+    }
+
+    let mut single_store = SweepStore::open(&single_path).expect("open single-shot store");
+    let single_cells = tiny_sweep(Some(&mut single_store));
+
+    // Simulate an interrupted run: seed the resumed store with the first
+    // half of the single-shot store's lines (a killed writer's file is
+    // exactly a prefix of complete lines), then resume.
+    let text = std::fs::read_to_string(&single_path).expect("read single-shot store");
+    let lines: Vec<&str> = text.lines().collect();
+    let half: String = lines[..lines.len() / 2].iter().map(|l| format!("{l}\n")).collect();
+    std::fs::write(&resumed_path, half).expect("seed interrupted store");
+    let mut resumed_store = SweepStore::open(&resumed_path).expect("open interrupted store");
+    assert_eq!(resumed_store.len(), lines.len() / 2);
+    let resumed_cells = tiny_sweep(Some(&mut resumed_store));
+
+    assert_eq!(resumed_cells, single_cells, "resumed results must be byte-identical");
+    assert_eq!(
+        resumed_store.fingerprint(),
+        single_store.fingerprint(),
+        "resumed store must fingerprint identically to the single-shot store"
+    );
+    println!("FP sweep_store {:016x}:{}", single_store.fingerprint(), fp_results(&single_cells));
+    for path in [&single_path, &resumed_path] {
+        let _ = std::fs::remove_file(path);
+    }
 }
 
 /// Extracts the `FP <case> <hex>` lines from a worker run's stdout. With
@@ -340,7 +448,7 @@ fn worker_fingerprints() {
 fn fingerprint_lines(stdout: &str) -> Vec<String> {
     let lines: Vec<String> =
         stdout.lines().filter_map(|l| l.find("FP ").map(|at| l[at..].to_string())).collect();
-    assert_eq!(lines.len(), 4, "worker must print one fingerprint per case:\n{stdout}");
+    assert_eq!(lines.len(), 5, "worker must print one fingerprint per case:\n{stdout}");
     lines
 }
 

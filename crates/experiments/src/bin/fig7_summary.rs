@@ -4,12 +4,17 @@
 //! For each dataset, trains the method stack (`NORMAL`, `RQUANT`,
 //! `+CLIPPING`, `+RANDBET`) at 8 bit and the best low-precision models
 //! (`m ∈ {4, 3, 2}`), then prints the per-rate RErr series the paper plots.
+//!
+//! Each dataset's whole method stack evaluates as **one** durable sweep
+//! campaign ([`bitrobust_core::run_sweep`]) checkpointed to
+//! `target/sweeps/fig7_<dataset>.jsonl` — interrupt and rerun to resume
+//! (`--fresh` recomputes).
 
-use bitrobust_core::{RandBetVariant, TrainMethod};
+use bitrobust_core::{run_sweep, RandBetVariant, SweepAxis, SweepOptions, TrainMethod};
 use bitrobust_experiments::zoo::ZooSpec;
 use bitrobust_experiments::{
-    dataset_pair, p_grid_cifar, p_grid_cifar100, p_grid_mnist, pct, pct_pm, progress_dots,
-    rerr_sweep_streaming, warm_zoo, DatasetKind, ExpOptions, Table,
+    dataset_pair, open_sweep_store, p_grid_cifar, p_grid_cifar100, p_grid_mnist, pct, pct_pm,
+    protocol_axis, sweep_models, sweep_progress, warm_zoo, DatasetKind, ExpOptions, Table,
 };
 use bitrobust_quant::QuantScheme;
 
@@ -82,9 +87,9 @@ fn run_dataset(kind: DatasetKind, opts: &ExpOptions) {
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
     let mut table = Table::new(&header_refs);
 
-    // Warm the zoo for the whole method stack in one parallel pass (each
-    // spec trains independently over the thread pool), then sweep each
-    // model with streamed per-cell progress.
+    // Warm the zoo for the whole method stack (parallel across models, or
+    // sequential with full inner parallelism when the stack is small), then
+    // evaluate every model's rate grid as one durable sweep campaign.
     let specs: Vec<ZooSpec> = runs
         .iter()
         .map(|(_, scheme, method)| {
@@ -97,16 +102,22 @@ fn run_dataset(kind: DatasetKind, opts: &ExpOptions) {
     eprintln!("warming {} {} zoo models...", specs.len(), kind.name());
     let warmed = warm_zoo(&specs, opts.seed, opts.no_cache);
 
-    for ((name, scheme, _), (model, report)) in runs.into_iter().zip(warmed) {
-        eprint!("sweep {name}: ");
-        let sweep = rerr_sweep_streaming(
-            &model,
-            scheme,
-            &test_ds,
-            &ps,
-            opts.chips,
-            progress_dots(ps.len() * opts.chips),
-        );
+    let models = sweep_models(&specs, &warmed);
+    let axes = vec![SweepAxis::new("uniform", protocol_axis(&ps, opts.chips))];
+    let total = models.len() * axes[0].axis.n_points();
+    let mut store = open_sweep_store(&format!("fig7_{}", kind.name()), opts);
+    eprint!("sweep {} models x {} cells: ", models.len(), axes[0].axis.n_points());
+    let results = run_sweep(
+        &models,
+        &axes,
+        &test_ds,
+        &SweepOptions::default(),
+        Some(&mut store),
+        sweep_progress(total),
+    );
+
+    for (mi, ((name, _, _), (_, report))) in runs.into_iter().zip(&warmed).enumerate() {
+        let sweep = results.robust(mi, 0);
         let mut row = vec![name, pct(report.clean_error as f64)];
         row.extend(sweep.iter().map(|r| pct_pm(r.mean_error as f64, r.std_error as f64)));
         table.row_owned(row);

@@ -3,19 +3,24 @@
 //! Evaluates `RQUANT`, `CLIPPING 0.05` and `RANDBET 0.05 (p=1.5%)` on the
 //! three synthesized profiled chips at the paper's measured rates,
 //! averaging over several weight-to-memory mapping offsets (App. C.1).
+//!
+//! The whole table — 3 models × 3 profiled chips × rates × offsets — runs
+//! as **one** durable sweep campaign ([`bitrobust_core::run_sweep`]) over
+//! profiled-chip [`ChipAxis`] axes, checkpointed to
+//! `target/sweeps/tab5_profiled.jsonl`: kill it at any point and rerun to
+//! resume byte-identically (`--fresh` recomputes).
 
-use bitrobust_biterror::{ChipKind, ProfiledChip};
-use bitrobust_core::{
-    eval_images, QuantizedModel, RandBetVariant, RobustEval, TrainMethod, EVAL_BATCH,
-};
+use bitrobust_biterror::{ChipKind, ProfiledAxis};
+use bitrobust_core::{run_sweep, ChipAxis, RandBetVariant, SweepAxis, SweepOptions, TrainMethod};
 use bitrobust_experiments::zoo::ZooSpec;
-use bitrobust_experiments::{dataset_pair, pct, zoo_model, DatasetKind, ExpOptions, Table};
-use bitrobust_nn::Mode;
+use bitrobust_experiments::{
+    open_sweep_store, pct, sweep_models, sweep_progress, warm_zoo, DatasetKind, ExpOptions, Table,
+};
 use bitrobust_quant::QuantScheme;
 
 fn main() {
     let opts = ExpOptions::from_args();
-    let (train_ds, test_ds) = dataset_pair(DatasetKind::Cifar10, opts.seed);
+    let (_, test_ds) = bitrobust_experiments::dataset_pair(DatasetKind::Cifar10, opts.seed);
     let scheme = QuantScheme::rquant(8);
     let n_offsets = if opts.quick { 2 } else { 8 };
 
@@ -34,39 +39,51 @@ fn main() {
         ),
     ];
 
-    for &(kind, rates) in chip_rates {
-        let chip = ProfiledChip::synthesize(kind, opts.seed);
+    let specs: Vec<ZooSpec> = methods
+        .iter()
+        .map(|(_, method)| {
+            let mut spec = ZooSpec::new(DatasetKind::Cifar10, Some(scheme), *method);
+            spec.epochs = opts.epochs(spec.epochs);
+            spec.seed = opts.seed;
+            spec
+        })
+        .collect();
+    eprintln!("warming {} cifar10 zoo models...", specs.len());
+    let warmed = warm_zoo(&specs, opts.seed, opts.no_cache);
+
+    // One axis per profiled chip: rates resolve to operating voltages,
+    // offsets vary the weight-to-memory mapping (the Tab. 5 protocol).
+    let models = sweep_models(&specs, &warmed);
+    let axes: Vec<SweepAxis> = chip_rates
+        .iter()
+        .map(|&(kind, rates)| {
+            SweepAxis::new(
+                kind.name(),
+                ChipAxis::Profiled(ProfiledAxis::tab5(kind, opts.seed, rates.to_vec(), n_offsets)),
+            )
+        })
+        .collect();
+    let total = models.len() * axes.iter().map(|a| a.axis.n_points()).sum::<usize>();
+    let mut store = open_sweep_store("tab5_profiled", &opts);
+    eprint!("sweep {} models x 3 profiled chips ({total} cells): ", models.len());
+    let results = run_sweep(
+        &models,
+        &axes,
+        &test_ds,
+        &SweepOptions::default(),
+        Some(&mut store),
+        sweep_progress(total),
+    );
+
+    for (ai, &(kind, rates)) in chip_rates.iter().enumerate() {
         let mut header = vec!["model".to_string(), "Err %".to_string()];
         header.extend(rates.iter().map(|r| format!("RErr p~{:.2}%", 100.0 * r)));
         let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
         let mut table = Table::new(&header_refs);
 
-        for (name, method) in &methods {
-            let mut spec = ZooSpec::new(DatasetKind::Cifar10, Some(scheme), *method);
-            spec.epochs = opts.epochs(spec.epochs);
-            spec.seed = opts.seed;
-            let (model, report) = zoo_model(&spec, &train_ds, &test_ds, opts.no_cache);
-            let mut row = vec![name.to_string(), pct(report.clean_error as f64)];
-
-            // One campaign over all (rate, mapping offset) cells: inject
-            // each pattern into its own quantized image up front, evaluate
-            // every cell in a single parallel fan-out, then group per rate.
-            let q0 = QuantizedModel::quantize(&model, scheme);
-            let mut images = Vec::with_capacity(rates.len() * n_offsets);
-            for &rate in rates {
-                let v = chip.voltage_for_rate(rate);
-                // Different weight-to-memory mappings: vary the offset.
-                for k in 0..n_offsets {
-                    let mut q = q0.clone();
-                    q.inject(&chip.at_voltage(v, k * 131_071, false));
-                    images.push(q);
-                }
-            }
-            let cells = eval_images(&model, &images, &test_ds, EVAL_BATCH, Mode::Eval);
-            for per_rate in cells.chunks(n_offsets) {
-                let r = RobustEval::from_results(per_rate);
-                row.push(pct(r.mean_error as f64));
-            }
+        for (mi, (name, _)) in methods.iter().enumerate() {
+            let mut row = vec![name.to_string(), pct(warmed[mi].1.clean_error as f64)];
+            row.extend(results.robust(mi, ai).iter().map(|r| pct(r.mean_error as f64)));
             table.row_owned(row);
         }
         println!(

@@ -8,6 +8,14 @@
 /// * `--chips N` — number of random chips for RErr averaging;
 /// * `--seed S` — base RNG seed;
 /// * `--no-cache` — ignore the model zoo cache and retrain.
+///
+/// Binaries that drive the sweep orchestrator additionally accept:
+///
+/// * `--resume` — reuse the on-disk sweep store, skipping completed cells
+///   (the default: resuming is always byte-safe because cells are keyed by
+///   a content hash of their full identity);
+/// * `--fresh` — delete the binary's sweep store first and recompute every
+///   cell.
 #[derive(Debug, Clone)]
 pub struct ExpOptions {
     /// Reduced-effort mode for smoke tests.
@@ -18,19 +26,27 @@ pub struct ExpOptions {
     pub seed: u64,
     /// Skip the on-disk model cache.
     pub no_cache: bool,
+    /// Delete the sweep store before running (`--fresh`); the default is
+    /// to resume from it.
+    pub fresh: bool,
 }
 
 impl Default for ExpOptions {
     fn default() -> Self {
-        Self { quick: false, chips: 20, seed: 0, no_cache: false }
+        Self { quick: false, chips: 20, seed: 0, no_cache: false, fresh: false }
     }
 }
 
 impl ExpOptions {
     /// Parses `std::env::args`, ignoring unknown flags.
     pub fn from_args() -> Self {
+        Self::parse(&std::env::args().skip(1).collect::<Vec<String>>())
+    }
+
+    /// Parses an argument list (exposed separately so flag handling is
+    /// unit-testable; later flags win).
+    pub fn parse(args: &[String]) -> Self {
         let mut opts = Self::default();
-        let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
@@ -39,6 +55,8 @@ impl ExpOptions {
                     opts.chips = opts.chips.min(5);
                 }
                 "--no-cache" => opts.no_cache = true,
+                "--fresh" => opts.fresh = true,
+                "--resume" => opts.fresh = false,
                 "--chips" => {
                     if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
                         opts.chips = v;
@@ -72,11 +90,16 @@ impl ExpOptions {
 mod tests {
     use super::*;
 
+    fn parse(args: &[&str]) -> ExpOptions {
+        ExpOptions::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
     #[test]
     fn defaults_are_sane() {
         let o = ExpOptions::default();
         assert!(!o.quick);
         assert_eq!(o.chips, 20);
+        assert!(!o.fresh, "sweeps resume by default");
     }
 
     #[test]
@@ -86,5 +109,25 @@ mod tests {
         o.quick = true;
         assert_eq!(o.epochs(30), 10);
         assert_eq!(o.epochs(3), 2);
+    }
+
+    #[test]
+    fn parses_flags_and_values() {
+        let o = parse(&["--quick", "--chips", "3", "--seed", "7", "--no-cache"]);
+        assert!(o.quick);
+        assert_eq!(o.chips, 3);
+        assert_eq!(o.seed, 7);
+        assert!(o.no_cache);
+        // Unknown flags are ignored, missing values leave defaults.
+        let o = parse(&["--wat", "--chips"]);
+        assert_eq!(o.chips, 20);
+    }
+
+    #[test]
+    fn fresh_and_resume_toggle_with_last_flag_winning() {
+        assert!(parse(&["--fresh"]).fresh);
+        assert!(!parse(&["--resume"]).fresh);
+        assert!(!parse(&["--fresh", "--resume"]).fresh);
+        assert!(parse(&["--resume", "--fresh"]).fresh);
     }
 }

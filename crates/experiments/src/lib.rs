@@ -2,21 +2,24 @@
 //!
 //! Shared infrastructure for the per-table / per-figure reproduction
 //! binaries (see `DESIGN.md` §5 for the experiment index): a disk-backed
-//! zoo of trained models, table formatting helpers, and the common
-//! command-line options.
+//! zoo of trained models, glue for the durable sweep orchestrator
+//! ([`sweeps`]), table formatting helpers, and the common command-line
+//! options.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cli;
 pub mod protocol;
+pub mod sweeps;
 pub mod table;
 pub mod zoo;
 
 pub use cli::ExpOptions;
 pub use protocol::{
-    p_grid_cifar, p_grid_cifar100, p_grid_mnist, progress_dots, rerr_sweep, rerr_sweep_streaming,
-    CHIP_SEED,
+    p_grid_cifar, p_grid_cifar100, p_grid_mnist, progress_dots, protocol_axis, protocol_grid,
+    rerr_sweep, rerr_sweep_streaming, CHIP_SEED,
 };
+pub use sweeps::{open_sweep_store, sweep_dir, sweep_models, sweep_progress};
 pub use table::{pct, pct_pm, Table};
 pub use zoo::{dataset_pair, warm_zoo, zoo_model, DatasetKind, ZooSpec};

@@ -3,7 +3,7 @@
 //! chips (as the paper fixes its 50 error patterns across all models).
 
 use bitrobust_core::{
-    run_grid, run_grid_streaming, CampaignGrid, EvalResult, RobustEval, EVAL_BATCH,
+    run_grid, run_grid_streaming, CampaignGrid, ChipAxis, EvalResult, RobustEval, EVAL_BATCH,
 };
 use bitrobust_data::Dataset;
 use bitrobust_nn::{Mode, Model};
@@ -11,6 +11,21 @@ use bitrobust_quant::QuantScheme;
 
 /// Base seed for the shared evaluation chips.
 pub const CHIP_SEED: u64 = 1000;
+
+/// The shared-protocol campaign grid: one scheme over `ps × chips` uniform
+/// chips seeded from [`CHIP_SEED`] — the single constructor behind every
+/// uniform RErr sweep, so no binary can drift off the shared chips.
+pub fn protocol_grid(scheme: QuantScheme, ps: &[f64], chips: usize) -> CampaignGrid {
+    CampaignGrid::uniform(scheme, ps.to_vec(), chips, CHIP_SEED)
+}
+
+/// The shared-protocol injection axis for sweep orchestration: the same
+/// `ps × chips` span (and chip seeds) as [`protocol_grid`], as a
+/// [`ChipAxis`] for [`bitrobust_core::run_sweep`] plans. Cells evaluated
+/// through either are byte-identical.
+pub fn protocol_axis(ps: &[f64], chips: usize) -> ChipAxis {
+    ChipAxis::uniform(ps.to_vec(), chips, CHIP_SEED)
+}
 
 /// The paper's CIFAR bit error rate grid (in fractions, not %):
 /// 0.01, 0.05, 0.1, 0.5, 1, 1.5, 2, 2.5 percent.
@@ -41,7 +56,7 @@ pub fn rerr_sweep(
     ps: &[f64],
     chips: usize,
 ) -> Vec<RobustEval> {
-    let grid = CampaignGrid::uniform(scheme, ps.to_vec(), chips, CHIP_SEED);
+    let grid = protocol_grid(scheme, ps, chips);
     run_grid(model, &grid, test_ds, EVAL_BATCH, Mode::Eval).remove(0)
 }
 
@@ -58,7 +73,7 @@ pub fn rerr_sweep_streaming(
     chips: usize,
     mut on_cell: impl FnMut(usize, usize, &EvalResult),
 ) -> Vec<RobustEval> {
-    let grid = CampaignGrid::uniform(scheme, ps.to_vec(), chips, CHIP_SEED);
+    let grid = protocol_grid(scheme, ps, chips);
     run_grid_streaming(model, &grid, test_ds, EVAL_BATCH, Mode::Eval, |cell, result| {
         on_cell(cell.rate, cell.chip, result)
     })
@@ -96,6 +111,18 @@ mod tests {
             assert!(grid.windows(2).all(|w| w[0] < w[1]));
             assert!(grid.iter().all(|&p| p > 0.0 && p < 1.0));
         }
+    }
+
+    #[test]
+    fn protocol_grid_and_axis_agree_on_seeds_and_span() {
+        let ps = [0.001, 0.01];
+        let grid = protocol_grid(QuantScheme::rquant(8), &ps, 7);
+        assert_eq!(grid.chip_seed_base, CHIP_SEED);
+        assert_eq!(grid.rates, ps.to_vec());
+        assert_eq!(grid.n_chips, 7);
+        let axis = protocol_axis(&ps, 7);
+        assert_eq!(axis, ChipAxis::uniform(ps.to_vec(), 7, CHIP_SEED));
+        assert_eq!(axis.n_points(), grid.rates.len() * grid.n_chips);
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! Experiment-side glue for the durable sweep orchestrator
+//! ([`bitrobust_core::sweep`]): store locations under `target/sweeps/`,
+//! zoo-spec → [`SweepModel`] wiring, and shared progress output.
+//!
+//! Binaries that run multi-model campaigns (`tab4_randbet`,
+//! `tab5_profiled`, `fig7_summary`) open their store with
+//! [`open_sweep_store`] — honoring `--fresh`/`--resume` — and hand it to
+//! [`bitrobust_core::run_sweep`]; a killed run continues where it left
+//! off on the next invocation, byte-identically.
+
+use std::path::PathBuf;
+
+use bitrobust_core::{EvalResult, SweepCell, SweepModel, SweepStore, TrainReport};
+use bitrobust_nn::Model;
+
+use crate::cli::ExpOptions;
+use crate::zoo::ZooSpec;
+
+/// Directory holding the experiment binaries' sweep stores
+/// (`$BITROBUST_SWEEPS`, or `target/sweeps/` in the workspace).
+pub fn sweep_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("BITROBUST_SWEEPS") {
+        return PathBuf::from(dir);
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/sweeps")
+}
+
+/// Opens the named sweep store (`<sweep_dir>/<name>.jsonl`), deleting it
+/// first under `--fresh`. Reports the resume position on stderr so a
+/// rerun after an interruption is visible.
+///
+/// # Panics
+///
+/// Panics if the store cannot be opened or parsed — a corrupt store must
+/// be inspected or deleted, never silently recomputed over.
+pub fn open_sweep_store(name: &str, opts: &ExpOptions) -> SweepStore {
+    let path = sweep_dir().join(format!("{name}.jsonl"));
+    if opts.fresh && path.exists() {
+        std::fs::remove_file(&path).expect("remove sweep store for --fresh");
+    }
+    let store = SweepStore::open(&path).expect("open sweep store");
+    if !store.is_empty() {
+        eprintln!(
+            "sweep store {}: resuming past {} stored cells (use --fresh to recompute)",
+            store.path().display(),
+            store.len()
+        );
+    }
+    store
+}
+
+/// Pairs warmed zoo models with their specs as sweep entries: the spec's
+/// cache key is the model identity and its training scheme is the
+/// evaluation scheme.
+///
+/// # Panics
+///
+/// Panics if a spec trains in float (`scheme: None`) — the evaluation
+/// scheme would be ambiguous — or if `specs` and `warmed` differ in
+/// length.
+pub fn sweep_models<'a>(
+    specs: &[ZooSpec],
+    warmed: &'a [(Model, TrainReport)],
+) -> Vec<SweepModel<'a>> {
+    assert_eq!(specs.len(), warmed.len(), "one warmed model per spec");
+    specs
+        .iter()
+        .zip(warmed)
+        .map(|(spec, (model, _))| {
+            let scheme = spec
+                .scheme
+                .expect("sweep entries need a quantization scheme (float specs are ambiguous)");
+            SweepModel::new(spec.key(), scheme, model)
+        })
+        .collect()
+}
+
+/// The shared progress style for orchestrated sweeps: one dot per cell
+/// (`.` evaluated, `,` replayed from the store), a newline after the last
+/// cell.
+pub fn sweep_progress(total_cells: usize) -> impl FnMut(&SweepCell, &EvalResult) {
+    use std::io::Write;
+    let mut done = 0usize;
+    move |cell, _result| {
+        done += 1;
+        let mut err = std::io::stderr();
+        let _ = write!(err, "{}", if cell.resumed { ',' } else { '.' });
+        if done == total_cells {
+            let _ = writeln!(err);
+        }
+        let _ = err.flush();
+    }
+}

@@ -16,8 +16,8 @@ use bitrobust_core::{
 };
 use bitrobust_data::{AugmentConfig, Dataset, SynthDataset};
 use bitrobust_nn::Model;
-use bitrobust_quant::{Granularity, IntegerRepr, QuantScheme, RangeMode, Rounding};
-use bitrobust_tensor::parallel_for;
+use bitrobust_quant::QuantScheme;
+use bitrobust_tensor::{parallel_for, pool_parallelism};
 use rand::SeedableRng;
 
 /// The dataset a zoo model is trained on.
@@ -151,25 +151,7 @@ impl ZooSpec {
         };
         let scheme = match &self.scheme {
             None => "float".to_string(),
-            Some(s) => {
-                let g = match s.granularity {
-                    Granularity::Global => "g",
-                    Granularity::PerTensor => "l",
-                };
-                let r = match s.range_mode {
-                    RangeMode::Symmetric => "s",
-                    RangeMode::Asymmetric => "a",
-                };
-                let i = match s.repr {
-                    IntegerRepr::Signed => "i",
-                    IntegerRepr::Unsigned => "u",
-                };
-                let o = match s.rounding {
-                    Rounding::Truncate => "t",
-                    Rounding::Nearest => "n",
-                };
-                format!("q{}{g}{r}{i}{o}", s.bits())
-            }
+            Some(s) => s.key(),
         };
         let method = match &self.method {
             TrainMethod::Normal => "normal".to_string(),
@@ -286,18 +268,43 @@ pub fn zoo_model(
     (model, report)
 }
 
-/// Ensures every spec is trained and cached, fanning the work out over the
-/// thread pool. Returns one `(model, report)` per spec, in input order.
+/// Whether a zoo warmup of `n_unique` trainings should run them
+/// sequentially with full *inner* parallelism instead of fanning models
+/// out over the pool.
+///
+/// The pool runs nested `parallel_for` inline on the claiming worker, so
+/// an outer model-level fan-out caps each training at one core. With at
+/// least as many models as threads that is ideal (every core trains a
+/// model); with a *small* zoo it starves the machine — 2 models on 16
+/// cores would leave 14 idle. In that regime it is faster to train the
+/// models one after another and let each training's own fan-outs
+/// (data-parallel shards, batch-parallel probes and evaluation) own the
+/// whole pool. The crossover is heuristic: inner parallelism never scales
+/// perfectly, so sequential-inner only wins clearly while the model count
+/// is at most about half the thread count.
+///
+/// Scheduling never changes bytes: each training is self-contained and
+/// byte-deterministic, so both modes produce identical models.
+fn inner_parallel_warmup(n_unique: usize, parallelism: usize) -> bool {
+    n_unique * 2 <= parallelism
+}
+
+/// Ensures every spec is trained and cached. Returns one `(model, report)`
+/// per spec, in input order.
+///
+/// Large spec lists fan out over the thread pool (one training per
+/// worker, nested fan-outs inline); small lists — fewer models than half
+/// the threads — train sequentially so each training's inner parallelism
+/// can use the whole pool instead. Either way
+/// the zoo and everything downstream (e.g. the multi-model sweep
+/// orchestrator's evaluation fan-out) share the one process-wide pool, and
+/// results are bit-identical to calling [`zoo_model`] per spec serially.
 ///
 /// Duplicate specs (same [`ZooSpec::key`]) are trained once and cloned, so
-/// no two workers ever touch the same cache file. Each training run is
-/// self-contained — its own datasets, RNG, and model — so the results are
-/// bit-identical to calling [`zoo_model`] for each spec serially; nested
-/// `parallel_for` calls inside training run inline on the claiming worker.
+/// no two workers ever touch the same cache file.
 ///
 /// This is the cache-warmup path for experiment binaries that need many
-/// models: warm the zoo once in parallel, then reload per model in
-/// milliseconds.
+/// models: warm the zoo once, then reload per model in milliseconds.
 pub fn warm_zoo(specs: &[ZooSpec], data_seed: u64, no_cache: bool) -> Vec<(Model, TrainReport)> {
     // Dedupe by cache key; remember which unique entry serves each spec.
     let mut unique: Vec<&ZooSpec> = Vec::new();
@@ -317,14 +324,35 @@ pub fn warm_zoo(specs: &[ZooSpec], data_seed: u64, no_cache: bool) -> Vec<(Model
         })
         .collect();
 
+    // Generate each dataset once, not once per spec: the splits are
+    // read-only, so trainings can share them across workers.
+    let mut kinds: Vec<DatasetKind> = Vec::new();
+    for spec in &unique {
+        if !kinds.contains(&spec.dataset) {
+            kinds.push(spec.dataset);
+        }
+    }
+    let pairs: Vec<(Dataset, Dataset)> =
+        kinds.iter().map(|&kind| dataset_pair(kind, data_seed)).collect();
+
     let slots: Vec<OnceLock<(Model, TrainReport)>> =
         (0..unique.len()).map(|_| OnceLock::new()).collect();
-    parallel_for(unique.len(), |i| {
+    let train_one = |i: usize| {
         let spec = unique[i];
-        let (train_ds, test_ds) = dataset_pair(spec.dataset, data_seed);
-        let trained = zoo_model(spec, &train_ds, &test_ds, no_cache);
+        let kind = kinds.iter().position(|&k| k == spec.dataset).expect("kind generated above");
+        let (train_ds, test_ds) = &pairs[kind];
+        let trained = zoo_model(spec, train_ds, test_ds, no_cache);
         assert!(slots[i].set(trained).is_ok(), "zoo spec {i} trained twice");
-    });
+    };
+    if inner_parallel_warmup(unique.len(), pool_parallelism()) {
+        // Few models, many cores: train sequentially on this thread so the
+        // nested fan-outs inside each training get the whole pool.
+        for i in 0..unique.len() {
+            train_one(i);
+        }
+    } else {
+        parallel_for(unique.len(), train_one);
+    }
     assignment
         .into_iter()
         .map(|i| slots[i].get().expect("missing zoo warmup result").clone())
@@ -457,6 +485,19 @@ mod tests {
         assert_eq!(warmed[0].1, warmed[2].1);
         // Distinct seeds are genuinely different runs.
         assert_ne!(warmed[0].1, warmed[1].1);
+    }
+
+    /// The warmup scheduling crossover: sequential-inner-parallel only
+    /// while the unique model count is at most half the thread count.
+    #[test]
+    fn warmup_scheduling_crossover() {
+        assert!(inner_parallel_warmup(1, 2));
+        assert!(inner_parallel_warmup(2, 4));
+        assert!(inner_parallel_warmup(4, 8));
+        assert!(!inner_parallel_warmup(5, 8));
+        assert!(!inner_parallel_warmup(8, 8));
+        assert!(!inner_parallel_warmup(1, 1));
+        assert!(!inner_parallel_warmup(16, 4));
     }
 
     #[test]

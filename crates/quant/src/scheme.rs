@@ -179,6 +179,30 @@ impl QuantScheme {
         self.bits
     }
 
+    /// A stable, filename-safe key encoding the full scheme, e.g. `q8laun`
+    /// for 8-bit RQuant (per-**l**ayer, **a**symmetric, **u**nsigned,
+    /// **n**earest). Used wherever a scheme is part of a persistent
+    /// identity: zoo cache keys and sweep-store cell hashes.
+    pub fn key(&self) -> String {
+        let g = match self.granularity {
+            Granularity::Global => "g",
+            Granularity::PerTensor => "l",
+        };
+        let r = match self.range_mode {
+            RangeMode::Symmetric => "s",
+            RangeMode::Asymmetric => "a",
+        };
+        let i = match self.repr {
+            IntegerRepr::Signed => "i",
+            IntegerRepr::Unsigned => "u",
+        };
+        let o = match self.rounding {
+            Rounding::Truncate => "t",
+            Rounding::Nearest => "n",
+        };
+        format!("q{}{g}{r}{i}{o}", self.bits)
+    }
+
     /// Bitmask of the live (stored) bits within each 8-bit word.
     pub fn live_mask(&self) -> u8 {
         if self.bits == 8 {
@@ -419,5 +443,27 @@ mod tests {
     fn describe_is_informative() {
         assert_eq!(QuantScheme::rquant(4).describe(), "4b per-layer/asym/unsigned/round");
         assert_eq!(QuantScheme::eq1_global(8).describe(), "8b global/sym/signed/trunc");
+    }
+
+    #[test]
+    fn keys_are_stable_and_distinct_across_the_lattice() {
+        // Pinned: zoo cache filenames and sweep-store cell hashes embed
+        // these keys, so changing the encoding invalidates on-disk state.
+        assert_eq!(QuantScheme::rquant(8).key(), "q8laun");
+        assert_eq!(QuantScheme::eq1_global(8).key(), "q8gsit");
+        let lattice = [
+            QuantScheme::eq1_global(8),
+            QuantScheme::normal(8),
+            QuantScheme::asymmetric_signed(8),
+            QuantScheme::asymmetric_unsigned(8),
+            QuantScheme::rquant(8),
+            QuantScheme::symmetric(8),
+            QuantScheme::rquant(4),
+        ];
+        for (i, a) in lattice.iter().enumerate() {
+            for b in &lattice[i + 1..] {
+                assert_ne!(a.key(), b.key(), "{} vs {}", a.describe(), b.describe());
+            }
+        }
     }
 }
