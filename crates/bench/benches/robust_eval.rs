@@ -17,10 +17,9 @@ use std::time::Instant;
 
 use bitrobust_biterror::UniformChip;
 use bitrobust_core::{
-    build, eval_images, eval_images_serial, evaluate, evaluate_serial, robust_eval_uniform,
-    run_grid, run_sweep, train, ArchKind, CampaignGrid, ChipAxis, DataParallel, NormKind,
-    QuantizedModel, RandBetVariant, RobustEval, SweepAxis, SweepModel, SweepOptions, TrainConfig,
-    TrainMethod, TrainReport,
+    build, evaluate, evaluate_serial, robust_eval_uniform, run_grid, run_sweep, train, ArchKind,
+    Campaign, CampaignGrid, ChipAxis, DataParallel, NormKind, QuantizedModel, RandBetVariant,
+    RobustEval, SweepAxis, SweepModel, SweepOptions, TrainConfig, TrainMethod, TrainReport,
 };
 use bitrobust_data::{AugmentConfig, Dataset, SynthDataset};
 use bitrobust_nn::{Mode, Model};
@@ -120,10 +119,10 @@ fn bench_robust_eval(c: &mut Criterion) {
     let mut group = c.benchmark_group("robust_eval");
     group.sample_size(10);
     group.bench_function("serial_8chip_1000ex", |b| {
-        b.iter(|| eval_images_serial(&model, &images, &test_ds, BATCH, Mode::Eval))
+        b.iter(|| Campaign::new(&model, &test_ds).batch_size(BATCH).serial().run(&images))
     });
     group.bench_function("campaign_8chip_1000ex", |b| {
-        b.iter(|| eval_images(&model, &images, &test_ds, BATCH, Mode::Eval))
+        b.iter(|| Campaign::new(&model, &test_ds).batch_size(BATCH).run(&images))
     });
     group.bench_function("clean_serial_1000ex", |b| {
         b.iter(|| evaluate_serial(&model, &test_ds, BATCH, Mode::Eval))
@@ -183,8 +182,8 @@ fn emit_json_comparison() {
     let images = chip_images(&model);
 
     // Warm up the thread pool and verify the determinism guarantees once.
-    let serial_ref = eval_images_serial(&model, &images, &test_ds, BATCH, Mode::Eval);
-    let campaign_ref = eval_images(&model, &images, &test_ds, BATCH, Mode::Eval);
+    let serial_ref = Campaign::new(&model, &test_ds).batch_size(BATCH).serial().run(&images);
+    let campaign_ref = Campaign::new(&model, &test_ds).batch_size(BATCH).run(&images);
     assert_eq!(serial_ref, campaign_ref, "engine must be bit-identical to the serial path");
     let clean_serial_ref = evaluate_serial(&model, &test_ds, BATCH, Mode::Eval);
     let clean_campaign_ref = evaluate(&model, &test_ds, BATCH, Mode::Eval);
@@ -204,10 +203,12 @@ fn emit_json_comparison() {
     );
 
     let reps = 3;
-    let serial_secs =
-        best_of(|| drop(eval_images_serial(&model, &images, &test_ds, BATCH, Mode::Eval)), reps);
+    let serial_secs = best_of(
+        || drop(Campaign::new(&model, &test_ds).batch_size(BATCH).serial().run(&images)),
+        reps,
+    );
     let campaign_secs =
-        best_of(|| drop(eval_images(&model, &images, &test_ds, BATCH, Mode::Eval)), reps);
+        best_of(|| drop(Campaign::new(&model, &test_ds).batch_size(BATCH).run(&images)), reps);
     let clean_serial_secs = best_of(
         || {
             evaluate_serial(&model, &test_ds, BATCH, Mode::Eval);

@@ -4,7 +4,54 @@
 //! per bit error rate, and the follow-up work multiplies that by rate
 //! grids, voltages, and quantization schemes — so *robust evaluation*, not
 //! training, dominates experiment wall-clock. This module turns those
-//! nested serial loops into one data-parallel campaign.
+//! nested serial loops into one data-parallel campaign, built on the
+//! shared [`crate::scheduler`] executor.
+//!
+//! # The `Campaign` builder
+//!
+//! [`Campaign`] is the single entry point: configure once, then pick the
+//! image source that fits:
+//!
+//! ```no_run
+//! # use bitrobust_core::{build, ArchKind, Campaign, NormKind, QuantizedModel};
+//! # use bitrobust_data::SynthDataset;
+//! # use bitrobust_quant::QuantScheme;
+//! # use rand::SeedableRng;
+//! # let (_, test_ds) = SynthDataset::Cifar10.generate(0);
+//! # let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! # let model = build(ArchKind::SimpleNet, [3, 16, 16], 10, NormKind::Group, &mut rng).model;
+//! # let images: Vec<QuantizedModel> = vec![];
+//! let results = Campaign::new(&model, &test_ds)
+//!     .on_cell(|i, r| eprintln!("pattern {i}: {:.2}%", 100.0 * r.error))
+//!     .run(&images);
+//! ```
+//!
+//! * [`Campaign::run`] — evaluate pre-built quantized images;
+//! * [`Campaign::run_lazy`] — build each image on demand, one wave at a
+//!   time (large grids);
+//! * [`Campaign::run_cells`] — lazy images that each name their own
+//!   template model (the multi-model sweep fan-out);
+//! * [`Campaign::serial`] — the one-batch-at-a-time reference path,
+//!   bit-identical to the parallel engine (determinism suite, benchmarks).
+//!
+//! ## Migration from the pre-builder entry points
+//!
+//! The seven historical free functions are deprecated thin wrappers; the
+//! builder spelling is:
+//!
+//! | deprecated | builder |
+//! |---|---|
+//! | `eval_images(t, imgs, ds, b, m)` | `Campaign::new(t, ds).batch_size(b).mode(m).run(imgs)` |
+//! | `eval_images_sized(.., sizing)` | `….sizing(sizing).run(imgs)` |
+//! | `eval_images_with(t, n, make, ..)` | `….run_lazy(n, make)` |
+//! | `eval_images_streaming(.., cb)` | `….on_cell(cb).run(imgs)` |
+//! | `eval_images_streaming_with(..)` | `….on_cell(cb).run_lazy(n, make)` |
+//! | `eval_cells_streaming_with(ts, ..)` | `Campaign::multi(ts, ds)….on_cell(cb).run_cells(n, make)` |
+//! | `eval_images_serial(..)` | `….serial().run(imgs)` |
+//!
+//! Defaults: `batch_size = EVAL_BATCH`, `mode = Mode::Eval`,
+//! `sizing = ItemSizing::Adaptive`. All paths return byte-identical
+//! results for the same cells, so migration never changes numbers.
 //!
 //! # Work-item granularity
 //!
@@ -12,11 +59,12 @@
 //! error pattern — i.e. per grid cell) evaluated over a dataset. The unit
 //! of parallel work is a `(pattern, batch)` pair: every test batch of
 //! every pattern is an independent item, fanned out over the
-//! `bitrobust-tensor` thread pool. Fine granularity keeps all cores busy
-//! even when the pattern count is small (e.g. 3 profiled-chip offsets) or
-//! the dataset is large, and the pool's self-scheduling balances uneven
-//! batch costs. The layers' own `parallel_for` calls nest harmlessly: the
-//! pool runs nested submissions inline on the claiming worker.
+//! `bitrobust-tensor` thread pool by [`crate::scheduler::execute`]. Fine
+//! granularity keeps all cores busy even when the pattern count is small
+//! (e.g. 3 profiled-chip offsets) or the dataset is large, and the pool's
+//! self-scheduling balances uneven batch costs. The layers' own
+//! `parallel_for` calls nest harmlessly: the pool runs nested submissions
+//! inline on the claiming worker.
 //!
 //! When the item count far exceeds the pool parallelism (50 chips × 8
 //! rates × many batches), per-batch items only add scheduling overhead;
@@ -29,29 +77,32 @@
 //! The same engine also serves **clean evaluation**: a single-pattern
 //! campaign whose one "replica" is the caller's model itself
 //! (`N patterns = 1`, batches fan out), which is what
-//! [`crate::evaluate`] runs on. And for long sweeps,
-//! [`eval_images_streaming`] / [`run_grid_streaming`] process patterns in
-//! small waves and hand each cell's result to a callback, in cell order,
-//! as soon as its wave completes — progress reporting without giving up
-//! byte-identical results.
+//! [`crate::evaluate`] runs on. And for long sweeps, [`Campaign::on_cell`]
+//! processes patterns in small waves and hands each cell's result to the
+//! callback, in cell order, as soon as its wave completes — progress
+//! reporting without giving up byte-identical results.
 //!
 //! # Replica strategy
 //!
-//! Each pattern gets one model **replica**: a [`Model::clone`] of the
-//! caller's template whose parameters are overwritten with the pattern's
-//! dequantized (bit-error-perturbed) weights. Replicas are immutable once
-//! built — workers evaluate batches through [`Model::infer`], which takes
-//! `&self` and touches no activation caches — so any number of workers can
-//! share one replica concurrently. At most [`MAX_REPLICAS`] replicas are
-//! alive at a time; larger campaigns run in chunks, and the lazy entry
-//! points ([`eval_images_with`], [`run_grid`], `robust_eval`) also build
-//! the perturbed *quantized images* one chunk at a time, so peak memory
-//! stays at one chunk of images + replicas for model-zoo-sized grids.
+//! Each pattern gets one model **replica**: a clone of its template whose
+//! parameters are overwritten with the pattern's dequantized
+//! (bit-error-perturbed) weights. Replicas are immutable once built —
+//! workers evaluate batches through [`Model::infer`], which takes `&self`
+//! and touches no activation caches — so any number of workers can share
+//! one replica concurrently. Replicas are held in a persistent
+//! [`crate::scheduler::ReplicaPool`]: at most
+//! [`MAX_REPLICAS`] are alive at a time,
+//! larger campaigns run in chunks, and across waves each slot's replica is
+//! *reused* (weights overwritten in place) rather than recloned — clones
+//! happen only when a slot's template model changes. The lazy entry points
+//! also build the perturbed *quantized images* one wave at a time, so peak
+//! memory stays at one wave of images + replicas for model-zoo-sized
+//! grids.
 //!
 //! # Determinism guarantee
 //!
 //! Campaign results are **bit-identical to the serial reference path**
-//! ([`eval_images_serial`]) regardless of thread count or scheduling, and
+//! ([`Campaign::serial`]) regardless of thread count or scheduling, and
 //! the per-pattern `error` values are additionally bit-identical to the
 //! historical quantize → inject → `write_to` → `forward` loop (they come
 //! from integer miss counts; mean *confidence* may differ from the legacy
@@ -86,57 +137,17 @@
 //! println!("RErr at p=1%: {:.2}%", 100.0 * sweep[1].mean_error);
 //! ```
 
-use std::sync::OnceLock;
-
 use bitrobust_biterror::{ProfiledAxis, ProfiledChip, UniformChip};
 use bitrobust_data::Dataset;
 use bitrobust_nn::{Mode, Model};
 use bitrobust_quant::QuantScheme;
-use bitrobust_tensor::{parallel_for, pool_parallelism, softmax_rows};
+use bitrobust_tensor::softmax_rows;
 
-use crate::eval::{EvalResult, RobustEval};
+use crate::eval::{EvalResult, RobustEval, EVAL_BATCH};
+use crate::scheduler::{self, ReplicaPool};
 use crate::QuantizedModel;
 
-/// Upper bound on dequantized model replicas alive at once. Campaigns with
-/// more patterns run in chunks of this size, so peak memory is
-/// `MAX_REPLICAS x model size` regardless of grid size.
-pub const MAX_REPLICAS: usize = 64;
-
-/// Work-item granularity of the campaign fan-out.
-///
-/// Both sizings produce **byte-identical results**: sizing only decides
-/// which worker computes which per-`(pattern, batch)` partials; the
-/// partials themselves and the serial reduction over them are identical
-/// regardless.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ItemSizing {
-    /// One `(pattern, batch)` pair per work item — maximum load balance,
-    /// and the historical granularity the engine shipped with.
-    PerBatch,
-    /// Merge runs of contiguous batches of one pattern into a single work
-    /// item when the per-batch item count far exceeds the pool parallelism
-    /// ([`bitrobust_tensor::pool_parallelism`]), trading a little balance
-    /// for much less scheduling overhead on pattern-heavy campaigns
-    /// (e.g. 50 chips × 8 rates). Falls back to per-batch items when work
-    /// is scarce.
-    Adaptive,
-}
-
-/// Adaptive sizing aims for this many work items per hardware thread, so
-/// the pool's self-scheduling can still balance uneven batch costs.
-const ADAPTIVE_OVERSUBSCRIPTION: usize = 4;
-
-/// Number of consecutive batches each work item evaluates.
-fn batches_per_item(sizing: ItemSizing, n_patterns: usize, n_batches: usize) -> usize {
-    match sizing {
-        ItemSizing::PerBatch => 1,
-        ItemSizing::Adaptive => {
-            let total = n_patterns * n_batches;
-            let target = (pool_parallelism() * ADAPTIVE_OVERSUBSCRIPTION).max(1);
-            (total / target).clamp(1, n_batches.max(1))
-        }
-    }
-}
+pub use crate::scheduler::{ItemSizing, MAX_REPLICAS};
 
 /// Per-`(pattern, batch)` partial statistics.
 struct BatchPartial {
@@ -167,6 +178,18 @@ fn eval_batch(
     BatchPartial { wrong, conf }
 }
 
+/// Serially reduces one pattern's batch partials (in batch order) into its
+/// [`EvalResult`] over an `n`-sample dataset.
+fn reduce_pattern(partials: &[BatchPartial], n: usize) -> EvalResult {
+    let mut wrong = 0usize;
+    let mut conf = 0f64;
+    for part in partials {
+        wrong += part.wrong;
+        conf += part.conf;
+    }
+    EvalResult { error: wrong as f32 / n as f32, confidence: (conf / n as f64) as f32 }
+}
+
 /// Builds the per-pattern replica: template clone + dequantized weights.
 fn build_replica(template: &Model, image: &QuantizedModel) -> Model {
     let mut replica = template.clone();
@@ -174,159 +197,243 @@ fn build_replica(template: &Model, image: &QuantizedModel) -> Model {
     replica
 }
 
-/// Evaluates every quantized image over `dataset`, in parallel (with
-/// [`ItemSizing::Adaptive`] work items).
-///
-/// `template` supplies the architecture (and any non-parameter state such
-/// as BatchNorm running statistics); its own weights are irrelevant and it
-/// is never mutated. Returns one [`EvalResult`] per image, in order.
-///
-/// # Panics
-///
-/// Panics if `batch_size == 0`, `dataset` is empty, `mode` is
-/// [`Mode::Train`], or an image's shapes do not match `template`.
-pub fn eval_images(
-    template: &Model,
-    images: &[QuantizedModel],
-    dataset: &Dataset,
-    batch_size: usize,
-    mode: Mode,
-) -> Vec<EvalResult> {
-    eval_images_sized(template, images, dataset, batch_size, mode, ItemSizing::Adaptive)
+/// A quantized image a campaign cell evaluates: borrowed from the caller
+/// (eager runs never deep-copy) or built lazily for the current wave.
+enum CellImage<'i> {
+    Borrowed(&'i QuantizedModel),
+    Owned(QuantizedModel),
 }
 
-/// [`eval_images`] with explicit work-item [`ItemSizing`]. Results are
-/// byte-identical across sizings; the knob only trades scheduling overhead
-/// against load balance (and lets the determinism suite pin that claim).
+impl CellImage<'_> {
+    fn image(&self) -> &QuantizedModel {
+        match self {
+            CellImage::Borrowed(q) => q,
+            CellImage::Owned(q) => q,
+        }
+    }
+}
+
+/// Builder-style configuration of one fault-injection campaign: the
+/// single public entry point to the engine.
 ///
-/// # Panics
+/// Construct with [`Campaign::new`] (one template model) or
+/// [`Campaign::multi`] (per-cell templates, for multi-model sweeps),
+/// adjust the optional knobs, then run via [`Campaign::run`],
+/// [`Campaign::run_lazy`], or [`Campaign::run_cells`]. See the
+/// [module docs](self) for the configuration defaults and the migration
+/// table from the deprecated free functions.
 ///
-/// As [`eval_images`].
-pub fn eval_images_sized(
-    template: &Model,
-    images: &[QuantizedModel],
-    dataset: &Dataset,
+/// All run paths — eager, lazy, streaming, serial, any
+/// [`ItemSizing`] — return byte-identical results for the same cells.
+pub struct Campaign<'a> {
+    templates: Vec<&'a Model>,
+    dataset: &'a Dataset,
     batch_size: usize,
     mode: Mode,
     sizing: ItemSizing,
-) -> Vec<EvalResult> {
-    validate(dataset, batch_size, mode);
-    let mut results = Vec::with_capacity(images.len());
-    for chunk in images.chunks(MAX_REPLICAS) {
-        eval_chunk(template, chunk, dataset, batch_size, mode, sizing, &mut results);
+    serial: bool,
+    #[allow(clippy::type_complexity)]
+    on_cell: Option<Box<dyn FnMut(usize, &EvalResult) + 'a>>,
+}
+
+impl<'a> Campaign<'a> {
+    /// A campaign whose every cell evaluates against `template` (which
+    /// supplies the architecture and any non-parameter state such as
+    /// BatchNorm running statistics; its own weights are irrelevant and it
+    /// is never mutated).
+    pub fn new(template: &'a Model, dataset: &'a Dataset) -> Self {
+        Self::multi(&[template], dataset)
     }
-    results
-}
 
-/// Like [`eval_images`], but builds the quantized images **lazily**, one
-/// wave of patterns at a time: `make_image(i)` is called for
-/// `i in 0..n_images` as each wave starts, so at most one wave of images
-/// (plus its replicas, never more than [`MAX_REPLICAS`]) is alive at a
-/// time. Use this for large grids where materializing every perturbed
-/// weight copy up front would dominate memory.
-///
-/// # Panics
-///
-/// As [`eval_images`].
-pub fn eval_images_with(
-    template: &Model,
-    n_images: usize,
-    make_image: impl Fn(usize) -> QuantizedModel,
-    dataset: &Dataset,
-    batch_size: usize,
-    mode: Mode,
-) -> Vec<EvalResult> {
-    eval_images_streaming_with(template, n_images, make_image, dataset, batch_size, mode, |_, _| {})
-}
-
-/// Patterns per streaming wave: small enough for frequent progress, large
-/// enough (≥ two work items per hardware thread) to keep every core busy.
-fn streaming_wave(n_batches: usize) -> usize {
-    (2 * pool_parallelism()).div_ceil(n_batches.max(1)).clamp(1, MAX_REPLICAS)
-}
-
-/// Streaming [`eval_images`]: evaluates patterns in small waves and calls
-/// `on_cell(index, result)` for every image — in index order — as soon as
-/// its wave completes, so long campaigns can report progress while running.
-/// Returns the full result vector, byte-identical to [`eval_images`].
-///
-/// # Panics
-///
-/// As [`eval_images`].
-pub fn eval_images_streaming(
-    template: &Model,
-    images: &[QuantizedModel],
-    dataset: &Dataset,
-    batch_size: usize,
-    mode: Mode,
-    mut on_cell: impl FnMut(usize, &EvalResult),
-) -> Vec<EvalResult> {
-    validate(dataset, batch_size, mode);
-    let wave = streaming_wave(dataset.len().div_ceil(batch_size));
-    let mut results = Vec::with_capacity(images.len());
-    let mut start = 0;
-    while start < images.len() {
-        let end = (start + wave).min(images.len());
-        // Borrow the caller's images directly — no per-wave deep copies.
-        eval_chunk(
-            template,
-            &images[start..end],
+    /// A campaign spanning several template models: cells built by
+    /// [`Campaign::run_cells`] name their template by index into
+    /// `templates` (the sweep orchestrator's multi-model fan-out).
+    pub fn multi(templates: &[&'a Model], dataset: &'a Dataset) -> Self {
+        Self {
+            templates: templates.to_vec(),
             dataset,
-            batch_size,
-            mode,
-            ItemSizing::Adaptive,
-            &mut results,
-        );
-        for (i, result) in results.iter().enumerate().take(end).skip(start) {
-            on_cell(i, result);
+            batch_size: EVAL_BATCH,
+            mode: Mode::Eval,
+            sizing: ItemSizing::Adaptive,
+            serial: false,
+            on_cell: None,
         }
-        start = end;
     }
-    results
-}
 
-/// Streaming counterpart of [`eval_images_with`]: lazy image construction
-/// *and* per-cell result delivery. `make_image(i)` is called as image `i`'s
-/// wave starts; `on_cell(i, result)` fires in index order as waves finish.
-///
-/// Wave sizes scale with the pool parallelism (see [`eval_images_streaming`])
-/// and never affect results: each wave is an ordinary chunked fan-out with
-/// the usual serial reduction.
-///
-/// # Panics
-///
-/// As [`eval_images`].
-pub fn eval_images_streaming_with(
-    template: &Model,
-    n_images: usize,
-    make_image: impl Fn(usize) -> QuantizedModel,
-    dataset: &Dataset,
-    batch_size: usize,
-    mode: Mode,
-    mut on_cell: impl FnMut(usize, &EvalResult),
-) -> Vec<EvalResult> {
-    validate(dataset, batch_size, mode);
-    let wave = streaming_wave(dataset.len().div_ceil(batch_size));
-    let mut results = Vec::with_capacity(n_images);
-    let mut start = 0;
-    while start < n_images {
-        let end = (start + wave).min(n_images);
-        let images: Vec<QuantizedModel> = (start..end).map(&make_image).collect();
-        eval_chunk(
-            template,
-            &images,
-            dataset,
-            batch_size,
-            mode,
-            ItemSizing::Adaptive,
-            &mut results,
-        );
-        for (i, result) in results.iter().enumerate().take(end).skip(start) {
-            on_cell(i, result);
-        }
-        start = end;
+    /// Test batch size (default [`EVAL_BATCH`]). Affects wall-clock and
+    /// the f64 confidence regrouping documented in the module docs, never
+    /// the per-cell error counts.
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
     }
-    results
+
+    /// Inference mode (default [`Mode::Eval`]; [`Mode::Train`] is
+    /// rejected at run time).
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Work-item sizing (default [`ItemSizing::Adaptive`]). Results are
+    /// byte-identical across sizings; the knob only trades scheduling
+    /// overhead against load balance (and lets the determinism suite pin
+    /// that claim).
+    pub fn sizing(mut self, sizing: ItemSizing) -> Self {
+        self.sizing = sizing;
+        self
+    }
+
+    /// Run the serial reference path: one pattern and one batch at a time
+    /// on the calling thread, bit-identical to the parallel engine. Exists
+    /// for determinism tests and the serial-vs-campaign benchmark.
+    pub fn serial(mut self) -> Self {
+        self.serial = true;
+        self
+    }
+
+    /// Streams per-cell results: `on_cell(index, result)` fires for every
+    /// cell — in index order — as soon as its wave completes, so long
+    /// campaigns can report progress while running. Never changes the
+    /// returned results.
+    pub fn on_cell(mut self, callback: impl FnMut(usize, &EvalResult) + 'a) -> Self {
+        self.on_cell = Some(Box::new(callback));
+        self
+    }
+
+    /// Evaluates every pre-built quantized image over the dataset,
+    /// returning one [`EvalResult`] per image, in order. Images are
+    /// borrowed — no per-wave deep copies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured batch size is 0, the dataset is empty, or
+    /// the mode is [`Mode::Train`]; or if an image's shapes do not match
+    /// its template.
+    pub fn run(self, images: &[QuantizedModel]) -> Vec<EvalResult> {
+        self.drive(images.len(), |i| (0, CellImage::Borrowed(&images[i])), true)
+    }
+
+    /// Like [`Campaign::run`], but builds the quantized images **lazily**,
+    /// one wave of patterns at a time: `make_image(i)` is called for
+    /// `i in 0..n_images` as each wave starts, so at most one wave of
+    /// images (plus its replicas, never more than
+    /// [`MAX_REPLICAS`]) is alive at a
+    /// time. Use this for large grids where materializing every perturbed
+    /// weight copy up front would dominate memory.
+    ///
+    /// # Panics
+    ///
+    /// As [`Campaign::run`].
+    pub fn run_lazy(
+        self,
+        n_images: usize,
+        make_image: impl Fn(usize) -> QuantizedModel,
+    ) -> Vec<EvalResult> {
+        self.drive(n_images, |i| (0, CellImage::Owned(make_image(i))), false)
+    }
+
+    /// The multi-model fan-out: evaluates `n_cells` lazily built images,
+    /// where `make_cell(i)` returns `(template_index, image)` and the cell
+    /// is evaluated against `templates[template_index]` from
+    /// [`Campaign::multi`] — so one campaign can span **several models'**
+    /// cells (the sweep orchestrator's engine entry point).
+    ///
+    /// Each cell's result is **byte-identical** to evaluating the same
+    /// image through a single-template campaign of its own model: cells
+    /// never share state, so neither the cohort of cells in the fan-out
+    /// nor their order affects any individual result (which is what lets a
+    /// resumed sweep skip already-stored cells without perturbing the
+    /// rest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cell's template index is out of range, or on the
+    /// [`Campaign::run`] conditions.
+    pub fn run_cells(
+        self,
+        n_cells: usize,
+        make_cell: impl Fn(usize) -> (usize, QuantizedModel),
+    ) -> Vec<EvalResult> {
+        self.drive(
+            n_cells,
+            |i| {
+                let (template, image) = make_cell(i);
+                (template, CellImage::Owned(image))
+            },
+            false,
+        )
+    }
+
+    /// The one driver behind every run path: waves of cells through a
+    /// persistent replica pool and the shared scheduler.
+    fn drive<'i>(
+        self,
+        n_cells: usize,
+        make: impl Fn(usize) -> (usize, CellImage<'i>),
+        eager: bool,
+    ) -> Vec<EvalResult> {
+        let Campaign { templates, dataset, batch_size, mode, sizing, serial, mut on_cell } = self;
+        validate(dataset, batch_size, mode);
+        let n = dataset.len();
+        let mut results = Vec::with_capacity(n_cells);
+
+        if serial {
+            for i in 0..n_cells {
+                let (template, cell) = make(i);
+                let replica = build_replica(templates[template], cell.image());
+                let partials = scheduler::execute_serial(1, n.div_ceil(batch_size), |_, batch| {
+                    let start = batch * batch_size;
+                    eval_batch(&replica, dataset, start, (start + batch_size).min(n), mode)
+                });
+                results.push(reduce_pattern(&partials, n));
+                if let Some(callback) = on_cell.as_mut() {
+                    callback(i, &results[i]);
+                }
+            }
+            return results;
+        }
+
+        // Eager silent runs use full chunks (one pass per MAX_REPLICAS
+        // images); lazy and streaming runs use pool-sized waves so image
+        // construction stays bounded and cells land promptly. The split
+        // never changes bytes — cells are independent — only the memory
+        // and delivery profile.
+        let n_batches = n.div_ceil(batch_size);
+        let wave = if eager && on_cell.is_none() {
+            scheduler::MAX_REPLICAS
+        } else {
+            scheduler::wave_size(n_batches)
+        };
+        let mut pool = ReplicaPool::new();
+        let mut start = 0;
+        while start < n_cells {
+            let end = (start + wave).min(n_cells);
+            let cells: Vec<(usize, CellImage)> = (start..end).map(&make).collect();
+            pool.prepare(
+                cells.len(),
+                |i| {
+                    let template = cells[i].0;
+                    assert!(
+                        template < templates.len(),
+                        "cell {} template index {template} out of range",
+                        start + i
+                    );
+                    (template, templates[template])
+                },
+                |i, replica| cells[i].1.image().write_to(replica),
+            );
+            let replicas: Vec<&Model> = (0..cells.len()).map(|i| pool.replica(i)).collect();
+            eval_replicas(&replicas, dataset, batch_size, mode, sizing, &mut results);
+            if let Some(callback) = on_cell.as_mut() {
+                for (i, result) in results.iter().enumerate().take(end).skip(start) {
+                    callback(i, result);
+                }
+            }
+            start = end;
+        }
+        results
+    }
 }
 
 /// Evaluates one model directly (no quantized image, no replica build):
@@ -350,89 +457,11 @@ fn validate(dataset: &Dataset, batch_size: usize, mode: Mode) {
     assert!(!dataset.is_empty(), "dataset must not be empty");
 }
 
-/// Evaluates one chunk of at most [`MAX_REPLICAS`] images, appending one
-/// [`EvalResult`] per image to `results`.
-fn eval_chunk(
-    template: &Model,
-    chunk: &[QuantizedModel],
-    dataset: &Dataset,
-    batch_size: usize,
-    mode: Mode,
-    sizing: ItemSizing,
-    results: &mut Vec<EvalResult>,
-) {
-    let pairs: Vec<(&Model, &QuantizedModel)> = chunk.iter().map(|q| (template, q)).collect();
-    eval_pair_chunk(&pairs, dataset, batch_size, mode, sizing, results);
-}
-
-/// Multi-template chunk evaluation: each image carries its own template
-/// model (the multi-model sweep's fan-out unit). Per-image results are
-/// byte-identical to evaluating that image in a single-template campaign.
-fn eval_pair_chunk(
-    pairs: &[(&Model, &QuantizedModel)],
-    dataset: &Dataset,
-    batch_size: usize,
-    mode: Mode,
-    sizing: ItemSizing,
-    results: &mut Vec<EvalResult>,
-) {
-    let owned: Vec<Model> = pairs.iter().map(|(t, q)| build_replica(t, q)).collect();
-    let replicas: Vec<&Model> = owned.iter().collect();
-    eval_replicas(&replicas, dataset, batch_size, mode, sizing, results);
-}
-
-/// The multi-model streaming campaign: evaluates `n_cells` lazily built
-/// quantized images, where cell `i`'s image is built by `make_cell(i)`
-/// against the template model `templates[make_cell(i).0]` — so one fan-out
-/// can span **several models'** cells (the sweep orchestrator's engine
-/// entry point). Waves, replica chunking, and per-cell delivery behave
-/// exactly as in [`eval_images_streaming_with`].
-///
-/// Each cell's result is **byte-identical** to evaluating the same image
-/// through a single-template campaign of its own model: cells never share
-/// state, so neither the cohort of cells in the fan-out nor their order
-/// affects any individual result (which is what lets a resumed sweep skip
-/// already-stored cells without perturbing the rest).
-///
-/// # Panics
-///
-/// Panics if a cell's template index is out of range, or on the
-/// [`eval_images`] conditions.
-pub fn eval_cells_streaming_with(
-    templates: &[&Model],
-    n_cells: usize,
-    make_cell: impl Fn(usize) -> (usize, QuantizedModel),
-    dataset: &Dataset,
-    batch_size: usize,
-    mode: Mode,
-    mut on_cell: impl FnMut(usize, &EvalResult),
-) -> Vec<EvalResult> {
-    validate(dataset, batch_size, mode);
-    let wave = streaming_wave(dataset.len().div_ceil(batch_size));
-    let mut results = Vec::with_capacity(n_cells);
-    let mut start = 0;
-    while start < n_cells {
-        let end = (start + wave).min(n_cells);
-        let cells: Vec<(usize, QuantizedModel)> = (start..end).map(&make_cell).collect();
-        let pairs: Vec<(&Model, &QuantizedModel)> =
-            cells.iter().map(|(t, q)| (templates[*t], q)).collect();
-        eval_pair_chunk(&pairs, dataset, batch_size, mode, ItemSizing::Adaptive, &mut results);
-        for (i, result) in results.iter().enumerate().take(end).skip(start) {
-            on_cell(i, result);
-        }
-        start = end;
-    }
-    results
-}
-
-/// The engine core: evaluates shared model replicas over `dataset`,
-/// appending one [`EvalResult`] per replica in order.
-///
-/// Work items (runs of consecutive batches of one pattern, per `sizing`)
-/// fan out over the thread pool; every `(pattern, batch)` partial is
-/// written to its own dedicated slot, then reduced serially in
-/// `(pattern, batch)` order — so results are independent of thread count,
-/// scheduling, *and* work-item sizing.
+/// The engine core: evaluates shared model replicas over `dataset` via the
+/// scheduler's `(pattern, batch)` grid, appending one [`EvalResult`] per
+/// replica in order. Per-batch partials land in dedicated slots and are
+/// reduced serially in `(pattern, batch)` order — results are independent
+/// of thread count, scheduling, *and* work-item sizing.
 fn eval_replicas(
     replicas: &[&Model],
     dataset: &Dataset,
@@ -443,48 +472,111 @@ fn eval_replicas(
 ) {
     let n = dataset.len();
     let n_batches = n.div_ceil(batch_size);
-    let group = batches_per_item(sizing, replicas.len(), n_batches);
-    let groups_per_pattern = n_batches.div_ceil(group);
-    let partials: Vec<OnceLock<BatchPartial>> =
-        (0..replicas.len() * n_batches).map(|_| OnceLock::new()).collect();
-    parallel_for(replicas.len() * groups_per_pattern, |item| {
-        let pattern = item / groups_per_pattern;
-        let first = (item % groups_per_pattern) * group;
-        let last = (first + group).min(n_batches);
-        for batch in first..last {
-            let start = batch * batch_size;
-            let end = (start + batch_size).min(n);
-            let partial = eval_batch(replicas[pattern], dataset, start, end, mode);
-            let slot = pattern * n_batches + batch;
-            assert!(partials[slot].set(partial).is_ok(), "batch slot {slot} visited twice");
-        }
+    let partials = scheduler::execute(replicas.len(), n_batches, sizing, |pattern, batch| {
+        let start = batch * batch_size;
+        let end = (start + batch_size).min(n);
+        eval_batch(replicas[pattern], dataset, start, end, mode)
     });
-    // Serial reduction in (pattern, batch) order keeps float sums
-    // independent of scheduling.
-    for pattern in 0..replicas.len() {
-        let mut wrong = 0usize;
-        let mut conf = 0f64;
-        for batch in 0..n_batches {
-            let part = partials[pattern * n_batches + batch].get().expect("missing batch partial");
-            wrong += part.wrong;
-            conf += part.conf;
-        }
-        results.push(EvalResult {
-            error: wrong as f32 / n as f32,
-            confidence: (conf / n as f64) as f32,
-        });
+    for per_pattern in partials.chunks(n_batches) {
+        results.push(reduce_pattern(per_pattern, n));
     }
 }
 
-/// The serial reference implementation of [`eval_images`]: one pattern and
-/// one batch at a time on the calling thread, bit-identical results.
-///
-/// Exists for determinism tests and the serial-vs-campaign benchmark; real
-/// callers should use [`eval_images`].
-///
-/// # Panics
-///
-/// As [`eval_images`].
+/// Evaluates every quantized image over `dataset`, in parallel.
+#[deprecated(note = "use `Campaign::new(template, dataset).batch_size(..).mode(..).run(images)`")]
+pub fn eval_images(
+    template: &Model,
+    images: &[QuantizedModel],
+    dataset: &Dataset,
+    batch_size: usize,
+    mode: Mode,
+) -> Vec<EvalResult> {
+    Campaign::new(template, dataset).batch_size(batch_size).mode(mode).run(images)
+}
+
+/// [`Campaign::run`] with explicit work-item [`ItemSizing`].
+#[deprecated(note = "use `Campaign::new(template, dataset)…sizing(sizing).run(images)`")]
+pub fn eval_images_sized(
+    template: &Model,
+    images: &[QuantizedModel],
+    dataset: &Dataset,
+    batch_size: usize,
+    mode: Mode,
+    sizing: ItemSizing,
+) -> Vec<EvalResult> {
+    Campaign::new(template, dataset).batch_size(batch_size).mode(mode).sizing(sizing).run(images)
+}
+
+/// Lazily built images, one wave at a time.
+#[deprecated(note = "use `Campaign::new(template, dataset)…run_lazy(n_images, make_image)`")]
+pub fn eval_images_with(
+    template: &Model,
+    n_images: usize,
+    make_image: impl Fn(usize) -> QuantizedModel,
+    dataset: &Dataset,
+    batch_size: usize,
+    mode: Mode,
+) -> Vec<EvalResult> {
+    Campaign::new(template, dataset)
+        .batch_size(batch_size)
+        .mode(mode)
+        .run_lazy(n_images, make_image)
+}
+
+/// Streaming per-cell delivery over pre-built images.
+#[deprecated(note = "use `Campaign::new(template, dataset)…on_cell(cb).run(images)`")]
+pub fn eval_images_streaming(
+    template: &Model,
+    images: &[QuantizedModel],
+    dataset: &Dataset,
+    batch_size: usize,
+    mode: Mode,
+    on_cell: impl FnMut(usize, &EvalResult),
+) -> Vec<EvalResult> {
+    Campaign::new(template, dataset).batch_size(batch_size).mode(mode).on_cell(on_cell).run(images)
+}
+
+/// Lazy image construction *and* per-cell streaming delivery.
+#[deprecated(note = "use `Campaign::new(template, dataset)…on_cell(cb).run_lazy(n, make_image)`")]
+pub fn eval_images_streaming_with(
+    template: &Model,
+    n_images: usize,
+    make_image: impl Fn(usize) -> QuantizedModel,
+    dataset: &Dataset,
+    batch_size: usize,
+    mode: Mode,
+    on_cell: impl FnMut(usize, &EvalResult),
+) -> Vec<EvalResult> {
+    Campaign::new(template, dataset)
+        .batch_size(batch_size)
+        .mode(mode)
+        .on_cell(on_cell)
+        .run_lazy(n_images, make_image)
+}
+
+/// The multi-model streaming campaign.
+#[deprecated(
+    note = "use `Campaign::multi(templates, dataset)…on_cell(cb).run_cells(n, make_cell)`"
+)]
+pub fn eval_cells_streaming_with(
+    templates: &[&Model],
+    n_cells: usize,
+    make_cell: impl Fn(usize) -> (usize, QuantizedModel),
+    dataset: &Dataset,
+    batch_size: usize,
+    mode: Mode,
+    on_cell: impl FnMut(usize, &EvalResult),
+) -> Vec<EvalResult> {
+    Campaign::multi(templates, dataset)
+        .batch_size(batch_size)
+        .mode(mode)
+        .on_cell(on_cell)
+        .run_cells(n_cells, make_cell)
+}
+
+/// The serial reference implementation: one pattern and one batch at a
+/// time on the calling thread, bit-identical results.
+#[deprecated(note = "use `Campaign::new(template, dataset)…serial().run(images)`")]
 pub fn eval_images_serial(
     template: &Model,
     images: &[QuantizedModel],
@@ -492,25 +584,7 @@ pub fn eval_images_serial(
     batch_size: usize,
     mode: Mode,
 ) -> Vec<EvalResult> {
-    validate(dataset, batch_size, mode);
-    let n = dataset.len();
-    images
-        .iter()
-        .map(|image| {
-            let replica = build_replica(template, image);
-            let mut wrong = 0usize;
-            let mut conf = 0f64;
-            let mut start = 0;
-            while start < n {
-                let end = (start + batch_size).min(n);
-                let part = eval_batch(&replica, dataset, start, end, mode);
-                wrong += part.wrong;
-                conf += part.conf;
-                start = end;
-            }
-            EvalResult { error: wrong as f32 / n as f32, confidence: (conf / n as f64) as f32 }
-        })
-        .collect()
+    Campaign::new(template, dataset).batch_size(batch_size).mode(mode).serial().run(images)
 }
 
 /// A grid of fault-injection campaign cells: every combination of
@@ -569,6 +643,10 @@ pub struct GridCell {
 /// persistent identities ([`ChipAxis::key`]) — and are *prepared* once per
 /// campaign (profiled-chip synthesis, rate→voltage resolution) before any
 /// cell is built.
+///
+/// Uniform grids are not a separate code path: `robust_eval_uniform`,
+/// [`run_grid`], and the sweep orchestrator all drive
+/// [`ChipAxis::Uniform`] through [`run_axis`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum ChipAxis {
     /// Uniform random chips: `rates × n_chips` cells with chip `c` seeded
@@ -696,13 +774,15 @@ pub struct AxisCell {
 /// once per scheme, builds every axis point's perturbed image lazily, and
 /// fans all cells out together. Returns `[scheme][group]` [`RobustEval`]s.
 ///
-/// For a uniform axis this is exactly [`run_grid`]; profiled axes make
-/// Tab. 5-style voltage/offset sweeps run as one campaign too.
+/// This is the one axis-based evaluation surface: uniform grids
+/// ([`run_grid`], `robust_eval_uniform`) and profiled Tab. 5-style
+/// voltage/offset sweeps are both [`ChipAxis`] variants driven through
+/// here.
 ///
 /// # Panics
 ///
 /// Panics if `schemes` or the axis is empty in any dimension, or on the
-/// [`eval_images`] conditions.
+/// [`Campaign::run`] conditions.
 pub fn run_axis(
     model: &Model,
     schemes: &[QuantScheme],
@@ -745,22 +825,18 @@ pub fn run_axis_streaming(
             // its wave is reached, so peak memory stays at one wave of
             // images + replicas however large the axis.
             let q0 = QuantizedModel::quantize(model, scheme);
-            let cells = eval_images_streaming_with(
-                model,
-                axis.n_points(),
-                |point| prepared.make_image(&q0, point),
-                dataset,
-                batch_size,
-                mode,
-                |point, result| {
+            let cells = Campaign::new(model, dataset)
+                .batch_size(batch_size)
+                .mode(mode)
+                .on_cell(|point, result| {
                     let id = AxisCell {
                         scheme: scheme_index,
                         group: point / group,
                         point: point % group,
                     };
                     on_cell(id, result);
-                },
-            );
+                })
+                .run_lazy(axis.n_points(), |point| prepared.make_image(&q0, point));
             cells.chunks(group).map(RobustEval::from_results).collect()
         })
         .collect()
@@ -768,10 +844,11 @@ pub fn run_axis_streaming(
 
 /// Runs a whole [`CampaignGrid`] as **one** parallel campaign.
 ///
-/// Quantizes the model once per scheme, injects every (rate, chip) pattern,
-/// and evaluates all cells in a single fan-out. Returns `[scheme][rate]`
-/// [`RobustEval`]s whose per-chip `errors` are bit-identical to running
-/// `robust_eval_uniform` serially per rate with the same seeds.
+/// A thin uniform-axis spelling of [`run_axis`]: quantizes the model once
+/// per scheme, injects every (rate, chip) pattern, and evaluates all cells
+/// in a single fan-out. Returns `[scheme][rate]` [`RobustEval`]s whose
+/// per-chip `errors` are bit-identical to running `robust_eval_uniform`
+/// serially per rate with the same seeds.
 ///
 /// The model is only read; its weights are never touched (patterns live in
 /// per-pattern replicas).
@@ -779,7 +856,7 @@ pub fn run_axis_streaming(
 /// # Panics
 ///
 /// Panics if the grid is empty in any dimension, or on the
-/// [`eval_images`] conditions.
+/// [`Campaign::run`] conditions.
 pub fn run_grid(
     model: &Model,
     grid: &CampaignGrid,
@@ -844,8 +921,8 @@ mod tests {
     fn parallel_matches_serial_bit_for_bit() {
         let (mut model, test) = tiny_setup();
         let images = uniform_images(&mut model, 6, 0.02);
-        let parallel = eval_images(&model, &images, &test, EVAL_BATCH, Mode::Eval);
-        let serial = eval_images_serial(&model, &images, &test, EVAL_BATCH, Mode::Eval);
+        let parallel = Campaign::new(&model, &test).run(&images);
+        let serial = Campaign::new(&model, &test).serial().run(&images);
         assert_eq!(parallel, serial);
     }
 
@@ -853,7 +930,7 @@ mod tests {
     fn engine_matches_legacy_mutate_and_forward_loop() {
         let (mut model, test) = tiny_setup();
         let images = uniform_images(&mut model, 4, 0.01);
-        let engine = eval_images(&model, &images, &test, EVAL_BATCH, Mode::Eval);
+        let engine = Campaign::new(&model, &test).run(&images);
 
         // The pre-engine path: write each image into the model and run the
         // cached-forward evaluator.
@@ -931,15 +1008,8 @@ mod tests {
     fn lazy_image_construction_matches_eager() {
         let (mut model, test) = tiny_setup();
         let images = uniform_images(&mut model, 5, 0.02);
-        let eager = eval_images(&model, &images, &test, EVAL_BATCH, Mode::Eval);
-        let lazy = eval_images_with(
-            &model,
-            images.len(),
-            |i| images[i].clone(),
-            &test,
-            EVAL_BATCH,
-            Mode::Eval,
-        );
+        let eager = Campaign::new(&model, &test).run(&images);
+        let lazy = Campaign::new(&model, &test).run_lazy(images.len(), |i| images[i].clone());
         assert_eq!(eager, lazy);
     }
 
@@ -949,10 +1019,50 @@ mod tests {
         // More images than MAX_REPLICAS would be slow here; instead check
         // that splitting a campaign in two yields the same cells.
         let images = uniform_images(&mut model, 6, 0.02);
-        let whole = eval_images(&model, &images, &test, EVAL_BATCH, Mode::Eval);
-        let mut split = eval_images(&model, &images[..2], &test, EVAL_BATCH, Mode::Eval);
-        split.extend(eval_images(&model, &images[2..], &test, EVAL_BATCH, Mode::Eval));
+        let whole = Campaign::new(&model, &test).run(&images);
+        let mut split = Campaign::new(&model, &test).run(&images[..2]);
+        split.extend(Campaign::new(&model, &test).run(&images[2..]));
         assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn multi_template_cells_match_single_template_campaigns() {
+        let (mut model_a, test) = tiny_setup();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut model_b = build(ArchKind::Mlp, [1, 14, 14], 10, NormKind::Group, &mut rng).model;
+        let images_a = uniform_images(&mut model_a, 2, 0.01);
+        let images_b = uniform_images(&mut model_b, 2, 0.02);
+
+        // Interleave the two models' cells in one multi-template campaign.
+        let all: Vec<(usize, QuantizedModel)> = vec![
+            (0, images_a[0].clone()),
+            (1, images_b[0].clone()),
+            (0, images_a[1].clone()),
+            (1, images_b[1].clone()),
+        ];
+        let templates = [&model_a, &model_b];
+        let mixed = Campaign::multi(&templates, &test).run_cells(all.len(), |i| all[i].clone());
+
+        let solo_a = Campaign::new(&model_a, &test).run(&images_a);
+        let solo_b = Campaign::new(&model_b, &test).run(&images_b);
+        assert_eq!(mixed[0], solo_a[0]);
+        assert_eq!(mixed[2], solo_a[1]);
+        assert_eq!(mixed[1], solo_b[0]);
+        assert_eq!(mixed[3], solo_b[1]);
+    }
+
+    #[test]
+    fn streaming_delivers_every_cell_in_order() {
+        let (mut model, test) = tiny_setup();
+        let images = uniform_images(&mut model, 4, 0.01);
+        let mut seen = Vec::new();
+        let silent = Campaign::new(&model, &test).run(&images);
+        let streamed =
+            Campaign::new(&model, &test).on_cell(|i, r| seen.push((i, r.error))).run(&images);
+        assert_eq!(silent, streamed, "streaming must not change results");
+        let expected: Vec<(usize, f32)> =
+            streamed.iter().enumerate().map(|(i, r)| (i, r.error)).collect();
+        assert_eq!(seen, expected, "every cell must stream exactly once, in order");
     }
 
     #[test]
@@ -960,6 +1070,6 @@ mod tests {
     fn rejects_training_mode() {
         let (mut model, test) = tiny_setup();
         let images = uniform_images(&mut model, 1, 0.0);
-        let _ = eval_images(&model, &images, &test, EVAL_BATCH, Mode::Train);
+        let _ = Campaign::new(&model, &test).mode(Mode::Train).run(&images);
     }
 }

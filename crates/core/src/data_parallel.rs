@@ -11,18 +11,27 @@
 //!
 //! Per forward/backward pass, the mini-batch's rows are split into
 //! [`DataParallel::shards`] contiguous shards (sizes differing by at most
-//! one). Each shard worker:
+//! one). Shards run as a `shards × 1` grid on the shared
+//! [`crate::scheduler`] executor, each against a **persistent replica**
+//! from a [`crate::scheduler::ShardReplicas`] pool: the structural clone
+//! ([`Model::clone`] — parameters and normalization state; caches and
+//! probes start detached) happens once per training run, and every pass
+//! merely re-syncs the parameter bits. Each shard worker:
 //!
-//! 1. clones the current model ([`Model::clone`] — parameters and
-//!    normalization state; caches and probes start detached),
-//! 2. zeroes the replica's gradients and runs `forward(Mode::Train)` +
-//!    `backward` on its shard, with the loss normalized by the *full*
-//!    batch size ([`CrossEntropyLoss::compute_scaled`]), and
+//! 1. copies the current parameters onto its replica
+//!    ([`Model::set_param_tensors`] — an exact bit copy) and zeroes the
+//!    replica's gradients,
+//! 2. runs `forward(Mode::Train)` + `backward` on its shard, with the
+//!    loss normalized by the *full* batch size
+//!    ([`CrossEntropyLoss::compute_scaled`]), and
 //! 3. hands back `(loss_sum, grad_tensors)`.
 //!
-//! Shard results land in per-shard slots (campaign-engine style), then the
-//! gradient buffers are combined with the fixed-shape serial
-//! [`tree_reduce_grads`] and the loss sums are added in shard order.
+//! Replica reuse is byte-identical to cloning fresh every pass: parameter
+//! sync is exact, forward overwrites every activation cache
+//! unconditionally, and each pass starts from zeroed gradients. Shard
+//! results land in per-shard scheduler slots, then the gradient buffers
+//! are combined with the fixed-shape serial [`tree_reduce_grads`] and the
+//! loss sums are added in shard order.
 //!
 //! # Determinism contract
 //!
@@ -41,10 +50,10 @@
 //! through whole-batch statistics and updates running state, which
 //! per-shard replicas would silently compute per-shard and then discard.
 
-use std::sync::OnceLock;
-
 use bitrobust_nn::{tree_reduce_grads, CrossEntropyLoss, Mode, Model};
-use bitrobust_tensor::{parallel_for, Tensor};
+use bitrobust_tensor::Tensor;
+
+use crate::scheduler::{self, ItemSizing, ShardReplicas};
 
 /// Shard count fixed by the experiment protocol (zoo training, paper
 /// reproduction binaries): enough to keep typical core counts busy, small
@@ -124,6 +133,11 @@ fn slice_rows(x: &Tensor, start: usize, end: usize) -> Tensor {
 /// loss when the clean gradient is about to be discarded (the
 /// PerturbedOnly ablation past warm-up).
 ///
+/// `replicas` is the pass's persistent shard-replica pool: callers keep it
+/// alive across passes (one per training run) so replicas are cloned once
+/// and merely re-synced afterwards. A fresh pool per call is always
+/// correct — just slower — and byte-identical either way.
+///
 /// Empty shards cannot occur: the effective shard count is capped at the
 /// row count, so a final partial mini-batch smaller than the configured
 /// shard count simply uses fewer shards.
@@ -134,6 +148,7 @@ pub(crate) fn sharded_forward_backward(
     loss_fn: &CrossEntropyLoss,
     dp: &DataParallel,
     need_grads: bool,
+    replicas: &mut ShardReplicas,
 ) -> ShardedPass {
     let rows = x.dim(0);
     assert!(rows > 0, "cannot train on an empty mini-batch");
@@ -144,38 +159,37 @@ pub(crate) fn sharded_forward_backward(
 
     let n_shards = dp.shards.min(rows);
     let bounds = shard_bounds(rows, n_shards);
+    replicas.ensure(model, n_shards);
+    let replicas: &ShardReplicas = replicas;
+    let params = model.param_tensors();
     let run_shard = |s: usize| {
         let (start, end) = bounds[s];
         let shard_x = slice_rows(x, start, end);
-        let mut replica = model.clone();
-        // `Layer::clone_layer` copies `Param`s verbatim, so replicas inherit
-        // whatever gradients the primary has accumulated; their backward
-        // must start from zero.
-        replica.zero_grads();
-        let logits = replica.forward(&shard_x, Mode::Train);
-        let out = loss_fn.compute_scaled(&logits, &labels[start..end], rows);
-        if !need_grads {
-            return (out.loss_sum, Vec::new());
-        }
-        replica.backward(&out.grad);
-        (out.loss_sum, replica.grad_tensors())
+        replicas.with(s, |replica| {
+            // Re-sync the persistent replica to the current model state:
+            // exact parameter bits, gradients from zero (replicas keep
+            // whatever the previous pass accumulated).
+            replica.set_param_tensors(&params);
+            replica.zero_grads();
+            let logits = replica.forward(&shard_x, Mode::Train);
+            let out = loss_fn.compute_scaled(&logits, &labels[start..end], rows);
+            if !need_grads {
+                return (out.loss_sum, Vec::new());
+            }
+            replica.backward(&out.grad);
+            (out.loss_sum, replica.grad_tensors())
+        })
     };
 
-    let slots: Vec<OnceLock<(f64, Vec<Tensor>)>> = (0..n_shards).map(|_| OnceLock::new()).collect();
-    if dp.serial {
-        for (s, slot) in slots.iter().enumerate() {
-            assert!(slot.set(run_shard(s)).is_ok(), "shard {s} ran twice");
-        }
+    let parts: Vec<(f64, Vec<Tensor>)> = if dp.serial {
+        scheduler::execute_serial(n_shards, 1, |s, _| run_shard(s))
     } else {
-        parallel_for(n_shards, |s| {
-            assert!(slots[s].set(run_shard(s)).is_ok(), "shard {s} ran twice");
-        });
-    }
+        scheduler::execute(n_shards, 1, ItemSizing::PerBatch, |s, _| run_shard(s))
+    };
 
     let mut loss_sum = 0f64;
     let mut buffers = Vec::with_capacity(n_shards);
-    for slot in slots {
-        let (shard_loss, shard_grads) = slot.into_inner().expect("missing shard result");
+    for (shard_loss, shard_grads) in parts {
         loss_sum += shard_loss;
         buffers.push(shard_grads);
     }
@@ -239,8 +253,15 @@ mod tests {
         let (mut model, x, labels) = setup(32);
         let loss_fn = CrossEntropyLoss::new();
 
-        let pass =
-            sharded_forward_backward(&model, &x, &labels, &loss_fn, &DataParallel::new(1), true);
+        let pass = sharded_forward_backward(
+            &model,
+            &x,
+            &labels,
+            &loss_fn,
+            &DataParallel::new(1),
+            true,
+            &mut ShardReplicas::new(),
+        );
 
         model.zero_grads();
         let logits = model.forward(&x, Mode::Train);
@@ -266,6 +287,7 @@ mod tests {
                 &loss_fn,
                 &DataParallel { shards, serial: false },
                 true,
+                &mut ShardReplicas::new(),
             );
             let serial = sharded_forward_backward(
                 &model,
@@ -274,6 +296,7 @@ mod tests {
                 &loss_fn,
                 &DataParallel { shards, serial: true },
                 true,
+                &mut ShardReplicas::new(),
             );
             assert_eq!(parallel.loss.to_bits(), serial.loss.to_bits(), "shards {shards}");
             assert_eq!(
@@ -290,8 +313,15 @@ mod tests {
     fn sharded_gradient_is_numerically_the_batch_gradient() {
         let (mut model, x, labels) = setup(40);
         let loss_fn = CrossEntropyLoss::new();
-        let pass =
-            sharded_forward_backward(&model, &x, &labels, &loss_fn, &DataParallel::new(4), true);
+        let pass = sharded_forward_backward(
+            &model,
+            &x,
+            &labels,
+            &loss_fn,
+            &DataParallel::new(4),
+            true,
+            &mut ShardReplicas::new(),
+        );
 
         model.zero_grads();
         let logits = model.forward(&x, Mode::Train);
@@ -322,6 +352,7 @@ mod tests {
             &CrossEntropyLoss::new(),
             &DataParallel::protocol(),
             true,
+            &mut ShardReplicas::new(),
         );
         assert_eq!(model.param_tensors(), params_before);
         assert_eq!(model.grad_tensors(), grads_before);
@@ -346,6 +377,7 @@ mod tests {
             &CrossEntropyLoss::new(),
             &DataParallel { shards: 0, serial: false },
             true,
+            &mut ShardReplicas::new(),
         );
     }
 
@@ -355,10 +387,24 @@ mod tests {
     fn forward_only_pass_matches_loss_and_skips_grads() {
         let (model, x, labels) = setup(24);
         let loss_fn = CrossEntropyLoss::new();
-        let full =
-            sharded_forward_backward(&model, &x, &labels, &loss_fn, &DataParallel::new(4), true);
-        let loss_only =
-            sharded_forward_backward(&model, &x, &labels, &loss_fn, &DataParallel::new(4), false);
+        let full = sharded_forward_backward(
+            &model,
+            &x,
+            &labels,
+            &loss_fn,
+            &DataParallel::new(4),
+            true,
+            &mut ShardReplicas::new(),
+        );
+        let loss_only = sharded_forward_backward(
+            &model,
+            &x,
+            &labels,
+            &loss_fn,
+            &DataParallel::new(4),
+            false,
+            &mut ShardReplicas::new(),
+        );
         assert_eq!(loss_only.loss.to_bits(), full.loss.to_bits());
         assert!(loss_only.grads.is_none());
     }
@@ -370,14 +416,76 @@ mod tests {
     fn shard_count_changes_gradient_summation() {
         let (model, x, labels) = setup(128);
         let loss_fn = CrossEntropyLoss::new();
-        let two =
-            sharded_forward_backward(&model, &x, &labels, &loss_fn, &DataParallel::new(2), true);
-        let four =
-            sharded_forward_backward(&model, &x, &labels, &loss_fn, &DataParallel::new(4), true);
+        let two = sharded_forward_backward(
+            &model,
+            &x,
+            &labels,
+            &loss_fn,
+            &DataParallel::new(2),
+            true,
+            &mut ShardReplicas::new(),
+        );
+        let four = sharded_forward_backward(
+            &model,
+            &x,
+            &labels,
+            &loss_fn,
+            &DataParallel::new(4),
+            true,
+            &mut ShardReplicas::new(),
+        );
         assert_ne!(
             grad_bits(&two.grads.expect("requested")),
             grad_bits(&four.grads.expect("requested")),
             "gradient bits must depend on the shard count"
+        );
+    }
+
+    /// Persistent shard replicas must be byte-identical to fresh clones on
+    /// every pass, including after the model's parameters change between
+    /// passes (as every optimizer step does).
+    #[test]
+    fn persistent_replicas_match_fresh_clones_across_passes() {
+        let (model, x, labels) = setup(32);
+        let loss_fn = CrossEntropyLoss::new();
+        let dp = DataParallel::new(4);
+        let mut pool = ShardReplicas::new();
+
+        let pass = |model: &Model, pool: &mut ShardReplicas| {
+            sharded_forward_backward(model, &x, &labels, &loss_fn, &dp, true, pool)
+        };
+
+        let first_pooled = pass(&model, &mut pool);
+        let first_fresh = pass(&model, &mut ShardReplicas::new());
+        assert_eq!(first_pooled.loss.to_bits(), first_fresh.loss.to_bits());
+        assert_eq!(
+            grad_bits(&first_pooled.grads.expect("requested")),
+            grad_bits(&first_fresh.grads.expect("requested"))
+        );
+
+        // Step the model as an optimizer would, then re-run with the same
+        // (now stale-parameter) pool vs a fresh one.
+        let mut stepped = model.clone();
+        let updated: Vec<Tensor> = stepped
+            .param_tensors()
+            .iter()
+            .map(|t| {
+                Tensor::from_vec(t.shape().to_vec(), t.data().iter().map(|v| v * 0.9).collect())
+            })
+            .collect();
+        stepped.set_param_tensors(&updated);
+
+        let second_pooled = pass(&stepped, &mut pool);
+        let second_fresh = pass(&stepped, &mut ShardReplicas::new());
+        assert_eq!(second_pooled.loss.to_bits(), second_fresh.loss.to_bits());
+        assert_eq!(
+            grad_bits(&second_pooled.grads.expect("requested")),
+            grad_bits(&second_fresh.grads.expect("requested"))
+        );
+        assert_ne!(
+            first_pooled.loss.to_bits(),
+            second_pooled.loss.to_bits(),
+            "the parameter step must actually change the pass"
         );
     }
 }

@@ -5,9 +5,10 @@
 //! fans out over the thread pool through the campaign engine
 //! ([`crate::campaign`]). Clean evaluation is a single-pattern campaign
 //! (batches are the work items); robust evaluation is a multi-pattern one
-//! (chips × batches). Results are byte-identical to the serial reference
-//! paths ([`evaluate_serial`], [`crate::eval_images_serial`]) at any
-//! thread count.
+//! (chips × batches) driven through the axis surface
+//! ([`crate::run_axis`] over a [`crate::ChipAxis`]). Results are
+//! byte-identical to the serial reference paths ([`evaluate_serial`],
+//! [`crate::Campaign::serial`]) at any thread count.
 //!
 //! The only deliberately-serial paths are the probe-recording ones
 //! ([`evaluate_probed`], [`quantized_error_probed`]): activation probes
@@ -147,7 +148,10 @@ pub fn quantized_error(
     mode: Mode,
 ) -> EvalResult {
     let q = QuantizedModel::quantize(model, scheme);
-    crate::campaign::eval_images(model, std::slice::from_ref(&q), dataset, batch_size, mode)
+    crate::campaign::Campaign::new(model, dataset)
+        .batch_size(batch_size)
+        .mode(mode)
+        .run(std::slice::from_ref(&q))
         .pop()
         .expect("single-image campaign yields one result")
 }
@@ -221,7 +225,7 @@ impl RobustEval {
 /// quantized image, injects bit errors, and measures test error.
 ///
 /// A thin wrapper over the parallel campaign engine
-/// ([`crate::eval_images`]): all (pattern, batch) work items fan out over
+/// ([`crate::Campaign`]): all (pattern, batch) work items fan out over
 /// the workspace thread pool, and the per-chip `errors` are bit-identical
 /// to the historical serial loop. The model is only read — patterns are
 /// written into per-pattern replicas, never the model.
@@ -239,24 +243,25 @@ pub fn robust_eval<I: ErrorInjector>(
     mode: Mode,
 ) -> RobustEval {
     let q0 = QuantizedModel::quantize(model, scheme);
-    let results = crate::campaign::eval_images_with(
-        model,
-        injectors.len(),
-        |i| {
+    let results = crate::campaign::Campaign::new(model, dataset)
+        .batch_size(batch_size)
+        .mode(mode)
+        .run_lazy(injectors.len(), |i| {
             let mut q = q0.clone();
             q.inject(&injectors[i]);
             q
-        },
-        dataset,
-        batch_size,
-        mode,
-    );
+        });
     RobustEval::from_results(&results)
 }
 
-/// [`robust_eval`] against `n_chips` uniform random chips at rate `p`
-/// (the paper's default protocol: 50 chips, fixed seeds, shared across all
-/// models and rates so results are comparable).
+/// `RErr` against `n_chips` uniform random chips at rate `p` (the paper's
+/// default protocol: 50 chips, fixed seeds, shared across all models and
+/// rates so results are comparable).
+///
+/// A single-rate [`crate::ChipAxis::Uniform`] driven through
+/// [`crate::run_axis`] — uniform grids are not a separate code path, so
+/// per-chip errors are bit-identical to the same cell of any larger
+/// axis/grid campaign with the same seeds.
 #[allow(clippy::too_many_arguments)] // mirrors the paper's evaluation protocol knobs
 pub fn robust_eval_uniform(
     model: &Model,
@@ -268,12 +273,21 @@ pub fn robust_eval_uniform(
     batch_size: usize,
     mode: Mode,
 ) -> RobustEval {
-    let injectors = uniform_chips(p, n_chips, chip_seed_base);
-    robust_eval(model, scheme, dataset, &injectors, batch_size, mode)
+    let axis = crate::campaign::ChipAxis::uniform(vec![p], n_chips, chip_seed_base);
+    crate::campaign::run_axis(
+        model,
+        std::slice::from_ref(&scheme),
+        &axis,
+        dataset,
+        batch_size,
+        mode,
+    )
+    .swap_remove(0)
+    .swap_remove(0)
 }
 
 /// The serial reference implementation of [`robust_eval_uniform`], built
-/// on [`crate::eval_images_serial`]: bit-identical results, one pattern
+/// on [`crate::Campaign::serial`]: bit-identical results, one pattern
 /// and one batch at a time. Exists for determinism tests (e.g. the
 /// serial-vs-parallel in-training RErr probe comparison); real callers
 /// should use [`robust_eval_uniform`].
@@ -297,7 +311,11 @@ pub fn robust_eval_uniform_serial(
             q
         })
         .collect();
-    let results = crate::campaign::eval_images_serial(model, &images, dataset, batch_size, mode);
+    let results = crate::campaign::Campaign::new(model, dataset)
+        .batch_size(batch_size)
+        .mode(mode)
+        .serial()
+        .run(&images);
     RobustEval::from_results(&results)
 }
 

@@ -23,11 +23,13 @@
 //! The crate also implements the non-generalizing fixed-pattern baseline
 //! (`PATTBET`, [`TrainMethod::PattBet`]), the `Err`/`RErr` evaluation
 //! protocol ([`evaluate`], [`robust_eval_uniform`]) backed by the parallel
-//! fault-injection [`campaign`] engine ([`eval_images`], [`run_grid`],
-//! profiled-chip axes via [`run_axis`]), the durable [`sweep`]
-//! orchestrator (multi-model × multi-axis campaigns checkpointed to a
-//! resumable on-disk [`SweepStore`] — [`run_sweep`]),
-//! deterministic data-parallel training
+//! fault-injection [`campaign`] engine (the [`Campaign`] builder, uniform
+//! and profiled-chip axes via [`run_axis`]), the reusable fork-join
+//! [`scheduler`] every batch-parallel subsystem (campaigns, sweeps,
+//! data-parallel training, the `bitrobust-serve` inference service) runs
+//! through, the durable [`sweep`] orchestrator (multi-model × multi-axis
+//! campaigns checkpointed to a resumable on-disk [`SweepStore`] —
+//! [`run_sweep`]), deterministic data-parallel training
 //! ([`TrainConfig::data_parallel`] → [`data_parallel`]),
 //! the Prop. 1 generalization bound ([`deviation_bound`]), and the energy
 //! trade-off analysis combining the SRAM voltage/energy models with
@@ -77,17 +79,21 @@ mod eval;
 mod probe;
 mod qmodel;
 mod redundancy;
+pub mod scheduler;
 pub mod store;
 pub mod sweep;
 mod train;
 
 pub use arch::{build, ArchKind, BuiltModel, NormKind};
 pub use bound::{deviation_bound, deviation_probability};
+#[allow(deprecated)] // the deprecated entry points stay re-exported for migration
 pub use campaign::{
     eval_cells_streaming_with, eval_images, eval_images_serial, eval_images_sized,
-    eval_images_streaming, eval_images_streaming_with, eval_images_with, run_axis,
-    run_axis_streaming, run_grid, run_grid_streaming, AxisCell, CampaignGrid, ChipAxis, GridCell,
-    ItemSizing, MAX_REPLICAS,
+    eval_images_streaming, eval_images_streaming_with, eval_images_with,
+};
+pub use campaign::{
+    run_axis, run_axis_streaming, run_grid, run_grid_streaming, AxisCell, Campaign, CampaignGrid,
+    ChipAxis, GridCell,
 };
 pub use data_parallel::{DataParallel, TRAIN_SHARDS};
 pub use ecc::{apply_secded, multi_error_probability, DoubleErrorPolicy, EccStats, SecdedConfig};
@@ -100,6 +106,7 @@ pub use eval::{
 pub use probe::{has_attached_probes, probe_handles, ActivationProbe, ProbeHandle, ProbeStats};
 pub use qmodel::QuantizedModel;
 pub use redundancy::{redundancy_metrics, RedundancyMetrics};
+pub use scheduler::{ItemSizing, ReplicaPool, ShardReplicas, MAX_REPLICAS};
 pub use store::{CellRecord, StoreError, SweepStore};
 pub use sweep::{run_sweep, SweepAxis, SweepCell, SweepModel, SweepOptions, SweepResults};
 pub use train::{

@@ -1,0 +1,379 @@
+//! The reusable fork-join scheduler behind campaigns, sweeps, training,
+//! and serving.
+//!
+//! This module is the campaign engine's executor, extracted so every
+//! batch-parallel subsystem shares one scheduling substrate instead of
+//! re-implementing it:
+//!
+//! * the fault-injection **campaign engine** ([`crate::campaign`]) fans
+//!   `(pattern, batch)` work items through [`execute`];
+//! * the durable **sweep orchestrator** ([`crate::sweep`]) flattens whole
+//!   multi-model plans into the same fan-out;
+//! * **data-parallel training** ([`crate::data_parallel`]) runs its
+//!   per-shard forward/backward passes as a `shards × 1` grid;
+//! * the **inference service** (`bitrobust-serve`) executes each round of
+//!   coalesced micro-batches as independent work items.
+//!
+//! # Execution model
+//!
+//! Work is an `n_tracks × n_slots` grid of *independent* units: a track is
+//! one logical stream (an error pattern's replica, a training shard, a
+//! served micro-batch) and a slot is one unit within it (a test batch, the
+//! shard's single pass). [`execute`] fans items over the
+//! `bitrobust-tensor` thread pool, writes every unit's result to its own
+//! dedicated slot (no shared accumulators), and returns the full grid in
+//! `(track, slot)` order so callers can reduce serially.
+//!
+//! # Determinism contract
+//!
+//! Scheduling never changes bytes. [`ItemSizing`] only decides *which
+//! worker computes which slots*; the per-slot values and the caller's
+//! serial reduction over them are identical regardless of thread count,
+//! sizing, or claim order — [`execute_serial`] is the in-order reference
+//! that pins this, and the core determinism suite runs both paths at
+//! `BITROBUST_THREADS=1/2/max`.
+//!
+//! # Persistent replicas
+//!
+//! Fan-outs that need per-track model state used to clone the template
+//! model every pass. Two small pools make those clones persistent:
+//!
+//! * [`ReplicaPool`] — read-shared replicas for evaluation campaigns: a
+//!   slot is recloned only when its source template changes; otherwise the
+//!   next wave's fault pattern is written over the previous one (every
+//!   parameter tensor is overwritten, so reuse is byte-identical to a
+//!   fresh clone).
+//! * [`ShardReplicas`] — exclusive per-shard replicas for training: the
+//!   structural clone happens once, and each pass re-syncs parameters
+//!   bit-exactly instead of rebuilding the whole layer tree.
+
+use std::sync::{Mutex, OnceLock};
+
+use bitrobust_nn::Model;
+use bitrobust_tensor::{parallel_for, pool_parallelism};
+
+/// Upper bound on model replicas alive in one fan-out wave. Campaigns with
+/// more patterns run in chunks of this size, so peak memory is
+/// `MAX_REPLICAS x model size` regardless of grid size.
+pub const MAX_REPLICAS: usize = 64;
+
+/// Work-item granularity of a scheduler fan-out.
+///
+/// Both sizings produce **byte-identical results**: sizing only decides
+/// which worker computes which per-`(track, slot)` partials; the partials
+/// themselves and the serial reduction over them are identical regardless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemSizing {
+    /// One `(track, slot)` pair per work item — maximum load balance, and
+    /// the historical granularity the campaign engine shipped with.
+    PerBatch,
+    /// Merge runs of contiguous slots of one track into a single work item
+    /// when the per-slot item count far exceeds the pool parallelism
+    /// ([`bitrobust_tensor::pool_parallelism`]), trading a little balance
+    /// for much less scheduling overhead on track-heavy fan-outs (e.g. 50
+    /// chips × 8 rates). Falls back to per-slot items when work is scarce.
+    Adaptive,
+}
+
+/// Adaptive sizing aims for this many work items per hardware thread, so
+/// the pool's self-scheduling can still balance uneven slot costs.
+const ADAPTIVE_OVERSUBSCRIPTION: usize = 4;
+
+/// Number of consecutive slots of one track each work item covers.
+pub(crate) fn slots_per_item(sizing: ItemSizing, n_tracks: usize, n_slots: usize) -> usize {
+    match sizing {
+        ItemSizing::PerBatch => 1,
+        ItemSizing::Adaptive => {
+            let total = n_tracks * n_slots;
+            let target = (pool_parallelism() * ADAPTIVE_OVERSUBSCRIPTION).max(1);
+            (total / target).clamp(1, n_slots.max(1))
+        }
+    }
+}
+
+/// Slots (cells, patterns) per streaming wave: small enough for frequent
+/// progress delivery, large enough (≥ two work items per hardware thread)
+/// to keep every core busy. `n_slots` is the number of slots each track
+/// contributes (e.g. test batches per pattern).
+pub fn wave_size(n_slots: usize) -> usize {
+    (2 * pool_parallelism()).div_ceil(n_slots.max(1)).clamp(1, MAX_REPLICAS)
+}
+
+/// Fans an `n_tracks × n_slots` grid of independent work units over the
+/// thread pool and returns every unit's result in `(track, slot)`
+/// row-major order.
+///
+/// Work items are runs of consecutive slots of one track (per `sizing`);
+/// every unit's result is written to its own dedicated slot, so results
+/// are independent of thread count, scheduling, *and* work-item sizing —
+/// bit-identical to [`execute_serial`].
+///
+/// # Panics
+///
+/// Panics if a slot is computed twice or never (both indicate a scheduler
+/// bug, not a caller error).
+pub fn execute<T, F>(n_tracks: usize, n_slots: usize, sizing: ItemSizing, work: F) -> Vec<T>
+where
+    T: Send + Sync,
+    F: Fn(usize, usize) -> T + Sync,
+{
+    if n_tracks == 0 || n_slots == 0 {
+        return Vec::new();
+    }
+    let group = slots_per_item(sizing, n_tracks, n_slots);
+    let groups_per_track = n_slots.div_ceil(group);
+    let partials: Vec<OnceLock<T>> = (0..n_tracks * n_slots).map(|_| OnceLock::new()).collect();
+    parallel_for(n_tracks * groups_per_track, |item| {
+        let track = item / groups_per_track;
+        let first = (item % groups_per_track) * group;
+        let last = (first + group).min(n_slots);
+        for slot in first..last {
+            let value = work(track, slot);
+            let index = track * n_slots + slot;
+            assert!(partials[index].set(value).is_ok(), "scheduler slot {index} visited twice");
+        }
+    });
+    partials
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| slot.into_inner().unwrap_or_else(|| panic!("missing partial {i}")))
+        .collect()
+}
+
+/// The in-order serial reference of [`execute`]: every `(track, slot)`
+/// unit on the calling thread, track-major. Bit-identical results; exists
+/// for serial reference paths and the determinism suite.
+pub fn execute_serial<T>(
+    n_tracks: usize,
+    n_slots: usize,
+    mut work: impl FnMut(usize, usize) -> T,
+) -> Vec<T> {
+    let mut out = Vec::with_capacity(n_tracks * n_slots);
+    for track in 0..n_tracks {
+        for slot in 0..n_slots {
+            out.push(work(track, slot));
+        }
+    }
+    out
+}
+
+/// Persistent, read-shared model replicas for evaluation fan-outs.
+///
+/// A campaign wave needs one immutable [`Model`] per error pattern:
+/// historically each wave cloned the template model per pattern, paying a
+/// full layer-tree rebuild every wave. The pool keeps slot replicas alive
+/// across waves ("passes") and re-clones a slot **only when its source
+/// template changes** (multi-model sweeps interleave templates); otherwise
+/// the next pattern's weights are simply written over the previous ones.
+///
+/// Reuse is byte-identical to fresh clones because the per-wave `setup`
+/// callback (e.g. [`crate::QuantizedModel::write_to`]) overwrites every
+/// parameter tensor, and evaluation via [`Model::infer`] reads nothing
+/// else a previous wave could have touched (caches and probes stay
+/// detached, gradients are never read). Scheduling never changes bytes.
+#[derive(Debug, Default)]
+pub struct ReplicaPool {
+    /// `(source id, replica)` per slot; the id records which template the
+    /// replica was cloned from, so template changes force a re-clone.
+    slots: Vec<(usize, Model)>,
+}
+
+impl ReplicaPool {
+    /// An empty pool; replicas are cloned on first [`ReplicaPool::prepare`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live replica slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the pool holds no replicas yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Readies slots `0..n` for the next wave: `source(i)` names slot
+    /// `i`'s template (a stable id plus the model), and `setup(i, replica)`
+    /// writes the slot's per-wave state (typically a fault pattern's
+    /// weights). Slots whose source id is unchanged reuse their existing
+    /// replica; the rest are cloned fresh from their template.
+    pub fn prepare<'t>(
+        &mut self,
+        n: usize,
+        source: impl Fn(usize) -> (usize, &'t Model),
+        mut setup: impl FnMut(usize, &mut Model),
+    ) {
+        for i in 0..n {
+            let (id, template) = source(i);
+            match self.slots.get_mut(i) {
+                Some((current, replica)) if *current == id => setup(i, replica),
+                Some(slot) => {
+                    *slot = (id, template.clone());
+                    setup(i, &mut slot.1);
+                }
+                None => {
+                    debug_assert_eq!(i, self.slots.len());
+                    self.slots.push((id, template.clone()));
+                    setup(i, &mut self.slots[i].1);
+                }
+            }
+        }
+    }
+
+    /// Shared read access to slot `i`'s replica (prepared this wave).
+    ///
+    /// # Panics
+    ///
+    /// Panics if slot `i` was not prepared.
+    pub fn replica(&self, i: usize) -> &Model {
+        &self.slots[i].1
+    }
+}
+
+/// Persistent, exclusively-owned model replicas for data-parallel
+/// training shards.
+///
+/// Training needs one *mutable* replica per shard (forward caches and
+/// gradient buffers are written every pass). Historically each pass cloned
+/// the model per shard; this pool clones each shard's replica **once**
+/// (structure, normalization state, parameter buffers) and lets every
+/// subsequent pass re-sync just the parameter bits via
+/// [`Model::set_param_tensors`] — an exact bit copy, so results are
+/// byte-identical to fresh clones at any thread count.
+///
+/// Each shard index is claimed by exactly one worker per pass, so the
+/// per-slot locks are uncontended; they exist to make exclusive access
+/// safe without tying replicas to particular pool threads.
+#[derive(Debug, Default)]
+pub struct ShardReplicas {
+    slots: Vec<Mutex<Model>>,
+}
+
+impl ShardReplicas {
+    /// An empty pool; replicas are cloned on first [`ShardReplicas::ensure`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live shard replicas.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the pool holds no replicas yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Ensures at least `n` replicas exist, cloning missing ones from
+    /// `template`. Existing replicas are left as-is: passes re-sync the
+    /// parameter bits themselves (see [`ShardReplicas::with`]), which is
+    /// what makes the one-time structural clone sufficient.
+    pub fn ensure(&mut self, template: &Model, n: usize) {
+        while self.slots.len() < n {
+            self.slots.push(Mutex::new(template.clone()));
+        }
+    }
+
+    /// Runs `f` with exclusive access to shard `slot`'s replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` was never [`ShardReplicas::ensure`]d.
+    pub fn with<R>(&self, slot: usize, f: impl FnOnce(&mut Model) -> R) -> R {
+        let mut replica = self.slots[slot].lock().expect("shard replica lock poisoned");
+        f(&mut replica)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{build, ArchKind, NormKind};
+    use rand::SeedableRng;
+
+    #[test]
+    fn execute_covers_every_unit_in_order() {
+        for (tracks, slots) in [(1, 1), (3, 5), (7, 2), (1, 17)] {
+            for sizing in [ItemSizing::PerBatch, ItemSizing::Adaptive] {
+                let parallel = execute(tracks, slots, sizing, |t, s| (t, s));
+                let serial = execute_serial(tracks, slots, |t, s| (t, s));
+                assert_eq!(parallel, serial, "tracks {tracks} slots {slots} {sizing:?}");
+                assert_eq!(parallel.len(), tracks * slots);
+            }
+        }
+    }
+
+    #[test]
+    fn execute_empty_grid_is_empty() {
+        assert!(execute(0, 5, ItemSizing::Adaptive, |_, _| 0u8).is_empty());
+        assert!(execute(5, 0, ItemSizing::Adaptive, |_, _| 0u8).is_empty());
+    }
+
+    #[test]
+    fn slots_per_item_bounds() {
+        // PerBatch is always 1; adaptive stays within [1, n_slots].
+        assert_eq!(slots_per_item(ItemSizing::PerBatch, 50, 100), 1);
+        for (tracks, slots) in [(1, 1), (50, 8), (2, 1000)] {
+            let g = slots_per_item(ItemSizing::Adaptive, tracks, slots);
+            assert!((1..=slots).contains(&g), "tracks {tracks} slots {slots}: {g}");
+        }
+    }
+
+    #[test]
+    fn wave_size_is_positive_and_capped() {
+        for slots in [0usize, 1, 8, 10_000] {
+            let w = wave_size(slots);
+            assert!((1..=MAX_REPLICAS).contains(&w), "slots {slots}: {w}");
+        }
+    }
+
+    fn tiny_model() -> Model {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        build(ArchKind::Mlp, [1, 8, 8], 4, NormKind::Group, &mut rng).model
+    }
+
+    #[test]
+    fn replica_pool_reuses_same_source_and_reclones_on_change() {
+        let a = tiny_model();
+        let b = tiny_model();
+        let mut pool = ReplicaPool::new();
+
+        pool.prepare(2, |_| (0, &a), |_, _| {});
+        assert_eq!(pool.len(), 2);
+        let first = pool.replica(0).param_tensors();
+        assert_eq!(first, a.param_tensors());
+
+        // Same source: replicas persist (setup sees the previous state).
+        let mut saw_existing = false;
+        pool.prepare(1, |_| (0, &a), |_, m| saw_existing = m.param_tensors() == first);
+        assert!(saw_existing, "same-source slot must reuse its replica");
+
+        // Different source id: the slot must be re-cloned from b.
+        pool.prepare(1, |_| (1, &b), |_, _| {});
+        assert_eq!(pool.replica(0).param_tensors(), b.param_tensors());
+    }
+
+    #[test]
+    fn shard_replicas_sync_matches_fresh_clone_bit_for_bit() {
+        let model = tiny_model();
+        let mut pool = ShardReplicas::new();
+        pool.ensure(&model, 3);
+        assert_eq!(pool.len(), 3);
+
+        // Dirty a replica, then re-sync parameters the way a training pass
+        // does; the result must equal a fresh clone's parameters exactly.
+        let params = model.param_tensors();
+        pool.with(1, |replica| {
+            replica.clip_params(0.001);
+            replica.set_param_tensors(&params);
+            assert_eq!(replica.param_tensors(), params);
+        });
+
+        // ensure() never shrinks or re-clones existing slots.
+        pool.ensure(&model, 2);
+        assert_eq!(pool.len(), 3);
+    }
+}

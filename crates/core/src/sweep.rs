@@ -38,9 +38,9 @@
 //! Every cell is an independent campaign unit: its replica, batch
 //! partials, and serial reduction depend only on the cell's own identity,
 //! never on which other cells share the fan-out (see
-//! [`crate::campaign::eval_cells_streaming_with`]). That is the invariant
-//! that makes skip-and-resume sound, and it is pinned by the determinism
-//! suite's thread matrix and the kill-and-resume integration tests.
+//! [`crate::Campaign::run_cells`]). That is the invariant that makes
+//! skip-and-resume sound, and it is pinned by the determinism suite's
+//! thread matrix and the kill-and-resume integration tests.
 //!
 //! # Examples
 //!
@@ -79,7 +79,7 @@ use bitrobust_data::Dataset;
 use bitrobust_nn::{Mode, Model};
 use bitrobust_quant::QuantScheme;
 
-use crate::campaign::{eval_cells_streaming_with, ChipAxis};
+use crate::campaign::{Campaign, ChipAxis};
 use crate::eval::{EvalResult, RobustEval, EVAL_BATCH};
 use crate::store::{fnv1a64, CellRecord, SweepStore};
 use crate::QuantizedModel;
@@ -371,14 +371,10 @@ pub fn run_sweep(
             let cell = &cells[missing[k]];
             (cell.model, prepared[cell.axis].make_image(&q0s[cell.model], cell.point))
         };
-        eval_cells_streaming_with(
-            &templates,
-            missing.len(),
-            build,
-            dataset,
-            opts.batch_size,
-            opts.mode,
-            |k, result| {
+        Campaign::multi(&templates, dataset)
+            .batch_size(opts.batch_size)
+            .mode(opts.mode)
+            .on_cell(|k, result| {
                 let index = missing[k];
                 let cell = &cells[index];
                 if let Some(store) = store.as_deref_mut() {
@@ -395,8 +391,8 @@ pub fn run_sweep(
                 }
                 results[index] = Some(*result);
                 on_cell(&sweep_cell(cell, false), result);
-            },
-        );
+            })
+            .run_cells(missing.len(), build);
     }
 
     let cells: Vec<EvalResult> =

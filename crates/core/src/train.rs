@@ -14,6 +14,7 @@ use crate::eval::{
     evaluate, quantized_error, robust_eval_uniform, robust_eval_uniform_serial, RobustEval,
     EVAL_BATCH,
 };
+use crate::scheduler::ShardReplicas;
 use crate::QuantizedModel;
 
 /// RandBET variants evaluated in Tab. 13.
@@ -254,6 +255,11 @@ impl GradPass {
 /// backward/reduction; the direct path defers its backward anyway) and
 /// `None` is returned — callers use this when the pass only feeds the
 /// warm-up latch.
+///
+/// `replicas` is the training run's persistent shard-replica pool
+/// ([`ShardReplicas`]), used only on the data-parallel path: replicas are
+/// cloned once per run and re-synced per pass, byte-identical to fresh
+/// clones.
 fn forward_backward(
     model: &mut Model,
     x: &Tensor,
@@ -261,6 +267,7 @@ fn forward_backward(
     loss_fn: &CrossEntropyLoss,
     dp: Option<&DataParallel>,
     need_grads: bool,
+    replicas: &mut ShardReplicas,
 ) -> (f32, Option<GradPass>) {
     match dp {
         None => {
@@ -269,7 +276,8 @@ fn forward_backward(
             (out.loss, need_grads.then_some(GradPass::Direct(out)))
         }
         Some(dp) => {
-            let pass = sharded_forward_backward(model, x, labels, loss_fn, dp, need_grads);
+            let pass =
+                sharded_forward_backward(model, x, labels, loss_fn, dp, need_grads, replicas);
             (pass.loss, pass.grads.map(GradPass::Sharded))
         }
     }
@@ -331,6 +339,9 @@ pub fn train(
     };
 
     let total_steps = cfg.epochs * train_ds.len().div_ceil(cfg.batch_size);
+    // One persistent shard-replica pool per training run: the data-parallel
+    // passes clone replicas on first use and only re-sync parameters after.
+    let mut shard_replicas = ShardReplicas::new();
     let mut step = 0usize;
     let mut bit_errors_active = false;
     let mut bit_errors_started_at = None;
@@ -379,6 +390,7 @@ pub fn train(
                 &loss_fn,
                 cfg.data_parallel.as_ref(),
                 clean_grads_needed,
+                &mut shard_replicas,
             );
             epoch_loss += clean_loss as f64;
             batches += 1;
@@ -422,6 +434,7 @@ pub fn train(
                     &loss_fn,
                     cfg.data_parallel.as_ref(),
                     true,
+                    &mut shard_replicas,
                 );
                 perturbed_pass.expect("perturbed gradients were requested").accumulate(model);
                 model.set_param_tensors(&after_clean);
@@ -448,6 +461,7 @@ pub fn train(
                         &loss_fn,
                         cfg.data_parallel.as_ref(),
                         true,
+                        &mut shard_replicas,
                     );
                     perturbed_pass.expect("perturbed gradients were requested").accumulate(model);
                 }

@@ -1,0 +1,163 @@
+//! Compatibility suite for the unified [`Campaign`] builder: every one of
+//! the seven deprecated free-function entry points must stay a thin,
+//! **byte-identical** wrapper over its builder spelling. CI runs this file
+//! explicitly so a wrapper drifting off the builder (different defaults,
+//! different wave policy, a dropped callback) fails the build rather than
+//! silently diverging for downstream users mid-migration.
+
+#![allow(deprecated)]
+
+use bitrobust_biterror::UniformChip;
+use bitrobust_core::{
+    build, eval_cells_streaming_with, eval_images, eval_images_serial, eval_images_sized,
+    eval_images_streaming, eval_images_streaming_with, eval_images_with, ArchKind, Campaign,
+    EvalResult, ItemSizing, NormKind, QuantizedModel, EVAL_BATCH,
+};
+use bitrobust_data::{Dataset, SynthDataset};
+use bitrobust_nn::{Mode, Model};
+use bitrobust_quant::QuantScheme;
+use rand::SeedableRng;
+
+fn setup() -> (Model, Dataset) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let built = build(ArchKind::Mlp, [1, 14, 14], 10, NormKind::Group, &mut rng);
+    let (_, test) = SynthDataset::Mnist.generate(0);
+    (built.model, test)
+}
+
+fn images(model: &Model, n: usize) -> Vec<QuantizedModel> {
+    let q0 = QuantizedModel::quantize(model, QuantScheme::rquant(8));
+    (0..n)
+        .map(|c| {
+            let mut q = q0.clone();
+            q.inject(&UniformChip::new(1000 + c as u64).at_rate(0.02));
+            q
+        })
+        .collect()
+}
+
+/// `make_image` shared by the lazy wrappers and their builder spellings.
+fn lazy_image(model: &Model, i: usize) -> QuantizedModel {
+    let mut q = QuantizedModel::quantize(model, QuantScheme::rquant(8));
+    q.inject(&UniformChip::new(2000 + i as u64).at_rate(0.02));
+    q
+}
+
+#[test]
+fn eval_images_matches_builder() {
+    let (model, test) = setup();
+    let imgs = images(&model, 4);
+    let wrapper = eval_images(&model, &imgs, &test, EVAL_BATCH, Mode::Eval);
+    let builder = Campaign::new(&model, &test).batch_size(EVAL_BATCH).mode(Mode::Eval).run(&imgs);
+    assert_eq!(wrapper, builder);
+}
+
+#[test]
+fn eval_images_sized_matches_builder() {
+    let (model, test) = setup();
+    let imgs = images(&model, 4);
+    for sizing in [ItemSizing::PerBatch, ItemSizing::Adaptive] {
+        let wrapper = eval_images_sized(&model, &imgs, &test, EVAL_BATCH, Mode::Eval, sizing);
+        let builder = Campaign::new(&model, &test).sizing(sizing).run(&imgs);
+        assert_eq!(wrapper, builder, "{sizing:?}");
+    }
+}
+
+#[test]
+fn eval_images_with_matches_builder() {
+    let (model, test) = setup();
+    let wrapper =
+        eval_images_with(&model, 4, |i| lazy_image(&model, i), &test, EVAL_BATCH, Mode::Eval);
+    let builder = Campaign::new(&model, &test).run_lazy(4, |i| lazy_image(&model, i));
+    assert_eq!(wrapper, builder);
+}
+
+#[test]
+fn eval_images_serial_matches_builder() {
+    let (model, test) = setup();
+    let imgs = images(&model, 4);
+    let wrapper = eval_images_serial(&model, &imgs, &test, EVAL_BATCH, Mode::Eval);
+    let builder = Campaign::new(&model, &test).serial().run(&imgs);
+    assert_eq!(wrapper, builder);
+}
+
+#[test]
+fn eval_images_streaming_matches_builder() {
+    let (model, test) = setup();
+    let imgs = images(&model, 4);
+    let mut wrapper_cells = Vec::new();
+    let wrapper = eval_images_streaming(&model, &imgs, &test, EVAL_BATCH, Mode::Eval, |i, r| {
+        wrapper_cells.push((i, *r))
+    });
+    let mut builder_cells = Vec::new();
+    let builder =
+        Campaign::new(&model, &test).on_cell(|i, r| builder_cells.push((i, *r))).run(&imgs);
+    assert_eq!(wrapper, builder);
+    assert_eq!(wrapper_cells, builder_cells, "streamed cells must match exactly");
+}
+
+#[test]
+fn eval_images_streaming_with_matches_builder() {
+    let (model, test) = setup();
+    let mut wrapper_cells = Vec::new();
+    let wrapper = eval_images_streaming_with(
+        &model,
+        4,
+        |i| lazy_image(&model, i),
+        &test,
+        EVAL_BATCH,
+        Mode::Eval,
+        |i, r| wrapper_cells.push((i, *r)),
+    );
+    let mut builder_cells = Vec::new();
+    let builder = Campaign::new(&model, &test)
+        .on_cell(|i, r| builder_cells.push((i, *r)))
+        .run_lazy(4, |i| lazy_image(&model, i));
+    assert_eq!(wrapper, builder);
+    assert_eq!(wrapper_cells, builder_cells);
+}
+
+#[test]
+fn eval_cells_streaming_with_matches_builder() {
+    let (model_a, test) = setup();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let model_b = build(ArchKind::Mlp, [1, 14, 14], 10, NormKind::Group, &mut rng).model;
+    let templates = [&model_a, &model_b];
+    let make = |templates: &[&Model; 2], i: usize| -> (usize, QuantizedModel) {
+        let t = i % 2;
+        (t, lazy_image(templates[t], i))
+    };
+
+    let mut wrapper_cells = Vec::new();
+    let wrapper = eval_cells_streaming_with(
+        &templates,
+        4,
+        |i| make(&templates, i),
+        &test,
+        EVAL_BATCH,
+        Mode::Eval,
+        |i, r| wrapper_cells.push((i, *r)),
+    );
+    let mut builder_cells = Vec::new();
+    let builder = Campaign::multi(&templates, &test)
+        .on_cell(|i, r| builder_cells.push((i, *r)))
+        .run_cells(4, |i| make(&templates, i));
+    assert_eq!(wrapper, builder);
+    assert_eq!(wrapper_cells, builder_cells);
+}
+
+/// The migration contract in one place: every path — eager, lazy, serial,
+/// streaming — agrees byte-for-byte on the same cells, so any wrapper can
+/// be rewritten to any builder spelling without changing results.
+#[test]
+fn all_entry_points_agree_on_the_same_cells() {
+    let (model, test) = setup();
+    let imgs = images(&model, 4);
+    let reference: Vec<EvalResult> = Campaign::new(&model, &test).serial().run(&imgs);
+    let eager = Campaign::new(&model, &test).run(&imgs);
+    let lazy = Campaign::new(&model, &test).run_lazy(4, |i| imgs[i].clone());
+    let streamed = Campaign::new(&model, &test).on_cell(|_, _| {}).run(&imgs);
+    assert_eq!(eager, reference);
+    assert_eq!(lazy, reference);
+    assert_eq!(streamed, reference);
+}

@@ -11,7 +11,7 @@
 use std::sync::OnceLock;
 
 use bitrobust_core::{
-    build, eval_images, evaluate, evaluate_serial, ArchKind, NormKind, QuantizedModel,
+    build, evaluate, evaluate_serial, ArchKind, Campaign, NormKind, QuantizedModel,
 };
 use bitrobust_data::{Dataset, SynthDataset};
 use bitrobust_nn::{Mode, Model};
@@ -51,8 +51,10 @@ proptest! {
         let serial = evaluate_serial(model, dataset, batch_size, Mode::Eval);
         prop_assert_eq!(clean, serial, "parallel clean eval must match serial");
 
-        let campaign =
-            eval_images(model, std::slice::from_ref(noop), dataset, batch_size, Mode::Eval);
+        let campaign = Campaign::new(model, dataset)
+            .batch_size(batch_size)
+            .mode(Mode::Eval)
+            .run(std::slice::from_ref(noop));
         prop_assert_eq!(campaign.len(), 1);
         prop_assert_eq!(
             clean,

@@ -30,11 +30,10 @@ mod common;
 use common::weights_fingerprint;
 
 use bitrobust_core::{
-    build, eval_images, eval_images_serial, eval_images_sized, eval_images_streaming, evaluate,
-    evaluate_serial, run_axis, run_axis_streaming, run_grid, run_grid_streaming, train, ArchKind,
-    CampaignGrid, ChipAxis, DataParallel, EvalResult, ItemSizing, NormKind, PattPattern,
-    QuantizedModel, RErrProbe, RandBetVariant, SweepStore, TrainConfig, TrainMethod, TrainReport,
-    EVAL_BATCH,
+    build, evaluate, evaluate_serial, run_axis, run_axis_streaming, run_grid, run_grid_streaming,
+    train, ArchKind, Campaign, CampaignGrid, ChipAxis, DataParallel, EvalResult, ItemSizing,
+    NormKind, PattPattern, QuantizedModel, RErrProbe, RandBetVariant, SweepStore, TrainConfig,
+    TrainMethod, TrainReport, EVAL_BATCH,
 };
 use bitrobust_data::{AugmentConfig, Dataset, SynthDataset};
 use bitrobust_nn::{Mode, Model};
@@ -171,12 +170,11 @@ fn clean_evaluate_parallel_matches_serial() {
 fn streaming_campaign_matches_batch() {
     let (model, test) = tiny_setup();
     let images = chip_images(&model, 6, 0.02);
-    let batch = eval_images(&model, &images, &test, EVAL_BATCH, Mode::Eval);
+    let batch = Campaign::new(&model, &test).run(&images);
 
     let mut streamed_cells = Vec::new();
-    let streamed = eval_images_streaming(&model, &images, &test, EVAL_BATCH, Mode::Eval, |i, r| {
-        streamed_cells.push((i, *r))
-    });
+    let streamed =
+        Campaign::new(&model, &test).on_cell(|i, r| streamed_cells.push((i, *r))).run(&images);
     assert_eq!(batch, streamed, "streaming must not change results");
     let in_order: Vec<(usize, EvalResult)> = batch.iter().copied().enumerate().collect();
     assert_eq!(streamed_cells, in_order, "cells must stream exactly once, in order");
@@ -207,9 +205,9 @@ fn streaming_grid_matches_batch_grid() {
 fn adaptive_and_per_batch_sizing_match_serial() {
     let (model, test) = tiny_setup();
     let images = chip_images(&model, 6, 0.02);
-    let serial = eval_images_serial(&model, &images, &test, EVAL_BATCH, Mode::Eval);
+    let serial = Campaign::new(&model, &test).serial().run(&images);
     for sizing in [ItemSizing::PerBatch, ItemSizing::Adaptive] {
-        let sized = eval_images_sized(&model, &images, &test, EVAL_BATCH, Mode::Eval, sizing);
+        let sized = Campaign::new(&model, &test).sizing(sizing).run(&images);
         assert_eq!(sized, serial, "{sizing:?} must be bit-identical to the serial reference");
     }
 }
@@ -248,7 +246,7 @@ fn profiled_axis_matches_serial_reference_and_iteration_order() {
             q
         })
         .collect();
-    let serial = eval_images_serial(&model, &images, &test, EVAL_BATCH, Mode::Eval);
+    let serial = Campaign::new(&model, &test).serial().run(&images);
 
     let mut seen = Vec::new();
     let campaign = run_axis_streaming(
@@ -371,11 +369,11 @@ fn worker_fingerprints() {
 
     // (b)+(c) campaign: serial reference vs streaming and both sizings.
     let images = chip_images(&model, 6, 0.02);
-    let serial = eval_images_serial(&model, &images, &test, EVAL_BATCH, Mode::Eval);
-    let streamed = eval_images_streaming(&model, &images, &test, EVAL_BATCH, Mode::Eval, |_, _| {});
+    let serial = Campaign::new(&model, &test).serial().run(&images);
+    let streamed = Campaign::new(&model, &test).on_cell(|_, _| {}).run(&images);
     assert_eq!(serial, streamed);
     for sizing in [ItemSizing::PerBatch, ItemSizing::Adaptive] {
-        let sized = eval_images_sized(&model, &images, &test, EVAL_BATCH, Mode::Eval, sizing);
+        let sized = Campaign::new(&model, &test).sizing(sizing).run(&images);
         assert_eq!(serial, sized, "{sizing:?}");
     }
     println!("FP campaign {}", fp_results(&serial));

@@ -8,8 +8,8 @@ use std::path::PathBuf;
 
 use bitrobust_biterror::{ChipKind, ProfiledAxis};
 use bitrobust_core::{
-    eval_images, run_grid, run_sweep, CampaignGrid, ChipAxis, QuantizedModel, SweepAxis,
-    SweepModel, SweepOptions, SweepStore, EVAL_BATCH,
+    run_grid, run_sweep, Campaign, CampaignGrid, ChipAxis, QuantizedModel, SweepAxis, SweepModel,
+    SweepOptions, SweepStore, EVAL_BATCH,
 };
 use bitrobust_nn::Mode;
 use bitrobust_quant::QuantScheme;
@@ -53,7 +53,7 @@ fn profiled_sweep_matches_manual_tab5_loop_bit_for_bit() {
     let results = run_sweep(&models, &axes, &test, &SweepOptions::default(), None, |_, _| {});
 
     // The pre-orchestrator tab5 path: materialize every (rate, offset)
-    // image up front and run one eval_images campaign.
+    // image up front and run one eager campaign.
     let chip = axis.synthesize();
     let q0 = QuantizedModel::quantize(&a, scheme);
     let mut images = Vec::new();
@@ -65,7 +65,7 @@ fn profiled_sweep_matches_manual_tab5_loop_bit_for_bit() {
             images.push(q);
         }
     }
-    let legacy = eval_images(&a, &images, &test, EVAL_BATCH, Mode::Eval);
+    let legacy = Campaign::new(&a, &test).batch_size(EVAL_BATCH).mode(Mode::Eval).run(&images);
     assert_eq!(results.cells(), &legacy[..], "sweep cells must equal the legacy tab5 loop");
 }
 

@@ -3,7 +3,7 @@
 //! chips (as the paper fixes its 50 error patterns across all models).
 
 use bitrobust_core::{
-    run_grid, run_grid_streaming, CampaignGrid, ChipAxis, EvalResult, RobustEval, EVAL_BATCH,
+    run_axis, run_axis_streaming, CampaignGrid, ChipAxis, EvalResult, RobustEval, EVAL_BATCH,
 };
 use bitrobust_data::Dataset;
 use bitrobust_nn::{Mode, Model};
@@ -45,10 +45,11 @@ pub fn p_grid_mnist() -> Vec<f64> {
 
 /// Evaluates RErr on the shared chips for every rate in `ps`.
 ///
-/// The whole sweep runs as **one** fault-injection campaign
-/// ([`bitrobust_core::run_grid`]): all `ps.len() x chips` patterns fan out
-/// over the thread pool together, instead of nested serial loops. Per-chip
-/// errors are bit-identical to calling `robust_eval_uniform` per rate.
+/// The whole sweep runs as **one** fault-injection campaign over the
+/// shared [`protocol_axis`] ([`bitrobust_core::run_axis`]): all
+/// `ps.len() x chips` patterns fan out over the thread pool together,
+/// instead of nested serial loops. Per-chip errors are bit-identical to
+/// calling `robust_eval_uniform` per rate.
 pub fn rerr_sweep(
     model: &Model,
     scheme: QuantScheme,
@@ -56,13 +57,12 @@ pub fn rerr_sweep(
     ps: &[f64],
     chips: usize,
 ) -> Vec<RobustEval> {
-    let grid = protocol_grid(scheme, ps, chips);
-    run_grid(model, &grid, test_ds, EVAL_BATCH, Mode::Eval).remove(0)
+    run_axis(model, &[scheme], &protocol_axis(ps, chips), test_ds, EVAL_BATCH, Mode::Eval).remove(0)
 }
 
 /// [`rerr_sweep`] with per-cell progress: `on_cell(rate_index, chip_index,
 /// result)` fires — in rate-major, then chip order — as each cell's wave of
-/// the streaming campaign ([`bitrobust_core::run_grid_streaming`]) lands.
+/// the streaming campaign ([`bitrobust_core::run_axis_streaming`]) lands.
 /// The returned sweep is byte-identical to [`rerr_sweep`]'s; long-running
 /// experiment binaries use the callback for progress output.
 pub fn rerr_sweep_streaming(
@@ -73,10 +73,15 @@ pub fn rerr_sweep_streaming(
     chips: usize,
     mut on_cell: impl FnMut(usize, usize, &EvalResult),
 ) -> Vec<RobustEval> {
-    let grid = protocol_grid(scheme, ps, chips);
-    run_grid_streaming(model, &grid, test_ds, EVAL_BATCH, Mode::Eval, |cell, result| {
-        on_cell(cell.rate, cell.chip, result)
-    })
+    run_axis_streaming(
+        model,
+        &[scheme],
+        &protocol_axis(ps, chips),
+        test_ds,
+        EVAL_BATCH,
+        Mode::Eval,
+        |cell, result| on_cell(cell.group, cell.point, result),
+    )
     .remove(0)
 }
 

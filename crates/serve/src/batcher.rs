@@ -1,0 +1,81 @@
+//! The micro-batcher: a pure, order-preserving coalescing pass.
+//!
+//! A drained wave of single-image requests is grouped into micro-batches
+//! of compatible requests — same model, same image shape — each capped at
+//! the engine's batch size. Grouping is FIFO: batches appear in the order
+//! their first request arrived, and requests keep their arrival order
+//! within a batch. Because inference is row-independent, the grouping is
+//! purely a throughput decision; it never changes a single response byte.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Coalesces `n` wave items into micro-batches of at most `max_batch`
+/// compatible items. `key_of(i)` is item `i`'s compatibility key (for
+/// serving: model key, model version, image shape); items with equal keys
+/// share batches. Returns the batches as index lists into the wave, in
+/// FIFO order (see the [module docs](self)).
+///
+/// # Panics
+///
+/// Panics if `max_batch` is 0.
+pub fn coalesce<K: Eq + Hash>(
+    n: usize,
+    key_of: impl Fn(usize) -> K,
+    max_batch: usize,
+) -> Vec<Vec<usize>> {
+    assert!(max_batch > 0, "micro-batch size must be positive");
+    let mut batches: Vec<Vec<usize>> = Vec::new();
+    // The currently fillable batch per key; a full batch is sealed by
+    // replacing its entry, so a key's items stay FIFO across its batches.
+    let mut open: HashMap<K, usize> = HashMap::new();
+    for i in 0..n {
+        let key = key_of(i);
+        match open.get(&key) {
+            Some(&b) if batches[b].len() < max_batch => batches[b].push(i),
+            _ => {
+                open.insert(key, batches.len());
+                batches.push(vec![i]);
+            }
+        }
+    }
+    batches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_by_key_in_fifo_order() {
+        // Keys per wave slot: a a b a b b
+        let keys = ['a', 'a', 'b', 'a', 'b', 'b'];
+        let batches = coalesce(keys.len(), |i| keys[i], 8);
+        assert_eq!(batches, vec![vec![0, 1, 3], vec![2, 4, 5]]);
+    }
+
+    #[test]
+    fn caps_batches_and_keeps_overflow_fifo() {
+        let batches = coalesce(5, |_| 0u8, 2);
+        assert_eq!(batches, vec![vec![0, 1], vec![2, 3], vec![4]]);
+    }
+
+    #[test]
+    fn empty_wave_yields_no_batches() {
+        assert!(coalesce(0, |_| 0u8, 4).is_empty());
+    }
+
+    #[test]
+    fn every_item_lands_exactly_once() {
+        let keys = [3usize, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5];
+        let batches = coalesce(keys.len(), |i| keys[i], 2);
+        let mut seen: Vec<usize> = batches.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..keys.len()).collect::<Vec<_>>());
+        for batch in &batches {
+            assert!(batch.len() <= 2);
+            assert!(batch.windows(2).all(|w| w[0] < w[1]), "FIFO within a batch");
+            assert!(batch.iter().all(|&i| keys[i] == keys[batch[0]]), "one key per batch");
+        }
+    }
+}
