@@ -63,7 +63,15 @@ const GOLDEN_DP_EPOCH_LOSSES: [u32; 3] = [0x3fe6_6185, 0x3f40_9cdd, 0x3f2e_1af3]
 const GOLDEN_DP_CLEAN_ERROR: u32 = 0x3d9d_036a;
 
 /// FNV-1a fingerprint of the data-parallel run's final float weights.
-const GOLDEN_DP_WEIGHTS_HASH: u64 = 0x74c9_dc31_ba45_94d2;
+///
+/// Regenerated when the matmul variants moved onto the packed GEMM
+/// (`bitrobust_tensor::gemm`): `matmul_nt` dropped its 4-accumulator dot
+/// for the canonical sequential-k reduction and the linear/conv backward
+/// passes now accumulate gradients in pack-order, shifting float weights
+/// by last-ulp amounts. Every *quantized* metric (losses, RErr, clean
+/// error, campaign cells) stayed bit-identical — the 8-bit weight grid
+/// absorbs the drift — so only this raw-float fingerprint moved.
+const GOLDEN_DP_WEIGHTS_HASH: u64 = 0xb666_dc7a_6762_818f;
 
 /// Per-chip errors of the pinned campaign grid cell (rate 1%, 3 chips).
 const GOLDEN_CELL_ERRORS: [u32; 3] = [0x3f55_c28f, 0x3f57_4bc7, 0x3f63_53f8];

@@ -1,27 +1,74 @@
-//! 2-D convolution via im2col, parallelized over the batch.
+//! 2-D convolution via a fused im2col-GEMM, parallelized over the batch.
+//!
+//! Instead of materializing the full `[in_ch*kh*kw, oh*ow]` column matrix
+//! per sample, the forward and backward passes lower one *panel* of at most
+//! [`CONV_COL_PANEL`] output positions at a time and feed it straight into
+//! the packed GEMM (`bitrobust_tensor::gemm`), keeping the per-sample
+//! working set at `k * CONV_COL_PANEL` floats regardless of the spatial
+//! output size.
 
 use std::cell::RefCell;
 
-use bitrobust_tensor::{
-    matmul_accumulate, matmul_nt_accumulate, matmul_tn_accumulate, parallel_for_disjoint_chunks,
-    Tensor,
-};
+use bitrobust_tensor::{gemm::gemm, parallel_for_disjoint_chunks, GemmOperand, Tensor};
 use rand::Rng;
 
 use crate::{init, Layer, Mode, Param, ParamKind};
 
+/// Maximum number of im2col columns (output spatial positions) materialized
+/// at once by the fused conv kernels.
+///
+/// Like the GEMM tile sizes, this constant is part of the workspace's
+/// numerical contract: the input-gradient pass scatters panel by panel, so
+/// changing the panel width changes the accumulation order of overlapping
+/// windows in `dX` (and therefore training bits). Regenerate the goldens in
+/// `crates/core/tests/golden.rs` if it ever changes.
+pub const CONV_COL_PANEL: usize = 128;
+
 thread_local! {
-    /// Per-worker im2col scratch, reused across layer calls.
+    /// Per-worker im2col panel scratch, reused across layer calls.
     static COL_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The static geometry of one conv application, shared by the per-sample
+/// kernels.
+#[derive(Clone, Copy)]
+struct ConvDims {
+    ic: usize,
+    h: usize,
+    w: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    oh: usize,
+    ow: usize,
+    oc: usize,
+}
+
+impl ConvDims {
+    /// im2col rows: `in_ch * kh * kw`.
+    fn k(&self) -> usize {
+        self.ic * self.kernel * self.kernel
+    }
+
+    /// Output spatial positions (`oh * ow` — im2col columns).
+    fn ohw(&self) -> usize {
+        self.oh * self.ow
+    }
+
+    /// Columns materialized per panel.
+    fn panel(&self) -> usize {
+        CONV_COL_PANEL.min(self.ohw())
+    }
 }
 
 /// A 2-D convolution over `[batch, in_ch, h, w]` inputs (NCHW).
 ///
-/// The forward pass lowers each sample to a `[in_ch*kh*kw, oh*ow]` column
-/// matrix (im2col) and multiplies by the `[out_ch, in_ch*kh*kw]` weight;
-/// samples are processed in parallel on the workspace thread pool. The
-/// backward pass recomputes im2col rather than caching it, trading ~10%
-/// compute for a large reduction in peak memory.
+/// The forward pass lowers each sample to column *panels* of at most
+/// [`CONV_COL_PANEL`] output positions (never the full `[in_ch*kh*kw,
+/// oh*ow]` matrix) and multiplies by the `[out_ch, in_ch*kh*kw]` weight via
+/// the packed GEMM; samples are processed in parallel on the workspace
+/// thread pool. The backward pass recomputes the panels rather than caching
+/// them, trading ~10% compute for a large reduction in peak memory.
 ///
 /// # Examples
 ///
@@ -93,37 +140,43 @@ impl Conv2d {
         (oh, ow)
     }
 
-    /// The cache-free forward computation shared by `forward` and `infer`.
-    fn compute(&self, input: &Tensor) -> Tensor {
+    /// The geometry of applying this layer to `[batch, ic, h, w]` input.
+    fn dims(&self, input: &Tensor) -> (usize, ConvDims) {
         assert_eq!(input.ndim(), 4, "Conv2d expects [batch, ch, h, w]");
         let (batch, ic, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
         assert_eq!(ic, self.in_channels(), "Conv2d channel mismatch");
         let (oh, ow) = self.output_size(h, w);
-        let oc = self.out_channels();
-        let k = ic * self.kernel * self.kernel;
+        let d = ConvDims {
+            ic,
+            h,
+            w,
+            kernel: self.kernel,
+            stride: self.stride,
+            padding: self.padding,
+            oh,
+            ow,
+            oc: self.out_channels(),
+        };
+        (batch, d)
+    }
 
-        let mut out = Tensor::zeros(&[batch, oc, oh, ow]);
-        let sample_in = ic * h * w;
-        let sample_out = oc * oh * ow;
+    /// The cache-free forward computation shared by `forward` and `infer`.
+    fn compute(&self, input: &Tensor) -> Tensor {
+        let (batch, d) = self.dims(input);
+        let mut out = Tensor::zeros(&[batch, d.oc, d.oh, d.ow]);
+        let sample_in = d.ic * d.h * d.w;
+        let sample_out = d.oc * d.ohw();
         let weight = self.weight.value().data();
         let bias = self.bias.value().data();
         let x = input.data();
-        let (kernel, stride, padding) = (self.kernel, self.stride, self.padding);
 
         parallel_for_disjoint_chunks(out.data_mut(), sample_out, |s, out_s| {
             COL_SCRATCH.with(|scratch| {
-                let mut cols = scratch.borrow_mut();
-                cols.resize(k * oh * ow, 0.0);
-                let x_s = &x[s * sample_in..(s + 1) * sample_in];
-                im2col(x_s, ic, h, w, kernel, stride, padding, oh, ow, &mut cols);
-                // out_s = W [oc, k] · cols [k, oh*ow]
-                for v in out_s.iter_mut() {
-                    *v = 0.0;
-                }
-                matmul_accumulate(out_s, weight, &cols, oc, k, oh * ow);
-                for c in 0..oc {
+                let cols = &mut *scratch.borrow_mut();
+                forward_sample(out_s, &x[s * sample_in..(s + 1) * sample_in], weight, d, cols);
+                for c in 0..d.oc {
                     let b = bias[c];
-                    for v in &mut out_s[c * oh * ow..(c + 1) * oh * ow] {
+                    for v in &mut out_s[c * d.ohw()..(c + 1) * d.ohw()] {
                         *v += b;
                     }
                 }
@@ -159,41 +212,35 @@ impl Layer for Conv2d {
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let input = self.input_cache.as_ref().expect("backward before training forward");
-        let (batch, ic, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
-        let (oh, ow) = self.output_size(h, w);
-        let oc = self.out_channels();
-        let k = ic * self.kernel * self.kernel;
-        assert_eq!(grad_output.shape(), &[batch, oc, oh, ow], "grad_output shape mismatch");
+        let (batch, d) = self.dims(input);
+        let (k, ohw) = (d.k(), d.ohw());
+        assert_eq!(grad_output.shape(), &[batch, d.oc, d.oh, d.ow], "grad_output shape mismatch");
 
-        let sample_in = ic * h * w;
-        let sample_out = oc * oh * ow;
+        let sample_in = d.ic * d.h * d.w;
+        let sample_out = d.oc * ohw;
         let x = input.data();
         let dy = grad_output.data();
-        let (kernel, stride, padding) = (self.kernel, self.stride, self.padding);
 
         // Pass A: per-sample partial dW/db into a scratch buffer, reduced
         // serially afterwards (the per-sample partials are small).
-        let part_len = oc * k + oc;
+        let part_len = d.oc * k + d.oc;
         let mut partials = vec![0f32; batch * part_len];
         parallel_for_disjoint_chunks(&mut partials, part_len, |s, part| {
             COL_SCRATCH.with(|scratch| {
-                let mut cols = scratch.borrow_mut();
-                cols.resize(k * oh * ow, 0.0);
+                let cols = &mut *scratch.borrow_mut();
                 let x_s = &x[s * sample_in..(s + 1) * sample_in];
-                im2col(x_s, ic, h, w, kernel, stride, padding, oh, ow, &mut cols);
                 let dy_s = &dy[s * sample_out..(s + 1) * sample_out];
-                let (dw_part, db_part) = part.split_at_mut(oc * k);
-                // dW_s = dY_s [oc, ohw] · cols [k, ohw]ᵀ
-                matmul_nt_accumulate(dw_part, dy_s, &cols, oc, oh * ow, k);
-                for c in 0..oc {
-                    db_part[c] = dy_s[c * oh * ow..(c + 1) * oh * ow].iter().sum();
+                let (dw_part, db_part) = part.split_at_mut(d.oc * k);
+                backward_w_sample(dw_part, dy_s, x_s, d, cols);
+                for c in 0..d.oc {
+                    db_part[c] = dy_s[c * ohw..(c + 1) * ohw].iter().sum();
                 }
             });
         });
         {
             let dw = self.weight.grad_mut().data_mut();
             for s in 0..batch {
-                let dw_part = &partials[s * part_len..s * part_len + oc * k];
+                let dw_part = &partials[s * part_len..s * part_len + d.oc * k];
                 for (a, &b) in dw.iter_mut().zip(dw_part) {
                     *a += b;
                 }
@@ -202,27 +249,21 @@ impl Layer for Conv2d {
         {
             let db = self.bias.grad_mut().data_mut();
             for s in 0..batch {
-                let db_part = &partials[s * part_len + oc * k..(s + 1) * part_len];
+                let db_part = &partials[s * part_len + d.oc * k..(s + 1) * part_len];
                 for (a, &b) in db.iter_mut().zip(db_part) {
                     *a += b;
                 }
             }
         }
 
-        // Pass B: per-sample dX = col2im(Wᵀ · dY_s).
+        // Pass B: per-sample dX = col2im(Wᵀ · dY_s), panel by panel.
         let weight = self.weight.value().data();
-        let mut dx = Tensor::zeros(&[batch, ic, h, w]);
+        let mut dx = Tensor::zeros(&[batch, d.ic, d.h, d.w]);
         parallel_for_disjoint_chunks(dx.data_mut(), sample_in, |s, dx_s| {
             COL_SCRATCH.with(|scratch| {
-                let mut dcols = scratch.borrow_mut();
-                dcols.resize(k * oh * ow, 0.0);
-                for v in dcols.iter_mut() {
-                    *v = 0.0;
-                }
+                let cols = &mut *scratch.borrow_mut();
                 let dy_s = &dy[s * sample_out..(s + 1) * sample_out];
-                // dcols = W [oc, k]ᵀ · dY_s [oc, ohw]
-                matmul_tn_accumulate(&mut dcols, weight, dy_s, k, oc, oh * ow);
-                col2im(&dcols, ic, h, w, kernel, stride, padding, oh, ow, dx_s);
+                backward_x_sample(dx_s, dy_s, weight, d, cols);
             });
         });
         dx
@@ -247,85 +288,167 @@ impl Layer for Conv2d {
     }
 }
 
-/// Lowers one `[ic, h, w]` sample into columns `[ic*k*k, oh*ow]`.
-#[allow(clippy::too_many_arguments)]
-fn im2col(
-    x: &[f32],
-    ic: usize,
-    h: usize,
-    w: usize,
-    kernel: usize,
-    stride: usize,
-    padding: usize,
-    oh: usize,
-    ow: usize,
-    cols: &mut [f32],
+/// Fused forward for one sample: `out_s = W · im2col(x_s)`, one column
+/// panel at a time. The scratch buffer is resized to exactly one panel
+/// (`k * CONV_COL_PANEL` floats at most) — never the full column matrix.
+fn forward_sample(
+    out_s: &mut [f32],
+    x_s: &[f32],
+    weight: &[f32],
+    d: ConvDims,
+    cols: &mut Vec<f32>,
 ) {
-    let ohw = oh * ow;
-    for c in 0..ic {
+    let (k, ohw, panel) = (d.k(), d.ohw(), d.panel());
+    cols.resize(k * panel, 0.0);
+    for v in out_s.iter_mut() {
+        *v = 0.0;
+    }
+    let mut x0 = 0;
+    while x0 < ohw {
+        let ncols = panel.min(ohw - x0);
+        let cols_p = &mut cols[..k * ncols];
+        im2col_panel(x_s, d, x0, ncols, cols_p);
+        // out_s[:, x0..x0+ncols] += W [oc, k] · panel [k, ncols]
+        gemm(
+            &mut out_s[x0..],
+            ohw,
+            GemmOperand::row_major(weight, k),
+            GemmOperand::row_major(cols_p, ncols),
+            d.oc,
+            k,
+            ncols,
+        );
+        x0 += ncols;
+    }
+}
+
+/// Fused weight-gradient pass for one sample:
+/// `dw_part += dY_s · im2col(x_s)ᵀ`, one column panel at a time.
+fn backward_w_sample(
+    dw_part: &mut [f32],
+    dy_s: &[f32],
+    x_s: &[f32],
+    d: ConvDims,
+    cols: &mut Vec<f32>,
+) {
+    let (k, ohw, panel) = (d.k(), d.ohw(), d.panel());
+    cols.resize(k * panel, 0.0);
+    let mut x0 = 0;
+    while x0 < ohw {
+        let ncols = panel.min(ohw - x0);
+        let cols_p = &mut cols[..k * ncols];
+        im2col_panel(x_s, d, x0, ncols, cols_p);
+        // dW [oc, k] += dY_s[:, x0..x0+ncols] · panelᵀ [ncols, k]
+        gemm(
+            dw_part,
+            k,
+            GemmOperand::strided(&dy_s[x0..], ohw),
+            GemmOperand::transposed(cols_p, ncols),
+            d.oc,
+            ncols,
+            k,
+        );
+        x0 += ncols;
+    }
+}
+
+/// Fused input-gradient pass for one sample:
+/// `dx_s = col2im(Wᵀ · dY_s)`, one column panel at a time.
+fn backward_x_sample(
+    dx_s: &mut [f32],
+    dy_s: &[f32],
+    weight: &[f32],
+    d: ConvDims,
+    cols: &mut Vec<f32>,
+) {
+    let (k, ohw, panel) = (d.k(), d.ohw(), d.panel());
+    cols.resize(k * panel, 0.0);
+    for v in dx_s.iter_mut() {
+        *v = 0.0;
+    }
+    let mut x0 = 0;
+    while x0 < ohw {
+        let ncols = panel.min(ohw - x0);
+        let dcols = &mut cols[..k * ncols];
+        dcols.fill(0.0);
+        // dcols [k, ncols] = Wᵀ [k, oc] · dY_s[:, x0..x0+ncols]
+        gemm(
+            dcols,
+            ncols,
+            GemmOperand::transposed(weight, k),
+            GemmOperand::strided(&dy_s[x0..], ohw),
+            k,
+            d.oc,
+            ncols,
+        );
+        col2im_panel(dcols, d, x0, ncols, dx_s);
+        x0 += ncols;
+    }
+}
+
+/// Lowers output positions `x0 .. x0 + ncols` of one `[ic, h, w]` sample
+/// into a column panel `[ic*k*k, ncols]` (columns of the full im2col matrix,
+/// without ever materializing it).
+fn im2col_panel(x: &[f32], d: ConvDims, x0: usize, ncols: usize, cols: &mut [f32]) {
+    let (h, w, ow) = (d.h, d.w, d.ow);
+    for c in 0..d.ic {
         let x_c = &x[c * h * w..(c + 1) * h * w];
-        for ky in 0..kernel {
-            for kx in 0..kernel {
-                let row = ((c * kernel + ky) * kernel + kx) * ohw;
-                for oy in 0..oh {
-                    let iy = (oy * stride + ky) as isize - padding as isize;
-                    let out_row = row + oy * ow;
+        for ky in 0..d.kernel {
+            for kx in 0..d.kernel {
+                let r = (c * d.kernel + ky) * d.kernel + kx;
+                let row_out = &mut cols[r * ncols..(r + 1) * ncols];
+                let mut xi = 0;
+                while xi < ncols {
+                    // Contiguous run of output positions sharing one oy row.
+                    let pos = x0 + xi;
+                    let (oy, ox0) = (pos / ow, pos % ow);
+                    let run = (ow - ox0).min(ncols - xi);
+                    let seg = &mut row_out[xi..xi + run];
+                    let iy = (oy * d.stride + ky) as isize - d.padding as isize;
                     if iy < 0 || iy >= h as isize {
-                        cols[out_row..out_row + ow].iter_mut().for_each(|v| *v = 0.0);
-                        continue;
+                        seg.fill(0.0);
+                    } else {
+                        let x_row = &x_c[iy as usize * w..(iy as usize + 1) * w];
+                        for (i, slot) in seg.iter_mut().enumerate() {
+                            let ix = ((ox0 + i) * d.stride + kx) as isize - d.padding as isize;
+                            *slot =
+                                if ix < 0 || ix >= w as isize { 0.0 } else { x_row[ix as usize] };
+                        }
                     }
-                    let iy = iy as usize;
-                    for ox in 0..ow {
-                        let ix = (ox * stride + kx) as isize - padding as isize;
-                        cols[out_row + ox] = if ix < 0 || ix >= w as isize {
-                            0.0
-                        } else {
-                            x_c[iy * w + ix as usize]
-                        };
-                    }
+                    xi += run;
                 }
             }
         }
     }
 }
 
-/// Scatters column gradients `[ic*k*k, oh*ow]` back into one `[ic, h, w]`
-/// input-gradient sample (accumulating overlaps).
-#[allow(clippy::too_many_arguments)]
-fn col2im(
-    dcols: &[f32],
-    ic: usize,
-    h: usize,
-    w: usize,
-    kernel: usize,
-    stride: usize,
-    padding: usize,
-    oh: usize,
-    ow: usize,
-    dx: &mut [f32],
-) {
-    for v in dx.iter_mut() {
-        *v = 0.0;
-    }
-    let ohw = oh * ow;
-    for c in 0..ic {
+/// Scatters column-gradient panel `[ic*k*k, ncols]` (output positions
+/// `x0 .. x0 + ncols`) back into one `[ic, h, w]` input-gradient sample,
+/// accumulating overlaps.
+fn col2im_panel(dcols: &[f32], d: ConvDims, x0: usize, ncols: usize, dx: &mut [f32]) {
+    let (h, w, ow) = (d.h, d.w, d.ow);
+    for c in 0..d.ic {
         let dx_c = &mut dx[c * h * w..(c + 1) * h * w];
-        for ky in 0..kernel {
-            for kx in 0..kernel {
-                let row = ((c * kernel + ky) * kernel + kx) * ohw;
-                for oy in 0..oh {
-                    let iy = (oy * stride + ky) as isize - padding as isize;
-                    if iy < 0 || iy >= h as isize {
-                        continue;
-                    }
-                    let iy = iy as usize;
-                    for ox in 0..ow {
-                        let ix = (ox * stride + kx) as isize - padding as isize;
-                        if ix < 0 || ix >= w as isize {
-                            continue;
+        for ky in 0..d.kernel {
+            for kx in 0..d.kernel {
+                let r = (c * d.kernel + ky) * d.kernel + kx;
+                let row = &dcols[r * ncols..(r + 1) * ncols];
+                let mut xi = 0;
+                while xi < ncols {
+                    let pos = x0 + xi;
+                    let (oy, ox0) = (pos / ow, pos % ow);
+                    let run = (ow - ox0).min(ncols - xi);
+                    let iy = (oy * d.stride + ky) as isize - d.padding as isize;
+                    if iy >= 0 && iy < h as isize {
+                        let dx_row = &mut dx_c[iy as usize * w..(iy as usize + 1) * w];
+                        for (i, &v) in row[xi..xi + run].iter().enumerate() {
+                            let ix = ((ox0 + i) * d.stride + kx) as isize - d.padding as isize;
+                            if ix >= 0 && ix < w as isize {
+                                dx_row[ix as usize] += v;
+                            }
                         }
-                        dx_c[iy * w + ix as usize] += dcols[row + oy * ow + ox];
                     }
+                    xi += run;
                 }
             }
         }
@@ -385,6 +508,51 @@ mod tests {
         }
     }
 
+    /// The fused path must agree with the naive reference when `oh*ow`
+    /// exceeds [`CONV_COL_PANEL`] (multiple panels per sample, including a
+    /// partial trailing panel at 18*18 = 324 = 2*128 + 68 positions).
+    #[test]
+    fn multi_panel_forward_matches_naive_conv() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        let x = Tensor::randn(&[1, 2, 18, 18], 1.0, &mut rng);
+        const { assert!(18 * 18 > CONV_COL_PANEL, "shape must span multiple panels") };
+        let y = conv.forward(&x, Mode::Eval);
+        let y_ref = naive_conv(&x, conv.weight.value(), conv.bias.value(), 1, 1);
+        for (a, b) in y.data().iter().zip(y_ref.data()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    /// The fused kernels must never materialize the full `[k, oh*ow]`
+    /// column matrix: the scratch they request is exactly one panel.
+    #[test]
+    fn fused_path_scratch_is_one_panel() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng);
+        let x = Tensor::randn(&[1, 3, 16, 16], 1.0, &mut rng);
+        let (_, d) = conv.dims(&x);
+        let (k, ohw) = (d.k(), d.ohw());
+        assert!(ohw > CONV_COL_PANEL, "16x16 output must span multiple panels");
+
+        let mut out = vec![0.0; d.oc * ohw];
+        let mut cols = Vec::new();
+        forward_sample(&mut out, x.data(), conv.weight.value().data(), d, &mut cols);
+        assert_eq!(cols.len(), k * CONV_COL_PANEL, "forward scratch must be one panel");
+        assert!(cols.len() < k * ohw, "forward scratch must stay below the full matrix");
+
+        let dy = vec![1.0; d.oc * ohw];
+        let mut dw = vec![0.0; d.oc * k];
+        let mut cols = Vec::new();
+        backward_w_sample(&mut dw, &dy, x.data(), d, &mut cols);
+        assert_eq!(cols.len(), k * CONV_COL_PANEL, "dW scratch must be one panel");
+
+        let mut dx = vec![0.0; 3 * 16 * 16];
+        let mut cols = Vec::new();
+        backward_x_sample(&mut dx, &dy, conv.weight.value().data(), d, &mut cols);
+        assert_eq!(cols.len(), k * CONV_COL_PANEL, "dX scratch must be one panel");
+    }
+
     #[test]
     fn gradients_match_finite_differences() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(6);
@@ -397,6 +565,15 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         let mut conv = Conv2d::new(2, 2, 3, 2, 1, &mut rng);
         check_layer_gradients(&mut conv, &[1, 2, 6, 6], &GradCheckConfig::default(), &mut rng);
+    }
+
+    /// Gradients stay correct when the spatial output spans several panels
+    /// (exercises the panel-blocked dW and dX paths end to end).
+    #[test]
+    fn multi_panel_gradients_match_finite_differences() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut conv = Conv2d::new(1, 2, 3, 1, 1, &mut rng);
+        check_layer_gradients(&mut conv, &[1, 1, 12, 12], &GradCheckConfig::default(), &mut rng);
     }
 
     #[test]

@@ -74,7 +74,7 @@ mod pooling;
 
 pub use activation::Relu;
 pub use container::{Flatten, Residual, Sequential};
-pub use conv::Conv2d;
+pub use conv::{Conv2d, CONV_COL_PANEL};
 pub use grad::tree_reduce_grads;
 pub use layer::{Layer, Mode};
 pub use linear::Linear;

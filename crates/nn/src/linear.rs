@@ -1,6 +1,6 @@
 //! Fully connected layer.
 
-use bitrobust_tensor::{matmul, matmul_nt, matmul_tn, Tensor};
+use bitrobust_tensor::{matmul, matmul_nt, matmul_tn_accumulate, Tensor};
 use rand::Rng;
 
 use crate::{init, Layer, Mode, Param, ParamKind};
@@ -87,9 +87,17 @@ impl Layer for Linear {
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let input = self.input_cache.as_ref().expect("backward before training forward");
-        // dW += dYᵀ · X  with dY: [B, out], X: [B, in]  ->  [out, in]
-        let dw = matmul_tn(grad_output, input);
-        self.weight.grad_mut().axpy(1.0, &dw);
+        // dW += dYᵀ · X  with dY: [B, out], X: [B, in]  ->  [out, in],
+        // accumulated straight into the gradient buffer (no temporary).
+        let (batch_b, out_f_b, in_f) = (grad_output.dim(0), grad_output.dim(1), input.dim(1));
+        matmul_tn_accumulate(
+            self.weight.grad_mut().data_mut(),
+            grad_output.data(),
+            input.data(),
+            out_f_b,
+            batch_b,
+            in_f,
+        );
         // db += column sums of dY
         let (batch, out_f) = (grad_output.dim(0), grad_output.dim(1));
         {

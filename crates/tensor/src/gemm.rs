@@ -1,0 +1,470 @@
+//! Packed, cache-blocked, register-tiled GEMM.
+//!
+//! One kernel serves every matmul variant in the workspace: the operands are
+//! described by (row, column) strides, so transposition is absorbed when the
+//! panels are packed and there is a single inner loop to keep fast. The
+//! blocking follows the classic GotoBLAS/BLIS decomposition:
+//!
+//! ```text
+//!         NC                 packed B panel (KC x NC, column tiles of NR)
+//!       ┌────┐                 ┌NR┬NR┬NR┬─┐
+//!     K │ B  │   KC rows  →    │  │  │  │ │   reused across all of A
+//!       └────┘                 └──┴──┴──┴─┘
+//!   M ┌─┐        packed A block (MC x KC, row panels of MR)
+//!  MC │A│    →   ┌────────┐
+//!     └─┘     MR ├────────┤    each MR x NR tile of C is held in
+//!                └────────┘    registers while the KC loop runs
+//! ```
+//!
+//! * [`KC`]-long slices of the K dimension are packed once per (`jc`, `pc`)
+//!   block: B into column panels of [`NR`], A into row panels of [`MR`],
+//!   zero-padded at the edges so the microkernel never branches on shape.
+//! * The microkernel keeps an `MR x NR` accumulator tile in registers and
+//!   runs an unrolled multiply-add over the packed panels — a form LLVM
+//!   autovectorizes without `-ffast-math` because every C element keeps its
+//!   own accumulator.
+//! * The tile is **loaded from C and stored back** (rather than computed in
+//!   a scratch tile and added), so each output element sees its `K`
+//!   contributions in strictly ascending order no matter how the M/N space
+//!   is tiled. See [Determinism](#determinism).
+//!
+//! # Determinism
+//!
+//! The reduction shape of this kernel is part of the workspace's numerical
+//! contract, exactly like `TRAIN_SHARDS`: every `C[i, j]` is accumulated in
+//! strictly ascending `k` order with a single scalar accumulator, so results
+//! are byte-identical across thread counts, shapes of the surrounding
+//! blocking ([`MR`]/[`NR`]/[`MC`]/[`KC`]/[`NC`]), and machines. Changing the
+//! *order* of the `pc` (K-blocking) loop or splitting accumulators in the
+//! microkernel would change bits and requires regenerating the goldens in
+//! `crates/core/tests/golden.rs`.
+
+use std::cell::RefCell;
+
+/// Rows of the register microkernel tile.
+pub const MR: usize = 4;
+/// Columns of the register microkernel tile.
+pub const NR: usize = 8;
+/// Rows of a packed A block (multiple of [`MR`]).
+pub const MC: usize = 64;
+/// Depth of a packed A/B block (the K-dimension slice length).
+pub const KC: usize = 256;
+/// Columns of a packed B block (multiple of [`NR`]).
+pub const NC: usize = 256;
+
+const _: () = assert!(MC.is_multiple_of(MR), "MC must be a multiple of MR");
+const _: () = assert!(NC.is_multiple_of(NR), "NC must be a multiple of NR");
+
+thread_local! {
+    /// Per-worker packed-panel scratch (A block, B block), reused across
+    /// calls like conv's im2col scratch.
+    static PACK_SCRATCH: RefCell<(Vec<f32>, Vec<f32>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// A GEMM operand described by its buffer and element strides.
+///
+/// The logical matrix element `(r, c)` lives at `buf[r * rs + c * cs]`;
+/// a transposed view is expressed by swapping the strides, so the packed
+/// kernel absorbs every transposition at pack time.
+#[derive(Clone, Copy, Debug)]
+pub struct GemmOperand<'a> {
+    buf: &'a [f32],
+    rs: usize,
+    cs: usize,
+}
+
+impl<'a> GemmOperand<'a> {
+    /// A row-major matrix with contiguous rows of length `cols`.
+    pub fn row_major(buf: &'a [f32], cols: usize) -> Self {
+        Self { buf, rs: cols, cs: 1 }
+    }
+
+    /// The transpose of a row-major matrix whose *stored* rows have length
+    /// `stored_cols` (i.e. the logical matrix is `stored` read column-wise).
+    pub fn transposed(buf: &'a [f32], stored_cols: usize) -> Self {
+        Self { buf, rs: 1, cs: stored_cols }
+    }
+
+    /// A row-major view with an explicit row stride (`ld >= cols`), for
+    /// operating on a sub-block of a larger matrix.
+    pub fn strided(buf: &'a [f32], ld: usize) -> Self {
+        Self { buf, rs: ld, cs: 1 }
+    }
+
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f32 {
+        self.buf[r * self.rs + c * self.cs]
+    }
+
+    /// Panics unless every element of an `rows x cols` view is in bounds.
+    fn check(&self, rows: usize, cols: usize) {
+        if rows > 0 && cols > 0 {
+            let last = (rows - 1) * self.rs + (cols - 1) * self.cs;
+            assert!(last < self.buf.len(), "gemm operand out of bounds: {rows}x{cols}");
+        }
+    }
+}
+
+/// `C += A · B` where `C[i, j]` lives at `c[i * ldc + j]`, `A` is `m x k`,
+/// and `B` is `k x n`. This is the single packed path behind [`matmul`],
+/// [`matmul_nt`], [`matmul_tn`] and the fused im2col convolution.
+///
+/// [`matmul`]: crate::matmul
+/// [`matmul_nt`]: crate::matmul_nt
+/// [`matmul_tn`]: crate::matmul_tn
+///
+/// # Panics
+///
+/// Panics if any operand (including `c` with row stride `ldc`) is too short
+/// for the given dimensions, or if `ldc < n`.
+pub fn gemm(
+    c: &mut [f32],
+    ldc: usize,
+    a: GemmOperand,
+    b: GemmOperand,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    assert!(ldc >= n, "ldc ({ldc}) must be >= n ({n})");
+    if m > 0 && n > 0 {
+        let last = (m - 1) * ldc + (n - 1);
+        assert!(last < c.len(), "gemm output out of bounds: {m}x{n} with ldc {ldc}");
+    }
+    if k == 0 {
+        return; // accumulate semantics: nothing to add
+    }
+    a.check(m, k);
+    b.check(k, n);
+    let use_avx = avx_available();
+
+    PACK_SCRATCH.with(|scratch| {
+        let (a_buf, b_buf) = &mut *scratch.borrow_mut();
+        a_buf.resize(MC * KC, 0.0);
+        b_buf.resize(KC * NC, 0.0);
+
+        let mut jc = 0;
+        while jc < n {
+            let nc = NC.min(n - jc);
+            let nr_tiles = nc.div_ceil(NR);
+            let mut pc = 0;
+            while pc < k {
+                let kc = KC.min(k - pc);
+                pack_b(b_buf, b, pc, jc, kc, nc);
+                let mut ic = 0;
+                while ic < m {
+                    let mc = MC.min(m - ic);
+                    let mr_tiles = mc.div_ceil(MR);
+                    pack_a(a_buf, a, ic, pc, mc, kc);
+                    for jr in 0..nr_tiles {
+                        let nr_eff = NR.min(nc - jr * NR);
+                        let b_panel = &b_buf[jr * kc * NR..(jr + 1) * kc * NR];
+                        for ir in 0..mr_tiles {
+                            let mr_eff = MR.min(mc - ir * MR);
+                            let a_panel = &a_buf[ir * kc * MR..(ir + 1) * kc * MR];
+                            let c_off = (ic + ir * MR) * ldc + jc + jr * NR;
+                            let c_tile = &mut c[c_off..];
+                            microkernel(use_avx, c_tile, ldc, a_panel, b_panel, mr_eff, nr_eff);
+                        }
+                    }
+                    ic += MC;
+                }
+                pc += KC;
+            }
+            jc += NC;
+        }
+    });
+}
+
+/// Packs the `mc x kc` block of `A` at `(ic, pc)` into row panels of [`MR`]:
+/// `panel[p * MR + i] = A[ic + ir*MR + i, pc + p]`, zero-padded past `mc`.
+///
+/// The two stride patterns that occur in practice (contiguous rows for
+/// untransposed A, contiguous columns for a pack-time transpose) get
+/// branch-free inner loops; anything else falls back to a generic gather.
+fn pack_a(buf: &mut [f32], a: GemmOperand, ic: usize, pc: usize, mc: usize, kc: usize) {
+    let mr_tiles = mc.div_ceil(MR);
+    for ir in 0..mr_tiles {
+        let panel = &mut buf[ir * kc * MR..(ir + 1) * kc * MR];
+        let rows = MR.min(mc - ir * MR);
+        let i0 = ic + ir * MR;
+        if rows < MR {
+            panel.fill(0.0);
+        }
+        if a.cs == 1 {
+            // Rows of A are contiguous: interleave `rows` row slices.
+            for i in 0..rows {
+                let src = &a.buf[(i0 + i) * a.rs + pc..][..kc];
+                for (p, &v) in src.iter().enumerate() {
+                    panel[p * MR + i] = v;
+                }
+            }
+        } else if a.rs == 1 {
+            // A is a pack-time transpose: each k-slice is contiguous.
+            for (p, chunk) in panel.chunks_exact_mut(MR).enumerate() {
+                let src = &a.buf[(pc + p) * a.cs + i0..][..rows];
+                chunk[..rows].copy_from_slice(src);
+            }
+        } else {
+            for (p, chunk) in panel.chunks_exact_mut(MR).enumerate() {
+                for (i, slot) in chunk.iter_mut().enumerate().take(rows) {
+                    *slot = a.at(i0 + i, pc + p);
+                }
+            }
+        }
+    }
+}
+
+/// Packs the `kc x nc` block of `B` at `(pc, jc)` into column panels of
+/// [`NR`]: `panel[p * NR + j] = B[pc + p, jc + jr*NR + j]`, zero-padded.
+fn pack_b(buf: &mut [f32], b: GemmOperand, pc: usize, jc: usize, kc: usize, nc: usize) {
+    let nr_tiles = nc.div_ceil(NR);
+    for jr in 0..nr_tiles {
+        let panel = &mut buf[jr * kc * NR..(jr + 1) * kc * NR];
+        let cols = NR.min(nc - jr * NR);
+        let j0 = jc + jr * NR;
+        if cols < NR {
+            panel.fill(0.0);
+        }
+        if b.cs == 1 {
+            // Rows of B are contiguous: straight row copies.
+            for (p, chunk) in panel.chunks_exact_mut(NR).enumerate() {
+                let src = &b.buf[(pc + p) * b.rs + j0..][..cols];
+                chunk[..cols].copy_from_slice(src);
+            }
+        } else if b.rs == 1 {
+            // B is a pack-time transpose: each column is contiguous.
+            for j in 0..cols {
+                let src = &b.buf[(j0 + j) * b.cs + pc..][..kc];
+                for (p, &v) in src.iter().enumerate() {
+                    panel[p * NR + j] = v;
+                }
+            }
+        } else {
+            for (p, chunk) in panel.chunks_exact_mut(NR).enumerate() {
+                for (j, slot) in chunk.iter_mut().enumerate().take(cols) {
+                    *slot = b.at(pc + p, j0 + j);
+                }
+            }
+        }
+    }
+}
+
+/// The register-tiled inner loop: loads the valid `mr_eff x nr_eff` corner
+/// of the C tile, accumulates `kc` outer products from the packed panels
+/// (fully unrolled over the `MR x NR` tile so LLVM vectorizes the `j` lanes),
+/// and stores the corner back. Loading C up front is what keeps each output
+/// element's reduction strictly `k`-ascending across KC blocks.
+#[inline(always)]
+fn microkernel_body(
+    c: &mut [f32],
+    ldc: usize,
+    a_panel: &[f32],
+    b_panel: &[f32],
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (i, row) in acc.iter_mut().enumerate().take(mr_eff) {
+        row[..nr_eff].copy_from_slice(&c[i * ldc..i * ldc + nr_eff]);
+    }
+    for (a_k, b_k) in a_panel.chunks_exact(MR).zip(b_panel.chunks_exact(NR)) {
+        let a_k: &[f32; MR] = a_k.try_into().expect("panel chunk");
+        let b_k: &[f32; NR] = b_k.try_into().expect("panel chunk");
+        for (i, row) in acc.iter_mut().enumerate() {
+            let a_ip = a_k[i];
+            for (j, slot) in row.iter_mut().enumerate() {
+                *slot += a_ip * b_k[j];
+            }
+        }
+    }
+    for (i, row) in acc.iter().enumerate().take(mr_eff) {
+        c[i * ldc..i * ldc + nr_eff].copy_from_slice(&row[..nr_eff]);
+    }
+}
+
+/// Baseline-ISA compilation of [`microkernel_body`].
+///
+/// `inline(never)`: compiled as a standalone function the autovectorizer
+/// reliably turns into packed SIMD; inlined into the blocking loops LLVM
+/// falls back to scalar code (measured 4x slower).
+#[inline(never)]
+fn microkernel_portable(
+    c: &mut [f32],
+    ldc: usize,
+    a_panel: &[f32],
+    b_panel: &[f32],
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    microkernel_body(c, ldc, a_panel, b_panel, mr_eff, nr_eff);
+}
+
+/// AVX compilation of the *same* [`microkernel_body`], dispatched at runtime.
+///
+/// Bit-safety: the body is identical scalar Rust — wider vectors just carry
+/// more of the independent per-element accumulators per instruction, and FMA
+/// contraction is never enabled — so this path produces byte-identical
+/// results to [`microkernel_portable`] and the determinism contract holds
+/// across machines with and without AVX.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+fn microkernel_avx(
+    c: &mut [f32],
+    ldc: usize,
+    a_panel: &[f32],
+    b_panel: &[f32],
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    microkernel_body(c, ldc, a_panel, b_panel, mr_eff, nr_eff);
+}
+
+/// Whether the AVX compilation of the microkernel can be used.
+#[inline]
+fn avx_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Invokes the fastest available microkernel compilation.
+#[inline]
+fn microkernel(
+    use_avx: bool,
+    c: &mut [f32],
+    ldc: usize,
+    a_panel: &[f32],
+    b_panel: &[f32],
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if use_avx {
+        // SAFETY: `use_avx` is only true when `is_x86_feature_detected!`
+        // confirmed AVX support at runtime.
+        unsafe { microkernel_avx(c, ldc, a_panel, b_panel, mr_eff, nr_eff) };
+        return;
+    }
+    let _ = use_avx;
+    microkernel_portable(c, ldc, a_panel, b_panel, mr_eff, nr_eff);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Single-accumulator, k-ascending triple loop: the packed kernel must
+    /// match this *bit for bit* (same reduction shape).
+    fn sequential_gemm(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = c[i * n + j];
+                for p in 0..k {
+                    acc += a[i * k + p] * b[p * n + j];
+                }
+                c[i * n + j] = acc;
+            }
+        }
+    }
+
+    fn fill(len: usize, seed: u32) -> Vec<f32> {
+        // Small deterministic pseudo-random values; no RNG dependency needed.
+        (0..len)
+            .map(|i| {
+                let x = (i as u32).wrapping_mul(2654435761).wrapping_add(seed);
+                (x % 2000) as f32 / 1000.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_sequential_reduction_bit_for_bit() {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (MR, KC, NR),
+            (MR + 1, KC + 3, NR + 1),
+            (MC + 5, 2 * KC + 1, NC + 9),
+            (3, 700, 2),
+        ] {
+            let a = fill(m * k, 1);
+            let b = fill(k * n, 2);
+            let mut c = fill(m * n, 3);
+            let mut c_ref = c.clone();
+            gemm(&mut c, n, GemmOperand::row_major(&a, k), GemmOperand::row_major(&b, n), m, k, n);
+            sequential_gemm(&mut c_ref, &a, &b, m, k, n);
+            assert_eq!(
+                c.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                c_ref.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "bits diverged at m={m} k={k} n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn transposed_operands_match_explicit_transpose() {
+        let (m, k, n) = (7, 13, 9);
+        let a = fill(m * k, 4); // stored [m, k]
+        let b = fill(k * n, 5); // stored [k, n]
+        let at: Vec<f32> = {
+            // stored [k, m]
+            let mut t = vec![0.0; k * m];
+            for i in 0..m {
+                for p in 0..k {
+                    t[p * m + i] = a[i * k + p];
+                }
+            }
+            t
+        };
+        let mut c1 = vec![0.0; m * n];
+        let mut c2 = vec![0.0; m * n];
+        gemm(&mut c1, n, GemmOperand::row_major(&a, k), GemmOperand::row_major(&b, n), m, k, n);
+        gemm(&mut c2, n, GemmOperand::transposed(&at, m), GemmOperand::row_major(&b, n), m, k, n);
+        assert_eq!(c1, c2, "pack-time transposition must be exact");
+    }
+
+    #[test]
+    fn strided_output_leaves_gaps_untouched() {
+        let (m, k, n, ldc) = (3, 5, 4, 10);
+        let a = fill(m * k, 6);
+        let b = fill(k * n, 7);
+        let mut c = vec![9.0; m * ldc];
+        gemm(&mut c, ldc, GemmOperand::row_major(&a, k), GemmOperand::row_major(&b, n), m, k, n);
+        let mut dense = vec![9.0; m * n];
+        sequential_gemm(&mut dense, &a, &b, m, k, n);
+        for i in 0..m {
+            assert_eq!(&c[i * ldc..i * ldc + n], &dense[i * n..(i + 1) * n]);
+            assert!(c[i * ldc + n..(i + 1) * ldc].iter().all(|&v| v == 9.0), "gap clobbered");
+        }
+    }
+
+    #[test]
+    fn degenerate_dims_are_no_ops_or_zero_adds() {
+        let mut c = vec![1.0; 6];
+        gemm(&mut c, 3, GemmOperand::row_major(&[], 0), GemmOperand::row_major(&[], 3), 2, 0, 3);
+        assert_eq!(c, vec![1.0; 6], "k == 0 must leave C unchanged (accumulate semantics)");
+        gemm(&mut c, 3, GemmOperand::row_major(&[], 5), GemmOperand::row_major(&[], 3), 0, 5, 3);
+        assert_eq!(c, vec![1.0; 6], "m == 0 must be a no-op");
+        let a = fill(10, 8);
+        gemm(&mut c, 0, GemmOperand::row_major(&a, 5), GemmOperand::row_major(&[], 0), 2, 5, 0);
+        assert_eq!(c, vec![1.0; 6], "n == 0 must be a no-op");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rejects_short_operands() {
+        let mut c = vec![0.0; 4];
+        let a = vec![0.0; 3]; // needs 4 for 2x2
+        let b = vec![0.0; 4];
+        gemm(&mut c, 2, GemmOperand::row_major(&a, 2), GemmOperand::row_major(&b, 2), 2, 2, 2);
+    }
+}

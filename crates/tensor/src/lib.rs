@@ -9,8 +9,10 @@
 //! * [`Tensor`] — a dense row-major `f32` tensor with the constructors,
 //!   elementwise operations, and reductions the NN substrate needs;
 //! * matrix kernels ([`matmul`], [`matmul_nt`], [`matmul_tn`]) in the exact
-//!   layouts required by hand-written backprop, so no transposes are ever
-//!   materialized on the hot path;
+//!   layouts required by hand-written backprop, all routed through one
+//!   packed, cache-blocked, register-tiled GEMM (see [`gemm`]) that absorbs
+//!   transposition at pack time, so no transposes are ever materialized on
+//!   the hot path;
 //! * a persistent fork-join [`ThreadPool`] with [`parallel_for`] and
 //!   [`parallel_for_disjoint_chunks`], used by the layers in `bitrobust-nn`
 //!   for per-sample batch parallelism;
@@ -33,14 +35,17 @@
 #![forbid(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
+pub mod gemm;
 mod ops;
 mod pool;
 mod serialize;
 mod tensor;
 
+pub use gemm::GemmOperand;
 pub use ops::{
-    dot, matmul, matmul_accumulate, matmul_into, matmul_nt, matmul_nt_accumulate, matmul_tn,
-    matmul_tn_accumulate, softmax_rows, transpose,
+    dot, matmul, matmul_accumulate, matmul_into, matmul_nt, matmul_nt_accumulate, matmul_nt_into,
+    matmul_nt_reference, matmul_reference, matmul_tn, matmul_tn_accumulate, matmul_tn_into,
+    matmul_tn_reference, softmax_rows, transpose,
 };
 pub use pool::{
     parallel_for, parallel_for_disjoint_chunks, pool_parallelism, ThreadPool, THREADS_ENV,

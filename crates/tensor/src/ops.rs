@@ -7,12 +7,20 @@
 //! * [`matmul_nt`]   — `C = A·Bᵀ`    with `A: [M,K]`, `B: [N,K]`
 //! * [`matmul_tn`]   — `C = Aᵀ·B`    with `A: [K,M]`, `B: [K,N]`
 //!
-//! The kernels use the saxpy/dot formulations, which LLVM auto-vectorizes
-//! well for the small-to-medium shapes produced by the scaled-down models.
+//! All three route through the packed, cache-blocked kernel in [`crate::gemm`]:
+//! transposition is absorbed when the operand panels are packed, so there is a
+//! single register-tiled inner loop to keep fast and a single reduction shape
+//! to keep deterministic (see the `gemm` module docs for the blocking layout
+//! and the determinism contract). The original saxpy/dot formulations survive
+//! as [`matmul_reference`], [`matmul_nt_reference`], and
+//! [`matmul_tn_reference`] — slow paths used by tests and benchmarks to pin
+//! the packed kernel.
+//!
 //! Batch-level parallelism lives in the layer implementations (see
 //! `bitrobust-nn`), so these kernels stay single-threaded and allocation-free
 //! via the `*_into` forms.
 
+use crate::gemm::{gemm, GemmOperand};
 use crate::Tensor;
 
 /// `C = A·B`. See the module docs for shapes.
@@ -49,35 +57,32 @@ pub fn matmul_accumulate(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize
     assert_eq!(a.len(), m * k, "lhs buffer length");
     assert_eq!(b.len(), k * n, "rhs buffer length");
     assert_eq!(c.len(), m * n, "out buffer length");
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let c_row = &mut c[i * n..(i + 1) * n];
-        for (p, &a_ip) in a_row.iter().enumerate() {
-            if a_ip == 0.0 {
-                continue;
-            }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
-                *c_v += a_ip * b_v;
-            }
-        }
-    }
+    gemm(c, n, GemmOperand::row_major(a, k), GemmOperand::row_major(b, n), m, k, n);
 }
 
-/// `C = A·Bᵀ` with `A: [M,K]`, `B: [N,K]` (dot-product formulation).
+/// `C = A·Bᵀ` with `A: [M,K]`, `B: [N,K]`.
 ///
 /// # Panics
 ///
 /// Panics if the operands are not 2-D or the K dimensions differ.
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
-    assert_eq!(a.ndim(), 2, "lhs must be 2-D");
-    assert_eq!(b.ndim(), 2, "rhs must be 2-D");
-    let (m, k) = (a.dim(0), a.dim(1));
-    let (n, kb) = (b.dim(0), b.dim(1));
-    assert_eq!(k, kb, "inner dimension mismatch: [{m},{k}] x [{n},{kb}]^T");
+    let (m, _k, n) = nt_dims(a, b);
     let mut c = Tensor::zeros(&[m, n]);
-    matmul_nt_accumulate(c.data_mut(), a.data(), b.data(), m, k, n);
+    matmul_nt_into(&mut c, a, b);
     c
+}
+
+/// `C = A·Bᵀ`, writing into a pre-allocated `c` (overwritten, not
+/// accumulated).
+///
+/// # Panics
+///
+/// Panics on any shape mismatch between `c`, `a`, and `b`.
+pub fn matmul_nt_into(c: &mut Tensor, a: &Tensor, b: &Tensor) {
+    let (m, k, n) = nt_dims(a, b);
+    assert_eq!(c.shape(), &[m, n], "output shape mismatch");
+    c.fill(0.0);
+    matmul_nt_accumulate(c.data_mut(), a.data(), b.data(), m, k, n);
 }
 
 /// `c += A·Bᵀ` on raw buffers; see [`matmul_nt`].
@@ -89,30 +94,33 @@ pub fn matmul_nt_accumulate(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: us
     assert_eq!(a.len(), m * k, "lhs buffer length");
     assert_eq!(b.len(), n * k, "rhs buffer length");
     assert_eq!(c.len(), m * n, "out buffer length");
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let c_row = &mut c[i * n..(i + 1) * n];
-        for (j, c_v) in c_row.iter_mut().enumerate() {
-            let b_row = &b[j * k..(j + 1) * k];
-            *c_v += dot(a_row, b_row);
-        }
-    }
+    // B is stored [N, K]; the packed kernel reads it as its transpose [K, N].
+    gemm(c, n, GemmOperand::row_major(a, k), GemmOperand::transposed(b, k), m, k, n);
 }
 
-/// `C = Aᵀ·B` with `A: [K,M]`, `B: [K,N]` (rank-1 update formulation).
+/// `C = Aᵀ·B` with `A: [K,M]`, `B: [K,N]`.
 ///
 /// # Panics
 ///
 /// Panics if the operands are not 2-D or the K dimensions differ.
 pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
-    assert_eq!(a.ndim(), 2, "lhs must be 2-D");
-    assert_eq!(b.ndim(), 2, "rhs must be 2-D");
-    let (k, m) = (a.dim(0), a.dim(1));
-    let (kb, n) = (b.dim(0), b.dim(1));
-    assert_eq!(k, kb, "inner dimension mismatch: [{k},{m}]^T x [{kb},{n}]");
+    let (m, _k, n) = tn_dims(a, b);
     let mut c = Tensor::zeros(&[m, n]);
-    matmul_tn_accumulate(c.data_mut(), a.data(), b.data(), m, k, n);
+    matmul_tn_into(&mut c, a, b);
     c
+}
+
+/// `C = Aᵀ·B`, writing into a pre-allocated `c` (overwritten, not
+/// accumulated).
+///
+/// # Panics
+///
+/// Panics on any shape mismatch between `c`, `a`, and `b`.
+pub fn matmul_tn_into(c: &mut Tensor, a: &Tensor, b: &Tensor) {
+    let (m, k, n) = tn_dims(a, b);
+    assert_eq!(c.shape(), &[m, n], "output shape mismatch");
+    c.fill(0.0);
+    matmul_tn_accumulate(c.data_mut(), a.data(), b.data(), m, k, n);
 }
 
 /// `c += Aᵀ·B` on raw buffers; see [`matmul_tn`].
@@ -124,19 +132,80 @@ pub fn matmul_tn_accumulate(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: us
     assert_eq!(a.len(), k * m, "lhs buffer length");
     assert_eq!(b.len(), k * n, "rhs buffer length");
     assert_eq!(c.len(), m * n, "out buffer length");
+    // A is stored [K, M]; the packed kernel reads it as its transpose [M, K].
+    gemm(c, n, GemmOperand::transposed(a, m), GemmOperand::row_major(b, n), m, k, n);
+}
+
+/// Reference `C = A·B`: the original saxpy triple loop (with its
+/// vectorization-hostile zero-skip branch), kept for pinning the packed
+/// kernel in tests and benchmarks.
+///
+/// # Panics
+///
+/// Panics if the operands are not 2-D or the inner dimensions differ.
+pub fn matmul_reference(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k, n) = mm_dims(a, b);
+    let mut c = Tensor::zeros(&[m, n]);
+    let (cd, ad, bd) = (c.data_mut(), a.data(), b.data());
     for i in 0..m {
-        let c_row = &mut c[i * n..(i + 1) * n];
+        let a_row = &ad[i * k..(i + 1) * k];
+        let c_row = &mut cd[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &bd[p * n..(p + 1) * n];
+            for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
+                *c_v += a_ip * b_v;
+            }
+        }
+    }
+    c
+}
+
+/// Reference `C = A·Bᵀ`: the original dot-product formulation.
+///
+/// # Panics
+///
+/// Panics if the operands are not 2-D or the K dimensions differ.
+pub fn matmul_nt_reference(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k, n) = nt_dims(a, b);
+    let mut c = Tensor::zeros(&[m, n]);
+    let (cd, ad, bd) = (c.data_mut(), a.data(), b.data());
+    for i in 0..m {
+        let a_row = &ad[i * k..(i + 1) * k];
+        let c_row = &mut cd[i * n..(i + 1) * n];
+        for (j, c_v) in c_row.iter_mut().enumerate() {
+            let b_row = &bd[j * k..(j + 1) * k];
+            *c_v += dot(a_row, b_row);
+        }
+    }
+    c
+}
+
+/// Reference `C = Aᵀ·B`: the original rank-1-update formulation.
+///
+/// # Panics
+///
+/// Panics if the operands are not 2-D or the K dimensions differ.
+pub fn matmul_tn_reference(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k, n) = tn_dims(a, b);
+    let mut c = Tensor::zeros(&[m, n]);
+    let (cd, ad, bd) = (c.data_mut(), a.data(), b.data());
+    for i in 0..m {
+        let c_row = &mut cd[i * n..(i + 1) * n];
         for p in 0..k {
-            let a_pi = a[p * m + i];
+            let a_pi = ad[p * m + i];
             if a_pi == 0.0 {
                 continue;
             }
-            let b_row = &b[p * n..(p + 1) * n];
+            let b_row = &bd[p * n..(p + 1) * n];
             for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
                 *c_v += a_pi * b_v;
             }
         }
     }
+    c
 }
 
 /// Dot product of two equal-length slices.
@@ -221,6 +290,24 @@ fn mm_dims(a: &Tensor, b: &Tensor) -> (usize, usize, usize) {
     (m, k, n)
 }
 
+fn nt_dims(a: &Tensor, b: &Tensor) -> (usize, usize, usize) {
+    assert_eq!(a.ndim(), 2, "lhs must be 2-D");
+    assert_eq!(b.ndim(), 2, "rhs must be 2-D");
+    let (m, k) = (a.dim(0), a.dim(1));
+    let (n, kb) = (b.dim(0), b.dim(1));
+    assert_eq!(k, kb, "inner dimension mismatch: [{m},{k}] x [{n},{kb}]^T");
+    (m, k, n)
+}
+
+fn tn_dims(a: &Tensor, b: &Tensor) -> (usize, usize, usize) {
+    assert_eq!(a.ndim(), 2, "lhs must be 2-D");
+    assert_eq!(b.ndim(), 2, "rhs must be 2-D");
+    let (k, m) = (a.dim(0), a.dim(1));
+    let (kb, n) = (b.dim(0), b.dim(1));
+    assert_eq!(k, kb, "inner dimension mismatch: [{k},{m}]^T x [{kb},{n}]");
+    (m, k, n)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,6 +345,20 @@ mod tests {
     }
 
     #[test]
+    fn matmul_is_bit_identical_to_sequential_reduction() {
+        // The packed kernel's contract: every output element is accumulated
+        // in ascending-k order with a single accumulator — i.e. exactly the
+        // naive ijk loop.
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(9);
+        let a = Tensor::rand_uniform(&[17, 300], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[300, 13], -1.0, 1.0, &mut rng);
+        let (packed, naive) = (matmul(&a, &b), naive_matmul(&a, &b));
+        let pb: Vec<u32> = packed.data().iter().map(|v| v.to_bits()).collect();
+        let nb: Vec<u32> = naive.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(pb, nb);
+    }
+
+    #[test]
     fn matmul_nt_matches_explicit_transpose() {
         let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(2);
         let a = Tensor::rand_uniform(&[6, 11], -1.0, 1.0, &mut rng);
@@ -271,6 +372,33 @@ mod tests {
         let a = Tensor::rand_uniform(&[11, 6], -1.0, 1.0, &mut rng);
         let b = Tensor::rand_uniform(&[11, 9], -1.0, 1.0, &mut rng);
         assert_close(&matmul_tn(&a, &b), &matmul(&transpose(&a), &b), 1e-4);
+    }
+
+    #[test]
+    fn into_variants_overwrite_stale_contents() {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(10);
+        let a = Tensor::rand_uniform(&[5, 7], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[4, 7], -1.0, 1.0, &mut rng);
+        let mut c = Tensor::full(&[5, 4], 123.0);
+        matmul_nt_into(&mut c, &a, &b);
+        assert_eq!(c, matmul_nt(&a, &b), "matmul_nt_into must overwrite");
+        let at = transpose(&a); // [7, 5]
+        let bt = transpose(&b); // [7, 4]
+        let mut c2 = Tensor::full(&[5, 4], -7.0);
+        matmul_tn_into(&mut c2, &at, &bt);
+        assert_eq!(c2, matmul_tn(&at, &bt), "matmul_tn_into must overwrite");
+    }
+
+    #[test]
+    fn reference_kernels_agree_with_packed_path() {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(11);
+        let a = Tensor::rand_uniform(&[9, 21], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[21, 6], -1.0, 1.0, &mut rng);
+        assert_close(&matmul_reference(&a, &b), &matmul(&a, &b), 1e-4);
+        let bt = transpose(&b); // [6, 21]
+        assert_close(&matmul_nt_reference(&a, &bt), &matmul_nt(&a, &bt), 1e-4);
+        let at = transpose(&a); // [21, 9]
+        assert_close(&matmul_tn_reference(&at, &b), &matmul_tn(&at, &b), 1e-4);
     }
 
     #[test]
