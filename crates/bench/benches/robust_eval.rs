@@ -19,7 +19,8 @@ use bitrobust_biterror::UniformChip;
 use bitrobust_core::{
     build, evaluate, evaluate_serial, robust_eval_uniform, run_grid, run_sweep, train, ArchKind,
     Campaign, CampaignGrid, ChipAxis, DataParallel, NormKind, QuantizedModel, RandBetVariant,
-    RobustEval, SweepAxis, SweepModel, SweepOptions, TrainConfig, TrainMethod, TrainReport,
+    ReplicaStrategy, RobustEval, SweepAxis, SweepModel, SweepOptions, TrainConfig, TrainMethod,
+    TrainReport,
 };
 use bitrobust_data::{AugmentConfig, Dataset, SynthDataset};
 use bitrobust_nn::{Mode, Model};
@@ -101,6 +102,36 @@ fn orchestrated_sweep(models: &[Model], rates: &[f64], test_ds: &Dataset) -> Vec
     (0..models.len()).map(|mi| results.robust(mi, 0)).collect()
 }
 
+/// The native integer-domain path: compile each chip image to a `QNet`
+/// once, then forward the whole test set through it batch by batch —
+/// single-threaded, like the serial campaign reference it is compared to.
+fn native_int8_forward(model: &Model, images: &[QuantizedModel], test_ds: &Dataset) -> usize {
+    let n = test_ds.len();
+    let mut correct = 0;
+    for image in images {
+        let net = image.compile(model).expect("bench MLP must lower to a QNet");
+        let mut start = 0;
+        while start < n {
+            let end = (start + BATCH).min(n);
+            let (x, labels) = test_ds.batch_range(start, end);
+            let logits = net.infer(&x);
+            let classes = logits.dim(1);
+            for (row, &label) in labels.iter().enumerate() {
+                let row = &logits.data()[row * classes..(row + 1) * classes];
+                let pred = row
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(i, _)| i)
+                    .unwrap();
+                correct += (pred == label) as usize;
+            }
+            start = end;
+        }
+    }
+    correct
+}
+
 fn chip_images(model: &Model) -> Vec<QuantizedModel> {
     let q0 = QuantizedModel::quantize(model, QuantScheme::rquant(8));
     (0..N_CHIPS)
@@ -123,6 +154,17 @@ fn bench_robust_eval(c: &mut Criterion) {
     });
     group.bench_function("campaign_8chip_1000ex", |b| {
         b.iter(|| Campaign::new(&model, &test_ds).batch_size(BATCH).run(&images))
+    });
+    group.bench_function("campaign_per_pattern_8chip_1000ex", |b| {
+        b.iter(|| {
+            Campaign::new(&model, &test_ds)
+                .batch_size(BATCH)
+                .replicas(ReplicaStrategy::PerPattern)
+                .run(&images)
+        })
+    });
+    group.bench_function("native_int8_8chip_1000ex", |b| {
+        b.iter(|| native_int8_forward(&model, &images, &test_ds))
     });
     group.bench_function("clean_serial_1000ex", |b| {
         b.iter(|| evaluate_serial(&model, &test_ds, BATCH, Mode::Eval))
@@ -185,6 +227,14 @@ fn emit_json_comparison() {
     let serial_ref = Campaign::new(&model, &test_ds).batch_size(BATCH).serial().run(&images);
     let campaign_ref = Campaign::new(&model, &test_ds).batch_size(BATCH).run(&images);
     assert_eq!(serial_ref, campaign_ref, "engine must be bit-identical to the serial path");
+    let per_pattern_ref = Campaign::new(&model, &test_ds)
+        .batch_size(BATCH)
+        .replicas(ReplicaStrategy::PerPattern)
+        .run(&images);
+    assert_eq!(
+        serial_ref, per_pattern_ref,
+        "per-pattern replicas must be bit-identical to the serial path"
+    );
     let clean_serial_ref = evaluate_serial(&model, &test_ds, BATCH, Mode::Eval);
     let clean_campaign_ref = evaluate(&model, &test_ds, BATCH, Mode::Eval);
     assert_eq!(
@@ -209,6 +259,23 @@ fn emit_json_comparison() {
     );
     let campaign_secs =
         best_of(|| drop(Campaign::new(&model, &test_ds).batch_size(BATCH).run(&images)), reps);
+    // `campaign_secs` above already measures the shared-image default
+    // (patterns held as integer images, f32 scratch bounded by the pool);
+    // it is re-emitted as `int8_shared_image_secs` next to the legacy
+    // per-pattern strategy and the fully native int8 forward.
+    let int8_per_pattern_secs = best_of(
+        || {
+            drop(
+                Campaign::new(&model, &test_ds)
+                    .batch_size(BATCH)
+                    .replicas(ReplicaStrategy::PerPattern)
+                    .run(&images),
+            )
+        },
+        reps,
+    );
+    let int8_native_infer_secs =
+        best_of(|| drop(native_int8_forward(&model, &images, &test_ds)), reps);
     let clean_serial_secs = best_of(
         || {
             evaluate_serial(&model, &test_ds, BATCH, Mode::Eval);
@@ -244,7 +311,9 @@ fn emit_json_comparison() {
         "{{\n  \"bench\": \"robust_eval\",\n  \"arch\": \"mlp\",\n  \"dataset\": \"{}\",\n  \
          \"examples\": {},\n  \"n_chips\": {},\n  \"rate\": {},\n  \"batch_size\": {},\n  \
          \"threads\": {},\n  \"serial_secs\": {:.6},\n  \"campaign_secs\": {:.6},\n  \
-         \"speedup\": {:.3},\n  \"clean_serial_secs\": {:.6},\n  \
+         \"speedup\": {:.3},\n  \"int8_shared_image_secs\": {:.6},\n  \
+         \"int8_per_pattern_secs\": {:.6},\n  \"int8_native_infer_secs\": {:.6},\n  \
+         \"int8_native_speedup\": {:.3},\n  \"clean_serial_secs\": {:.6},\n  \
          \"clean_campaign_secs\": {:.6},\n  \"clean_speedup\": {:.3},\n  \
          \"train_serial_secs\": {:.6},\n  \"train_parallel_secs\": {:.6},\n  \
          \"train_speedup\": {:.3},\n  \"train_shards\": {},\n  \
@@ -260,6 +329,10 @@ fn emit_json_comparison() {
         serial_secs,
         campaign_secs,
         serial_secs / campaign_secs,
+        campaign_secs,
+        int8_per_pattern_secs,
+        int8_native_infer_secs,
+        serial_secs / int8_native_infer_secs,
         clean_serial_secs,
         clean_campaign_secs,
         clean_serial_secs / clean_campaign_secs,

@@ -84,20 +84,32 @@
 //!
 //! # Replica strategy
 //!
-//! Each pattern gets one model **replica**: a clone of its template whose
-//! parameters are overwritten with the pattern's dequantized
-//! (bit-error-perturbed) weights. Replicas are immutable once built —
-//! workers evaluate batches through [`Model::infer`], which takes `&self`
-//! and touches no activation caches — so any number of workers can share
-//! one replica concurrently. Replicas are held in a persistent
-//! [`crate::scheduler::ReplicaPool`]: at most
-//! [`MAX_REPLICAS`] are alive at a time,
-//! larger campaigns run in chunks, and across waves each slot's replica is
-//! *reused* (weights overwritten in place) rather than recloned — clones
-//! happen only when a slot's template model changes. The lazy entry points
-//! also build the perturbed *quantized images* one wave at a time, so peak
-//! memory stays at one wave of images + replicas for model-zoo-sized
-//! grids.
+//! Evaluating a pattern takes a model whose parameters hold the pattern's
+//! dequantized (bit-error-perturbed) weights. Replicas are immutable once
+//! built — workers evaluate batches through [`Model::infer`], which takes
+//! `&self` and touches no activation caches — and [`ReplicaStrategy`]
+//! picks how they are materialized:
+//!
+//! * [`ReplicaStrategy::SharedImage`] (the default) — patterns exist only
+//!   as their **quantized integer images** (~4× smaller than an `f32`
+//!   replica); each work item checks an `f32` scratch replica out of a
+//!   [`crate::scheduler::ScratchReplicas`] pool, writes its pattern's
+//!   image over the parameters, evaluates its batches, and parks the
+//!   replica again. Live `f32` replicas are bounded by the pool
+//!   parallelism instead of the pattern count, so eager campaigns run as
+//!   **one wave of all cells** — no [`MAX_REPLICAS`] chunking.
+//! * [`ReplicaStrategy::PerPattern`] — the historical layout: one
+//!   persistent replica per wave pattern in a
+//!   [`crate::scheduler::ReplicaPool`], at most [`MAX_REPLICAS`] alive at
+//!   a time, larger campaigns chunked. Kept as the reference layout the
+//!   determinism suite compares against.
+//!
+//! Both strategies are **byte-identical**: the image write overwrites
+//! every parameter tensor and evaluation reads nothing else, so each
+//! `(pattern, batch)` partial is computed from identical bytes either
+//! way. The lazy entry points build the perturbed *quantized images* one
+//! wave at a time under both strategies, so peak memory stays at one wave
+//! of images for model-zoo-sized grids.
 //!
 //! # Determinism guarantee
 //!
@@ -144,10 +156,25 @@ use bitrobust_quant::QuantScheme;
 use bitrobust_tensor::softmax_rows;
 
 use crate::eval::{EvalResult, RobustEval, EVAL_BATCH};
-use crate::scheduler::{self, ReplicaPool};
+use crate::scheduler::{self, ReplicaPool, ScratchReplicas};
 use crate::QuantizedModel;
 
 pub use crate::scheduler::{ItemSizing, MAX_REPLICAS};
+
+/// How a campaign materializes the model replicas its patterns are
+/// evaluated through. See the [module docs](self) for the full contract;
+/// the strategies are byte-identical and differ only in memory profile.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ReplicaStrategy {
+    /// Patterns stay as shared quantized integer images; `f32` scratch
+    /// replicas are checked out per work item, bounded by the pool
+    /// parallelism (the default).
+    #[default]
+    SharedImage,
+    /// One persistent `f32` replica per wave pattern, campaigns chunked at
+    /// [`MAX_REPLICAS`] (the historical layout).
+    PerPattern,
+}
 
 /// Per-`(pattern, batch)` partial statistics.
 struct BatchPartial {
@@ -231,6 +258,7 @@ pub struct Campaign<'a> {
     batch_size: usize,
     mode: Mode,
     sizing: ItemSizing,
+    replicas: ReplicaStrategy,
     serial: bool,
     #[allow(clippy::type_complexity)]
     on_cell: Option<Box<dyn FnMut(usize, &EvalResult) + 'a>>,
@@ -255,6 +283,7 @@ impl<'a> Campaign<'a> {
             batch_size: EVAL_BATCH,
             mode: Mode::Eval,
             sizing: ItemSizing::Adaptive,
+            replicas: ReplicaStrategy::default(),
             serial: false,
             on_cell: None,
         }
@@ -281,6 +310,16 @@ impl<'a> Campaign<'a> {
     /// that claim).
     pub fn sizing(mut self, sizing: ItemSizing) -> Self {
         self.sizing = sizing;
+        self
+    }
+
+    /// Replica materialization strategy (default
+    /// [`ReplicaStrategy::SharedImage`]). Results are byte-identical
+    /// across strategies; the knob only trades `f32` replica memory
+    /// against per-item image writes (and lets the determinism suite pin
+    /// that claim).
+    pub fn replicas(mut self, replicas: ReplicaStrategy) -> Self {
+        self.replicas = replicas;
         self
     }
 
@@ -373,7 +412,16 @@ impl<'a> Campaign<'a> {
         make: impl Fn(usize) -> (usize, CellImage<'i>),
         eager: bool,
     ) -> Vec<EvalResult> {
-        let Campaign { templates, dataset, batch_size, mode, sizing, serial, mut on_cell } = self;
+        let Campaign {
+            templates,
+            dataset,
+            batch_size,
+            mode,
+            sizing,
+            replicas: strategy,
+            serial,
+            mut on_cell,
+        } = self;
         validate(dataset, batch_size, mode);
         let n = dataset.len();
         let mut results = Vec::with_capacity(n_cells);
@@ -394,37 +442,80 @@ impl<'a> Campaign<'a> {
             return results;
         }
 
-        // Eager silent runs use full chunks (one pass per MAX_REPLICAS
-        // images); lazy and streaming runs use pool-sized waves so image
+        // Wave sizing. Shared-image replicas are bounded by parallelism,
+        // so eager silent runs take all cells in one wave; per-pattern
+        // replicas chunk eager runs at MAX_REPLICAS. Lazy and streaming
+        // runs use pool-sized waves under both strategies so image
         // construction stays bounded and cells land promptly. The split
         // never changes bytes — cells are independent — only the memory
         // and delivery profile.
         let n_batches = n.div_ceil(batch_size);
         let wave = if eager && on_cell.is_none() {
-            scheduler::MAX_REPLICAS
+            match strategy {
+                ReplicaStrategy::SharedImage => n_cells.max(1),
+                ReplicaStrategy::PerPattern => scheduler::MAX_REPLICAS,
+            }
         } else {
             scheduler::wave_size(n_batches)
         };
         let mut pool = ReplicaPool::new();
+        let scratch = ScratchReplicas::new();
         let mut start = 0;
         while start < n_cells {
             let end = (start + wave).min(n_cells);
             let cells: Vec<(usize, CellImage)> = (start..end).map(&make).collect();
-            pool.prepare(
-                cells.len(),
-                |i| {
-                    let template = cells[i].0;
-                    assert!(
-                        template < templates.len(),
-                        "cell {} template index {template} out of range",
-                        start + i
+            match strategy {
+                ReplicaStrategy::PerPattern => {
+                    pool.prepare(
+                        cells.len(),
+                        |i| {
+                            let template = cells[i].0;
+                            assert!(
+                                template < templates.len(),
+                                "cell {} template index {template} out of range",
+                                start + i
+                            );
+                            (template, templates[template])
+                        },
+                        |i, replica| cells[i].1.image().write_to(replica),
                     );
-                    (template, templates[template])
-                },
-                |i, replica| cells[i].1.image().write_to(replica),
-            );
-            let replicas: Vec<&Model> = (0..cells.len()).map(|i| pool.replica(i)).collect();
-            eval_replicas(&replicas, dataset, batch_size, mode, sizing, &mut results);
+                    let replicas: Vec<&Model> = (0..cells.len()).map(|i| pool.replica(i)).collect();
+                    eval_replicas(&replicas, dataset, batch_size, mode, sizing, &mut results);
+                }
+                ReplicaStrategy::SharedImage => {
+                    let partials = scheduler::execute_tracked(
+                        cells.len(),
+                        n_batches,
+                        sizing,
+                        |track| {
+                            let (template, ref cell) = cells[track];
+                            assert!(
+                                template < templates.len(),
+                                "cell {} template index {template} out of range",
+                                start + track
+                            );
+                            let tag = start + track;
+                            let replica = match scratch.checkout(template) {
+                                Some((last, replica)) if last == tag => replica,
+                                Some((_, mut replica)) => {
+                                    cell.image().write_to(&mut replica);
+                                    replica
+                                }
+                                None => build_replica(templates[template], cell.image()),
+                            };
+                            (template, tag, replica)
+                        },
+                        |(_, _, replica), _, batch| {
+                            let first = batch * batch_size;
+                            eval_batch(replica, dataset, first, (first + batch_size).min(n), mode)
+                        },
+                        |_, (template, tag, replica)| scratch.give_back(template, tag, replica),
+                    );
+                    for per_pattern in partials.chunks(n_batches) {
+                        results.push(reduce_pattern(per_pattern, n));
+                    }
+                }
+            }
             if let Some(callback) = on_cell.as_mut() {
                 for (i, result) in results.iter().enumerate().take(end).skip(start) {
                     callback(i, result);
@@ -1002,6 +1093,48 @@ mod tests {
             Mode::Eval,
         );
         assert_eq!(out[0][1].errors, standalone.errors);
+    }
+
+    #[test]
+    fn shared_image_matches_per_pattern_bit_for_bit() {
+        let (mut model, test) = tiny_setup();
+        let images = uniform_images(&mut model, 6, 0.02);
+        let shared =
+            Campaign::new(&model, &test).replicas(ReplicaStrategy::SharedImage).run(&images);
+        let per_pattern =
+            Campaign::new(&model, &test).replicas(ReplicaStrategy::PerPattern).run(&images);
+        let serial = Campaign::new(&model, &test).serial().run(&images);
+        assert_eq!(shared, per_pattern, "replica strategies must be byte-identical");
+        assert_eq!(shared, serial, "shared-image engine must match the serial reference");
+    }
+
+    #[test]
+    fn shared_image_streaming_and_multi_template_match_per_pattern() {
+        let (mut model_a, test) = tiny_setup();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut model_b = build(ArchKind::Mlp, [1, 14, 14], 10, NormKind::Group, &mut rng).model;
+        let images_a = uniform_images(&mut model_a, 2, 0.01);
+        let images_b = uniform_images(&mut model_b, 2, 0.02);
+        let all: Vec<(usize, QuantizedModel)> = vec![
+            (0, images_a[0].clone()),
+            (1, images_b[0].clone()),
+            (0, images_a[1].clone()),
+            (1, images_b[1].clone()),
+        ];
+        let templates = [&model_a, &model_b];
+
+        let mut seen = Vec::new();
+        let shared = Campaign::multi(&templates, &test)
+            .replicas(ReplicaStrategy::SharedImage)
+            .on_cell(|i, r| seen.push((i, r.error)))
+            .run_cells(all.len(), |i| all[i].clone());
+        let per_pattern = Campaign::multi(&templates, &test)
+            .replicas(ReplicaStrategy::PerPattern)
+            .run_cells(all.len(), |i| all[i].clone());
+        assert_eq!(shared, per_pattern);
+        let expected: Vec<(usize, f32)> =
+            shared.iter().enumerate().map(|(i, r)| (i, r.error)).collect();
+        assert_eq!(seen, expected, "every cell must stream exactly once, in order");
     }
 
     #[test]

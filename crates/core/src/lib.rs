@@ -93,7 +93,7 @@ pub use campaign::{
 };
 pub use campaign::{
     run_axis, run_axis_streaming, run_grid, run_grid_streaming, AxisCell, Campaign, CampaignGrid,
-    ChipAxis, GridCell,
+    ChipAxis, GridCell, ReplicaStrategy,
 };
 pub use data_parallel::{DataParallel, TRAIN_SHARDS};
 pub use ecc::{apply_secded, multi_error_probability, DoubleErrorPolicy, EccStats, SecdedConfig};
@@ -106,7 +106,7 @@ pub use eval::{
 pub use probe::{has_attached_probes, probe_handles, ActivationProbe, ProbeHandle, ProbeStats};
 pub use qmodel::QuantizedModel;
 pub use redundancy::{redundancy_metrics, RedundancyMetrics};
-pub use scheduler::{ItemSizing, ReplicaPool, ShardReplicas, MAX_REPLICAS};
+pub use scheduler::{ItemSizing, ReplicaPool, ScratchReplicas, ShardReplicas, MAX_REPLICAS};
 pub use store::{CellRecord, StoreError, SweepStore};
 pub use sweep::{run_sweep, SweepAxis, SweepCell, SweepModel, SweepOptions, SweepResults};
 pub use train::{

@@ -117,6 +117,48 @@ where
     T: Send + Sync,
     F: Fn(usize, usize) -> T + Sync,
 {
+    execute_tracked(
+        n_tracks,
+        n_slots,
+        sizing,
+        |_| (),
+        |_, track, slot| work(track, slot),
+        |_, _| (),
+    )
+}
+
+/// [`execute`] with a per-work-item context: `init(track)` runs once as a
+/// worker claims an item (a run of consecutive slots of one track), every
+/// unit of the item computes through `work(&mut ctx, track, slot)`, and
+/// `done(track, ctx)` releases the context when the item completes.
+///
+/// This is how fan-outs thread expensive per-track state (e.g. a model
+/// replica checked out of a [`ScratchReplicas`] pool) through the scheduler
+/// without keeping one instance per track alive: live contexts are bounded
+/// by the number of concurrently claimed items, not by `n_tracks`.
+///
+/// The determinism contract is unchanged — contexts only carry state the
+/// caller guarantees is equivalent for every item of a track, so results
+/// stay bit-identical to [`execute_serial`] regardless of sizing or
+/// scheduling.
+///
+/// # Panics
+///
+/// As [`execute`].
+pub fn execute_tracked<C, T, I, F, D>(
+    n_tracks: usize,
+    n_slots: usize,
+    sizing: ItemSizing,
+    init: I,
+    work: F,
+    done: D,
+) -> Vec<T>
+where
+    T: Send + Sync,
+    I: Fn(usize) -> C + Sync,
+    F: Fn(&mut C, usize, usize) -> T + Sync,
+    D: Fn(usize, C) + Sync,
+{
     if n_tracks == 0 || n_slots == 0 {
         return Vec::new();
     }
@@ -127,11 +169,13 @@ where
         let track = item / groups_per_track;
         let first = (item % groups_per_track) * group;
         let last = (first + group).min(n_slots);
+        let mut ctx = init(track);
         for slot in first..last {
-            let value = work(track, slot);
+            let value = work(&mut ctx, track, slot);
             let index = track * n_slots + slot;
             assert!(partials[index].set(value).is_ok(), "scheduler slot {index} visited twice");
         }
+        done(track, ctx);
     });
     partials
         .into_iter()
@@ -232,6 +276,64 @@ impl ReplicaPool {
     }
 }
 
+/// A checkout pool of scratch model replicas for shared-image campaigns.
+///
+/// Where [`ReplicaPool`] keeps one replica per wave pattern alive, this
+/// pool keeps only as many `f32` replicas as there are concurrently
+/// claimed work items (≈ the pool parallelism): a worker checks a replica
+/// out at item start, writes its pattern's integer image over the
+/// parameters, evaluates, and gives the replica back. Patterns themselves
+/// then only ever exist as quantized images (~4× smaller than an `f32`
+/// replica), so campaign memory no longer scales with the pattern count.
+///
+/// Slots are tagged with a `source` (template identity — mixing replicas
+/// of different architectures is never allowed) and a `tag` (the pattern
+/// last written), so a checkout that lands on a same-pattern slot can skip
+/// the rewrite. Reuse is byte-identical to a fresh clone for the same
+/// reason [`ReplicaPool`]'s is: the image write overwrites every parameter
+/// tensor and evaluation reads nothing else.
+#[derive(Debug, Default)]
+pub struct ScratchReplicas {
+    /// `(source id, pattern tag, replica)` for every parked replica.
+    slots: Mutex<Vec<(usize, usize, Model)>>,
+}
+
+impl ScratchReplicas {
+    /// An empty pool; replicas are cloned by callers on checkout miss.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of parked replicas (checked-out ones are not counted).
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("scratch replica lock poisoned").len()
+    }
+
+    /// Whether the pool holds no parked replicas.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Checks out a parked replica of template `source`, returning the
+    /// pattern tag it was last written with and the replica itself — or
+    /// `None` if no replica of that template is parked (the caller then
+    /// clones its template fresh). Replicas of other sources are left
+    /// parked for their own campaigns' items.
+    pub fn checkout(&self, source: usize) -> Option<(usize, Model)> {
+        let mut slots = self.slots.lock().expect("scratch replica lock poisoned");
+        let pos = slots.iter().position(|(s, _, _)| *s == source)?;
+        let (_, tag, replica) = slots.swap_remove(pos);
+        Some((tag, replica))
+    }
+
+    /// Parks a replica for later checkout: `tag` names the pattern whose
+    /// weights it currently holds, so a same-pattern checkout can skip the
+    /// image rewrite.
+    pub fn give_back(&self, source: usize, tag: usize, replica: Model) {
+        self.slots.lock().expect("scratch replica lock poisoned").push((source, tag, replica));
+    }
+}
+
 /// Persistent, exclusively-owned model replicas for data-parallel
 /// training shards.
 ///
@@ -304,6 +406,61 @@ mod tests {
                 assert_eq!(parallel.len(), tracks * slots);
             }
         }
+    }
+
+    #[test]
+    fn execute_tracked_contexts_cover_items_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        for (tracks, slots) in [(1, 1), (3, 5), (7, 2)] {
+            for sizing in [ItemSizing::PerBatch, ItemSizing::Adaptive] {
+                let inits = AtomicUsize::new(0);
+                let dones = AtomicUsize::new(0);
+                let out = execute_tracked(
+                    tracks,
+                    slots,
+                    sizing,
+                    |track| {
+                        inits.fetch_add(1, Ordering::Relaxed);
+                        track * 100
+                    },
+                    |ctx, t, s| {
+                        assert_eq!(*ctx, t * 100, "context must belong to the item's track");
+                        (t, s)
+                    },
+                    |track, ctx| {
+                        assert_eq!(ctx, track * 100);
+                        dones.fetch_add(1, Ordering::Relaxed);
+                    },
+                );
+                assert_eq!(out, execute_serial(tracks, slots, |t, s| (t, s)));
+                // Every init is paired with a done; the item count depends
+                // on sizing but contexts never leak.
+                assert_eq!(inits.load(Ordering::Relaxed), dones.load(Ordering::Relaxed));
+                assert!(inits.load(Ordering::Relaxed) >= tracks);
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_replicas_checkout_prefers_matching_source() {
+        let model = tiny_model();
+        let pool = ScratchReplicas::new();
+        assert!(pool.is_empty());
+        assert!(pool.checkout(0).is_none());
+
+        pool.give_back(0, 42, model.clone());
+        pool.give_back(1, 7, model.clone());
+        assert_eq!(pool.len(), 2);
+
+        // Source 0's replica comes back with its pattern tag; source 1's
+        // stays parked.
+        let (tag, replica) = pool.checkout(0).expect("source 0 parked");
+        assert_eq!(tag, 42);
+        assert_eq!(pool.len(), 1);
+        assert!(pool.checkout(0).is_none(), "other sources must not be drained");
+        pool.give_back(0, 43, replica);
+        assert_eq!(pool.checkout(1).expect("source 1 parked").0, 7);
     }
 
     #[test]

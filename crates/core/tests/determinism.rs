@@ -32,8 +32,8 @@ use common::weights_fingerprint;
 use bitrobust_core::{
     build, evaluate, evaluate_serial, run_axis, run_axis_streaming, run_grid, run_grid_streaming,
     train, ArchKind, Campaign, CampaignGrid, ChipAxis, DataParallel, EvalResult, ItemSizing,
-    NormKind, PattPattern, QuantizedModel, RErrProbe, RandBetVariant, SweepStore, TrainConfig,
-    TrainMethod, TrainReport, EVAL_BATCH,
+    NormKind, PattPattern, QuantizedModel, RErrProbe, RandBetVariant, ReplicaStrategy, SweepStore,
+    TrainConfig, TrainMethod, TrainReport, EVAL_BATCH,
 };
 use bitrobust_data::{AugmentConfig, Dataset, SynthDataset};
 use bitrobust_nn::{Mode, Model};
@@ -213,6 +213,26 @@ fn adaptive_and_per_batch_sizing_match_serial() {
 }
 
 // ---------------------------------------------------------------------------
+// (c1) replica strategies: shared-image vs per-pattern vs serial
+// ---------------------------------------------------------------------------
+
+#[test]
+fn replica_strategies_match_serial_under_both_sizings() {
+    let (model, test) = tiny_setup();
+    let images = chip_images(&model, 6, 0.02);
+    let serial = Campaign::new(&model, &test).serial().run(&images);
+    for strategy in [ReplicaStrategy::SharedImage, ReplicaStrategy::PerPattern] {
+        for sizing in [ItemSizing::PerBatch, ItemSizing::Adaptive] {
+            let run = Campaign::new(&model, &test).replicas(strategy).sizing(sizing).run(&images);
+            assert_eq!(
+                run, serial,
+                "{strategy:?}/{sizing:?} must be bit-identical to the serial reference"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // (c2) profiled-chip axes: campaign vs serial reference, fixed iteration
 // ---------------------------------------------------------------------------
 
@@ -378,6 +398,24 @@ fn worker_fingerprints() {
     }
     println!("FP campaign {}", fp_results(&serial));
 
+    // (c1) replica strategies + the native integer-domain forward pass:
+    // a shared-image campaign must match the serial bytes at every thread
+    // count, and `QuantizedModel::infer` is single-threaded by
+    // construction, so its logits must fingerprint identically across the
+    // matrix too.
+    let shared = Campaign::new(&model, &test).replicas(ReplicaStrategy::SharedImage).run(&images);
+    assert_eq!(serial, shared, "shared-image campaign must match the serial reference");
+    let (x, _) = test.batch_range(0, 64);
+    let logits = images[0].infer(&model, &x).expect("the MLP must lower to a QNet");
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for v in logits.data() {
+        for b in v.to_bits().to_le_bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    println!("FP native_infer {hash:016x}");
+
     // (d) in-training probes.
     let report = probed_training_report(false);
     assert_eq!(report, probed_training_report(true));
@@ -446,7 +484,7 @@ fn worker_fingerprints() {
 fn fingerprint_lines(stdout: &str) -> Vec<String> {
     let lines: Vec<String> =
         stdout.lines().filter_map(|l| l.find("FP ").map(|at| l[at..].to_string())).collect();
-    assert_eq!(lines.len(), 5, "worker must print one fingerprint per case:\n{stdout}");
+    assert_eq!(lines.len(), 6, "worker must print one fingerprint per case:\n{stdout}");
     lines
 }
 

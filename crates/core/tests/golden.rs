@@ -17,9 +17,11 @@
 //!
 //! and update this file, explaining in the commit why the numbers moved.
 
+use bitrobust_biterror::UniformChip;
 use bitrobust_core::{
-    build, run_grid, train, ArchKind, CampaignGrid, DataParallel, NormKind, RErrProbe,
-    RandBetVariant, TrainConfig, TrainMethod, TrainReport, EVAL_BATCH,
+    build, run_grid, train, ArchKind, Campaign, CampaignGrid, DataParallel, NormKind,
+    QuantizedModel, RErrProbe, RandBetVariant, ReplicaStrategy, TrainConfig, TrainMethod,
+    TrainReport, EVAL_BATCH,
 };
 use bitrobust_data::{AugmentConfig, Dataset, SynthDataset};
 use bitrobust_nn::{Mode, Model};
@@ -199,6 +201,37 @@ fn golden_campaign_cell_is_pinned() {
         mean.to_bits()
     );
     assert_eq!(std.to_bits(), GOLDEN_CELL_STD, "cell std drifted; actual 0x{:08x}", std.to_bits());
+}
+
+/// Both replica strategies must reproduce the pinned cell bit-for-bit:
+/// the shared-image path holds patterns as quantized integer images (no
+/// per-pattern dequantized `f32` replica), yet its RErr bytes must equal
+/// the per-pattern path *and* the committed golden constants.
+#[test]
+fn golden_cell_is_replica_strategy_invariant() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let model = build(ArchKind::Mlp, [1, 14, 14], 10, NormKind::Group, &mut rng).model;
+    let (_, test) = SynthDataset::Mnist.generate(0);
+    // The exact images `run_grid` builds for the pinned cell: rquant(8)
+    // at rate 1%, chips seeded `1000 + c`.
+    let q0 = QuantizedModel::quantize(&model, QuantScheme::rquant(8));
+    let images: Vec<QuantizedModel> = (0..3)
+        .map(|c| {
+            let mut q = q0.clone();
+            q.inject(&UniformChip::new(1000 + c).at_rate(0.01));
+            q
+        })
+        .collect();
+    for strategy in [ReplicaStrategy::SharedImage, ReplicaStrategy::PerPattern] {
+        let results = Campaign::new(&model, &test).replicas(strategy).run(&images);
+        let errors: Vec<f32> = results.iter().map(|r| r.error).collect();
+        assert_eq!(
+            bits(&errors),
+            GOLDEN_CELL_ERRORS,
+            "{strategy:?} per-chip errors drifted; actual {}",
+            hex(&bits(&errors))
+        );
+    }
 }
 
 /// Generator for the pinned constants above (see module docs).

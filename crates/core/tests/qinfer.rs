@@ -1,0 +1,154 @@
+//! Tolerance pinning for the native integer-domain forward pass.
+//!
+//! `QuantizedModel::infer` stays in i8/i32 end-to-end (words → i8 panels
+//! → i32 accumulate → requantize), while the reference path dequantizes
+//! the same snapshot into an `f32` replica and runs the float kernels.
+//! Both see *identical* quantized weights, so the only divergence is the
+//! dynamic 8-bit activation quantization plus f32-vs-i32 rounding — a
+//! bounded, scheme-independent error. These tests pin that bound with
+//! proptest over shapes × the full quantization-scheme lattice, and pin
+//! run-to-run byte determinism (the ISSUE's thread-matrix case lives in
+//! `determinism.rs`, where the native-infer fingerprint joins the
+//! 1/2/max-thread worker).
+
+use bitrobust_core::QuantizedModel;
+use bitrobust_nn::{
+    Conv2d, Flatten, GlobalAvgPool, Linear, MaxPool2d, Mode, Model, Relu, Sequential,
+};
+use bitrobust_quant::QuantScheme;
+use bitrobust_tensor::Tensor;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+/// The scheme lattice: every named construction at 8 bits plus the
+/// low-precision corner (`rquant` uses proper rounding + asymmetric
+/// unsigned; `symmetric`/`eq1_global` exercise the signed and global
+/// branches of the i8 decode).
+fn scheme(index: usize) -> QuantScheme {
+    match index % 8 {
+        0 => QuantScheme::rquant(8),
+        1 => QuantScheme::eq1_global(8),
+        2 => QuantScheme::normal(8),
+        3 => QuantScheme::asymmetric_signed(8),
+        4 => QuantScheme::asymmetric_unsigned(8),
+        5 => QuantScheme::symmetric(8),
+        6 => QuantScheme::rquant(4),
+        _ => QuantScheme::symmetric(4),
+    }
+}
+
+/// Dequantize-then-float reference: the exact forward campaigns run
+/// through `write_to` scratch replicas.
+fn float_reference(model: &Model, q: &QuantizedModel, x: &Tensor) -> Tensor {
+    let mut replica = model.clone();
+    q.write_to(&mut replica);
+    replica.infer(x, Mode::Eval)
+}
+
+/// Asserts `y_int` tracks `y_ref` within the activation-quantization
+/// tolerance: both paths share quantized weights, so the divergence is
+/// bounded by the dynamic i8 activation grid, not the weight scheme.
+fn assert_within_tolerance(y_ref: &Tensor, y_int: &Tensor, context: &str) {
+    assert_eq!(y_ref.shape(), y_int.shape(), "{context}: output shape diverged");
+    let amax = y_ref.data().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    let tol = 0.1 * amax.max(1.0);
+    for (i, (a, b)) in y_ref.data().iter().zip(y_int.data()).enumerate() {
+        assert!(
+            (a - b).abs() <= tol,
+            "{context}: logit {i} diverged beyond quantization tolerance: \
+             float {a} vs int {b} (tol {tol})"
+        );
+    }
+}
+
+fn mlp_case(batch: usize, in_f: usize, hidden: usize, out_f: usize, seed: u64) -> (Model, Tensor) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut root = Sequential::new();
+    root.push(Linear::new(in_f, hidden, &mut rng));
+    root.push(Relu::new());
+    root.push(Linear::new(hidden, out_f, &mut rng));
+    let model = Model::new("qinfer-mlp", root);
+    let x = Tensor::randn(&[batch, in_f], 1.0, &mut rng);
+    (model, x)
+}
+
+proptest! {
+    /// Linear nets: random shapes × the scheme lattice. The int path must
+    /// track the float reference within quantization tolerance, and two
+    /// native runs must be byte-identical.
+    #[test]
+    fn native_infer_tracks_float_reference_on_mlps(
+        batch in 1usize..5,
+        in_f in 1usize..24,
+        hidden in 1usize..24,
+        out_f in 1usize..10,
+        scheme_index in 0usize..8,
+        seed in 0u64..1024,
+    ) {
+        let (model, x) = mlp_case(batch, in_f, hidden, out_f, seed);
+        let q = QuantizedModel::quantize(&model, scheme(scheme_index));
+        let y_ref = float_reference(&model, &q, &x);
+        let y_int = q.infer(&model, &x).expect("MLP must lower to a QNet");
+        assert_within_tolerance(&y_ref, &y_int, &format!("scheme {scheme_index}"));
+
+        let again = q.infer(&model, &x).expect("MLP must lower to a QNet");
+        let bits = |t: &Tensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        prop_assert_eq!(bits(&y_int), bits(&again), "native infer must be run-to-run deterministic");
+    }
+
+    /// Conv pipelines (conv → relu → maxpool → flatten → linear, plus a
+    /// global-average-pool variant) over random spatial shapes.
+    #[test]
+    fn native_infer_tracks_float_reference_on_convnets(
+        batch in 1usize..3,
+        in_ch in 1usize..4,
+        out_ch in 1usize..6,
+        side in 5usize..10,
+        scheme_index in 0usize..8,
+        global_pool in any::<bool>(),
+        seed in 0u64..1024,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut root = Sequential::new();
+        root.push(Conv2d::new(in_ch, out_ch, 3, 1, 1, &mut rng));
+        root.push(Relu::new());
+        if global_pool {
+            root.push(GlobalAvgPool::new());
+            root.push(Flatten::new());
+            root.push(Linear::new(out_ch, 4, &mut rng));
+        } else {
+            root.push(MaxPool2d::new(2, 2));
+            root.push(Flatten::new());
+            let flat = out_ch * (side / 2) * (side / 2);
+            root.push(Linear::new(flat, 4, &mut rng));
+        }
+        let model = Model::new("qinfer-conv", root);
+        let x = Tensor::randn(&[batch, in_ch, side, side], 1.0, &mut rng);
+
+        let q = QuantizedModel::quantize(&model, scheme(scheme_index));
+        let y_ref = float_reference(&model, &q, &x);
+        let y_int = q.infer(&model, &x).expect("convnet must lower to a QNet");
+        assert_within_tolerance(&y_ref, &y_int, &format!("scheme {scheme_index}"));
+    }
+}
+
+/// Bit errors injected into the shared integer image flow through the
+/// native path exactly as through the float path: both must move off the
+/// clean output, and stay within tolerance of *each other* (they decode
+/// the same corrupted words).
+#[test]
+fn native_infer_sees_injected_errors_like_the_float_path() {
+    use bitrobust_biterror::UniformChip;
+    let (model, x) = mlp_case(4, 16, 20, 6, 7);
+    let mut q = QuantizedModel::quantize(&model, QuantScheme::rquant(8));
+    let clean_int = q.infer(&model, &x).expect("lowers");
+    q.inject(&UniformChip::new(3).at_rate(0.05));
+    let y_ref = float_reference(&model, &q, &x);
+    let y_int = q.infer(&model, &x).expect("lowers");
+    assert_within_tolerance(&y_ref, &y_int, "post-injection");
+    assert_ne!(
+        clean_int.data(),
+        y_int.data(),
+        "a 5% bit-error image must perturb the native forward"
+    );
+}

@@ -71,6 +71,7 @@ mod norm;
 mod optim;
 mod param;
 mod pooling;
+pub mod quantized;
 
 pub use activation::Relu;
 pub use container::{Flatten, Residual, Sequential};
@@ -84,3 +85,4 @@ pub use norm::{BatchNorm2d, GroupNorm};
 pub use optim::{MultiStepLr, Sgd};
 pub use param::{Param, ParamKind};
 pub use pooling::{GlobalAvgPool, MaxPool2d};
+pub use quantized::{lower_layers, QActivation, QConv2d, QLinear, QNet, QOp};

@@ -1,0 +1,538 @@
+//! Integer-domain inference: layers that compute on `i8` quantization
+//! levels with exact `i32` accumulation, requantizing at layer boundaries.
+//!
+//! This is the forward path an accelerator actually executes: weights stay
+//! as decoded quantization levels (`w ≈ w_scale · q_w + w_offset`, built by
+//! `bitrobust_quant`'s `decode_i8` and lowered by
+//! `bitrobust_core::QuantizedModel::compile`), activations are dynamically
+//! quantized per tensor to a symmetric zero-point-0 `i8` scale, and every
+//! matrix product runs through the packed integer GEMM
+//! ([`mod@bitrobust_tensor::gemm_i8`]) with `i32` accumulators:
+//!
+//! ```text
+//!   words ── decode ──▶ i8 weight panels ─┐
+//!                                         ├─▶ i32 accumulate (gemm_i8)
+//!   f32 x ─ quantize ─▶ i8 activations ───┘        │
+//!                                                  ▼
+//!                         requantize: y = s_x·s_w·dot + s_x·c_w·Σqx + b
+//! ```
+//!
+//! The affine weight decode is applied *after* the integer product via the
+//! identity `Σ x·w = s_x·s_w·Σ q_x·q_w + s_x·c_w·Σ q_x` (with `c_w` the
+//! constant term of the weight decode), so asymmetric/unsigned schemes cost
+//! only one extra activation row-sum — the integer inner loop never sees a
+//! zero point.
+//!
+//! ReLU and max pooling operate **directly on the levels** (zero is exactly
+//! representable at zero-point 0 and the decode is monotone), so they are
+//! exact; Linear/Conv2d/GlobalAvgPool requantize their output to a fresh
+//! dynamic scale. Everything here is intentionally single-threaded: the
+//! campaign engine parallelizes over (pattern, batch) work items, and a
+//! serial kernel is byte-deterministic across thread counts by construction.
+
+use bitrobust_tensor::{gemm_i8, GemmOperandI8, Tensor};
+
+use crate::Layer;
+
+/// A dynamically quantized activation tensor: `x[i] ≈ scale * q[i]` with a
+/// symmetric range and zero point 0 (so `q = 0` is exactly `x = 0`, which
+/// is what makes integer ReLU and zero padding exact).
+#[derive(Debug, Clone)]
+pub struct QActivation {
+    /// Quantized values in `[-127, 127]`.
+    pub q: Vec<i8>,
+    /// Dequantization multiplier.
+    pub scale: f32,
+    /// Logical tensor shape.
+    pub shape: Vec<usize>,
+}
+
+impl QActivation {
+    /// Quantizes an `f32` tensor to the dynamic symmetric `i8` scale
+    /// `max|x| / 127` (1.0 for an all-zero tensor).
+    pub fn quantize(x: &Tensor) -> Self {
+        let amax = x.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let scale = if amax == 0.0 { 1.0 } else { amax / 127.0 };
+        let inv = 1.0 / scale;
+        let q = x.data().iter().map(|&v| (v * inv).round().clamp(-127.0, 127.0) as i8).collect();
+        Self { q, scale, shape: x.shape().to_vec() }
+    }
+
+    /// Decodes back to an `f32` tensor.
+    pub fn dequantize(&self) -> Tensor {
+        let data = self.q.iter().map(|&q| self.scale * q as f32).collect();
+        Tensor::from_vec(self.shape.clone(), data)
+    }
+
+    /// Size of dimension `d`.
+    fn dim(&self, d: usize) -> usize {
+        self.shape[d]
+    }
+}
+
+/// An integer-domain fully connected layer: the quantized twin of
+/// [`crate::Linear`], holding the weight as decoded `i8` levels plus the
+/// affine map back to weight space (`w ≈ w_scale · q + w_offset`).
+#[derive(Debug, Clone)]
+pub struct QLinear {
+    qw: Vec<i8>, // [out, in] row-major
+    w_scale: f32,
+    w_offset: f32,
+    bias: Vec<f32>,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl QLinear {
+    /// Builds the layer from a decoded weight image `[out, in]` and an f32
+    /// bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer sizes are inconsistent.
+    pub fn new(
+        qw: Vec<i8>,
+        w_scale: f32,
+        w_offset: f32,
+        bias: Vec<f32>,
+        in_features: usize,
+        out_features: usize,
+    ) -> Self {
+        assert_eq!(qw.len(), in_features * out_features, "weight image size mismatch");
+        assert_eq!(bias.len(), out_features, "bias size mismatch");
+        Self { qw, w_scale, w_offset, bias, in_features, out_features }
+    }
+
+    /// Integer forward: `i8 × i8 → i32` GEMM, then requantize.
+    pub fn infer(&self, x: &QActivation) -> QActivation {
+        assert_eq!(x.shape.len(), 2, "QLinear expects [batch, features]");
+        assert_eq!(x.dim(1), self.in_features, "QLinear input feature mismatch");
+        let (batch, out_f, in_f) = (x.dim(0), self.out_features, self.in_features);
+
+        // dot[b, o] = Σ_i qx[b, i] · qw[o, i]  (B = qwᵀ, absorbed at pack).
+        let mut dot = vec![0i32; batch * out_f];
+        gemm_i8(
+            &mut dot,
+            out_f,
+            GemmOperandI8::row_major(&x.q, in_f),
+            GemmOperandI8::transposed(&self.qw, in_f),
+            batch,
+            in_f,
+            out_f,
+        );
+
+        // Σ x·w = s_x·s_w·dot + s_x·c_w·rowsum (c_w folds the weight
+        // decode's constant term; exact because qx sums are integers).
+        let mut out = Tensor::zeros(&[batch, out_f]);
+        let data = out.data_mut();
+        for b in 0..batch {
+            let rowsum: i32 = x.q[b * in_f..(b + 1) * in_f].iter().map(|&v| v as i32).sum();
+            let corr = x.scale * self.w_offset * rowsum as f32;
+            for o in 0..out_f {
+                data[b * out_f + o] =
+                    x.scale * self.w_scale * dot[b * out_f + o] as f32 + corr + self.bias[o];
+            }
+        }
+        QActivation::quantize(&out)
+    }
+}
+
+/// An integer-domain 2-D convolution: the quantized twin of
+/// [`crate::Conv2d`], lowering each sample to an `i8` im2col matrix and
+/// multiplying with the packed integer GEMM.
+#[derive(Debug, Clone)]
+pub struct QConv2d {
+    qw: Vec<i8>, // [oc, ic*k*k] row-major
+    w_scale: f32,
+    w_offset: f32,
+    bias: Vec<f32>,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+}
+
+impl QConv2d {
+    /// Builds the layer from a decoded weight image `[oc, ic*k*k]` and an
+    /// f32 bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer sizes are inconsistent or `kernel`/`stride` is
+    /// zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        qw: Vec<i8>,
+        w_scale: f32,
+        w_offset: f32,
+        bias: Vec<f32>,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        assert_eq!(
+            qw.len(),
+            out_channels * in_channels * kernel * kernel,
+            "weight image size mismatch"
+        );
+        assert_eq!(bias.len(), out_channels, "bias size mismatch");
+        Self { qw, w_scale, w_offset, bias, in_channels, out_channels, kernel, stride, padding }
+    }
+
+    /// Integer forward over `[batch, ic, h, w]`, one sample at a time.
+    pub fn infer(&self, x: &QActivation) -> QActivation {
+        assert_eq!(x.shape.len(), 4, "QConv2d expects [batch, ch, h, w]");
+        let (batch, ic, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+        assert_eq!(ic, self.in_channels, "QConv2d channel mismatch");
+        let oh = (h + 2 * self.padding - self.kernel) / self.stride + 1;
+        let ow = (w + 2 * self.padding - self.kernel) / self.stride + 1;
+        let (oc, k, ohw) = (self.out_channels, ic * self.kernel * self.kernel, oh * ow);
+        let sample_in = ic * h * w;
+
+        let mut out = Tensor::zeros(&[batch, oc, oh, ow]);
+        let data = out.data_mut();
+        let mut cols = vec![0i8; k * ohw];
+        let mut dot = vec![0i32; oc * ohw];
+        for s in 0..batch {
+            let x_s = &x.q[s * sample_in..(s + 1) * sample_in];
+            self.im2col(x_s, h, w, oh, ow, &mut cols);
+            dot.fill(0);
+            gemm_i8(
+                &mut dot,
+                ohw,
+                GemmOperandI8::row_major(&self.qw, k),
+                GemmOperandI8::row_major(&cols, ohw),
+                oc,
+                k,
+                ohw,
+            );
+            // Padded positions hold qx = 0, which contributes exactly zero
+            // to both the dot product and the column sums below.
+            let out_s = &mut data[s * oc * ohw..(s + 1) * oc * ohw];
+            for xi in 0..ohw {
+                let mut colsum = 0i32;
+                for r in 0..k {
+                    colsum += cols[r * ohw + xi] as i32;
+                }
+                let corr = x.scale * self.w_offset * colsum as f32;
+                for c in 0..oc {
+                    out_s[c * ohw + xi] =
+                        x.scale * self.w_scale * dot[c * ohw + xi] as f32 + corr + self.bias[c];
+                }
+            }
+        }
+        QActivation::quantize(&out)
+    }
+
+    /// Lowers one `[ic, h, w]` sample of levels into the full `[k, oh*ow]`
+    /// column matrix (an `i8` matrix is a quarter the size of its f32
+    /// counterpart, so materializing it whole is still cheap).
+    fn im2col(&self, x_s: &[i8], h: usize, w: usize, oh: usize, ow: usize, cols: &mut [i8]) {
+        let ohw = oh * ow;
+        for c in 0..self.in_channels {
+            let x_c = &x_s[c * h * w..(c + 1) * h * w];
+            for ky in 0..self.kernel {
+                for kx in 0..self.kernel {
+                    let r = (c * self.kernel + ky) * self.kernel + kx;
+                    let row = &mut cols[r * ohw..(r + 1) * ohw];
+                    for oy in 0..oh {
+                        let iy = (oy * self.stride + ky) as isize - self.padding as isize;
+                        let seg = &mut row[oy * ow..(oy + 1) * ow];
+                        if iy < 0 || iy >= h as isize {
+                            seg.fill(0);
+                            continue;
+                        }
+                        let x_row = &x_c[iy as usize * w..(iy as usize + 1) * w];
+                        for (ox, slot) in seg.iter_mut().enumerate() {
+                            let ix = (ox * self.stride + kx) as isize - self.padding as isize;
+                            *slot = if ix < 0 || ix >= w as isize { 0 } else { x_row[ix as usize] };
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One step of an integer-domain inference program.
+#[derive(Debug, Clone)]
+pub enum QOp {
+    /// Fully connected layer (requantizes its output).
+    Linear(QLinear),
+    /// 2-D convolution (requantizes its output).
+    Conv2d(QConv2d),
+    /// `max(q, 0)` directly on the levels — exact at zero point 0.
+    Relu,
+    /// Reshape to `[batch, features]` — levels untouched.
+    Flatten,
+    /// Integer window max (the decode is monotone, so the level max is the
+    /// value max; first maximum wins, like the float kernel).
+    MaxPool2d {
+        /// Pooling window size (square).
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Channel mean via an exact `i32` plane sum, then requantize.
+    GlobalAvgPool,
+}
+
+impl QOp {
+    /// Applies this op to an activation.
+    pub fn apply(&self, x: QActivation) -> QActivation {
+        match self {
+            QOp::Linear(l) => l.infer(&x),
+            QOp::Conv2d(c) => c.infer(&x),
+            QOp::Relu => {
+                let QActivation { mut q, scale, shape } = x;
+                for v in &mut q {
+                    *v = (*v).max(0);
+                }
+                QActivation { q, scale, shape }
+            }
+            QOp::Flatten => {
+                assert!(x.shape.len() >= 2, "Flatten expects at least [batch, features]");
+                let batch = x.dim(0);
+                let features = x.q.len() / batch;
+                QActivation { shape: vec![batch, features], ..x }
+            }
+            QOp::MaxPool2d { kernel, stride } => {
+                assert_eq!(x.shape.len(), 4, "MaxPool2d expects [batch, ch, h, w]");
+                let (batch, ch, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+                assert!(h >= *kernel && w >= *kernel, "input smaller than pooling kernel");
+                let oh = (h - kernel) / stride + 1;
+                let ow = (w - kernel) / stride + 1;
+                let mut q = vec![0i8; batch * ch * oh * ow];
+                for bc in 0..batch * ch {
+                    let plane = &x.q[bc * h * w..(bc + 1) * h * w];
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let mut best = i8::MIN;
+                            for ky in 0..*kernel {
+                                for kx in 0..*kernel {
+                                    let v = plane[(oy * stride + ky) * w + ox * stride + kx];
+                                    if v > best {
+                                        best = v;
+                                    }
+                                }
+                            }
+                            q[(bc * oh + oy) * ow + ox] = best;
+                        }
+                    }
+                }
+                QActivation { q, scale: x.scale, shape: vec![batch, ch, oh, ow] }
+            }
+            QOp::GlobalAvgPool => {
+                assert_eq!(x.shape.len(), 4, "GlobalAvgPool expects [batch, ch, h, w]");
+                let (batch, ch, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+                let hw = h * w;
+                let mut out = Tensor::zeros(&[batch, ch]);
+                let data = out.data_mut();
+                for bc in 0..batch * ch {
+                    let sum: i32 = x.q[bc * hw..(bc + 1) * hw].iter().map(|&v| v as i32).sum();
+                    data[bc] = x.scale * sum as f32 / hw as f32;
+                }
+                QActivation::quantize(&out)
+            }
+        }
+    }
+}
+
+/// A compiled integer-domain inference program: the sequence of [`QOp`]s a
+/// supported model lowers to (see `bitrobust_core::QuantizedModel::compile`).
+#[derive(Debug, Clone, Default)]
+pub struct QNet {
+    ops: Vec<QOp>,
+}
+
+impl QNet {
+    /// Builds a program from its ops.
+    pub fn new(ops: Vec<QOp>) -> Self {
+        Self { ops }
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Runs the integer-domain forward pass: quantize the input once, chain
+    /// every op in the integer domain, dequantize the final activation.
+    ///
+    /// Single-threaded by design — callers (the campaign engine) fan out
+    /// over (pattern, batch) work items, and a serial kernel is
+    /// byte-deterministic across thread counts by construction.
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        let mut act = QActivation::quantize(x);
+        for op in &self.ops {
+            act = op.apply(act);
+        }
+        act.dequantize()
+    }
+}
+
+/// Lowers a float layer tree rooted at `root` into a [`QNet`] program
+/// *shape*, with the parameterized ops produced by `make_linear` /
+/// `make_conv` (the caller owns the quantized weight images; this function
+/// owns the supported-architecture walk).
+///
+/// `skip` lets the caller drop parameterless identity passthroughs it knows
+/// about but this crate does not (e.g. detached activation probes); a
+/// skipped layer contributes no op, so it must be the identity at inference
+/// time.
+///
+/// Returns `Err` for any other layer without an integer-domain kernel
+/// (normalization, residual blocks) and for layers hidden from `as_any`.
+pub fn lower_layers(
+    root: &dyn Layer,
+    skip: &dyn Fn(&dyn Layer) -> bool,
+    make_linear: &mut dyn FnMut(&crate::Linear) -> Result<QLinear, String>,
+    make_conv: &mut dyn FnMut(&crate::Conv2d) -> Result<QConv2d, String>,
+    ops: &mut Vec<QOp>,
+) -> Result<(), String> {
+    if skip(root) {
+        return Ok(());
+    }
+    let any = match root.as_any() {
+        Some(any) => any,
+        None => {
+            return Err(format!("layer {} has no integer-domain kernel", root.layer_type()));
+        }
+    };
+    if let Some(seq) = any.downcast_ref::<crate::Sequential>() {
+        for layer in seq.layers() {
+            lower_layers(layer, skip, make_linear, make_conv, ops)?;
+        }
+    } else if let Some(fc) = any.downcast_ref::<crate::Linear>() {
+        ops.push(QOp::Linear(make_linear(fc)?));
+    } else if let Some(conv) = any.downcast_ref::<crate::Conv2d>() {
+        ops.push(QOp::Conv2d(make_conv(conv)?));
+    } else if any.downcast_ref::<crate::Relu>().is_some() {
+        ops.push(QOp::Relu);
+    } else if any.downcast_ref::<crate::Flatten>().is_some() {
+        ops.push(QOp::Flatten);
+    } else if let Some(pool) = any.downcast_ref::<crate::MaxPool2d>() {
+        ops.push(QOp::MaxPool2d { kernel: pool.kernel(), stride: pool.stride() });
+    } else if any.downcast_ref::<crate::GlobalAvgPool>().is_some() {
+        ops.push(QOp::GlobalAvgPool);
+    } else {
+        return Err(format!("layer {} has no integer-domain kernel", root.layer_type()));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Layer, Linear, Mode};
+    use rand::SeedableRng;
+
+    #[test]
+    fn activation_round_trip_error_is_bounded_by_half_a_step() {
+        let x = Tensor::from_vec(vec![2, 3], vec![0.5, -1.25, 0.0, 2.0, -0.01, 1.99]);
+        let qa = QActivation::quantize(&x);
+        let back = qa.dequantize();
+        assert_eq!(back.shape(), x.shape());
+        for (a, b) in x.data().iter().zip(back.data()) {
+            assert!((a - b).abs() <= qa.scale * 0.5 + 1e-7, "{a} vs {b}");
+        }
+        // Zero must be exact (zero point 0).
+        assert_eq!(back.data()[2], 0.0);
+    }
+
+    #[test]
+    fn all_zero_tensor_quantizes_exactly() {
+        let x = Tensor::zeros(&[3, 3]);
+        let qa = QActivation::quantize(&x);
+        assert!(qa.q.iter().all(|&v| v == 0));
+        assert_eq!(qa.dequantize().data(), x.data());
+    }
+
+    #[test]
+    fn qlinear_matches_float_linear_within_activation_quantization() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let fc = Linear::new(16, 8, &mut rng);
+        let x = Tensor::rand_uniform(&[4, 16], -1.0, 1.0, &mut rng);
+        let y_ref = fc.infer(&x, Mode::Eval);
+
+        // Quantize the float weight exactly representably (scale 2^-6),
+        // then write the decoded values back into a float twin so the only
+        // approximation in play is activation quantization.
+        let mut w = Vec::new();
+        fc.visit_params_ref(&mut |p| {
+            if p.name() == "weight" {
+                w = p.value().data().to_vec();
+            }
+        });
+        let w_scale = 1.0 / 64.0;
+        let qw: Vec<i8> =
+            w.iter().map(|&v| (v / w_scale).round().clamp(-127.0, 127.0) as i8).collect();
+        let w_exact: Vec<f32> = qw.iter().map(|&q| q as f32 * w_scale).collect();
+        let mut fc_exact = fc;
+        fc_exact.visit_params(&mut |p| {
+            if p.name() == "weight" {
+                p.value_mut().data_mut().copy_from_slice(&w_exact);
+            } else {
+                p.value_mut().data_mut().fill(0.0);
+            }
+        });
+        let y_exact = fc_exact.infer(&x, Mode::Eval);
+
+        let ql = QLinear::new(qw, w_scale, 0.0, vec![0.0; 8], 16, 8);
+        let y_int = ql.infer(&QActivation::quantize(&x)).dequantize();
+
+        let amax = y_exact.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        for (a, b) in y_int.data().iter().zip(y_exact.data()) {
+            assert!((a - b).abs() <= 0.03 * amax.max(1.0), "{a} vs {b}");
+        }
+        // Sanity: quantizing the weight moved the reference only slightly.
+        for (a, b) in y_exact.data().iter().zip(y_ref.data()) {
+            assert!((a - b).abs() <= 0.1 * amax.max(1.0) + 0.1, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn relu_and_maxpool_are_exact_on_levels() {
+        let x =
+            Tensor::from_vec(vec![1, 1, 2, 4], vec![-1.0, 0.5, 0.25, -0.125, 1.0, -0.5, 0.75, 0.0]);
+        let qa = QActivation::quantize(&x);
+        let r = QOp::Relu.apply(qa.clone());
+        for (&before, &after) in qa.q.iter().zip(&r.q) {
+            assert_eq!(after, before.max(0));
+        }
+        let p = QOp::MaxPool2d { kernel: 2, stride: 2 }.apply(qa.clone());
+        assert_eq!(p.shape, vec![1, 1, 1, 2]);
+        assert_eq!(p.q[0], qa.q[0].max(qa.q[1]).max(qa.q[4]).max(qa.q[5]));
+        assert_eq!(p.scale, qa.scale);
+    }
+
+    #[test]
+    fn flatten_reshapes_without_touching_levels() {
+        let x = Tensor::from_fn(&[2, 3, 2, 2], |i| i as f32 * 0.1);
+        let qa = QActivation::quantize(&x);
+        let f = QOp::Flatten.apply(qa.clone());
+        assert_eq!(f.shape, vec![2, 12]);
+        assert_eq!(f.q, qa.q);
+    }
+
+    #[test]
+    fn global_avg_pool_uses_exact_integer_sums() {
+        let x = Tensor::from_vec(vec![1, 2, 1, 2], vec![1.0, 0.5, -1.0, 0.0]);
+        let qa = QActivation::quantize(&x);
+        let g = QOp::GlobalAvgPool.apply(qa.clone());
+        assert_eq!(g.shape, vec![1, 2]);
+        let back = g.dequantize();
+        // Channel means of the *quantized* input, then requantized once.
+        let m0 = qa.scale * (qa.q[0] as i32 + qa.q[1] as i32) as f32 / 2.0;
+        assert!((back.data()[0] - m0).abs() <= g.scale * 0.5 + 1e-7);
+    }
+}

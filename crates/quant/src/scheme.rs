@@ -40,6 +40,14 @@ pub enum IntegerRepr {
     Signed,
     /// Unsigned integers, implemented via an additive offset of
     /// `2^(m-1) - 1` (Eq. 4 in App. D). The robust choice.
+    ///
+    /// Note the top code point `2^m - 1` is **dead on the clean path**: the
+    /// quantizer clamps levels to `[-L, L]` with `L = 2^(m-1) - 1`, so clean
+    /// words span `[0, 2L]` and the all-ones word (level `L + 1`) is only
+    /// ever *observed* after a bit error. It still decodes meaningfully —
+    /// one step above the top of the clean range — which is exactly why this
+    /// representation is robust: an MSB flip moves the value by half the
+    /// range instead of flipping its sign.
     Unsigned,
 }
 
@@ -255,12 +263,19 @@ impl QuantScheme {
     }
 
     /// Quantizes `weights` with an explicit range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is non-finite: `f32::max`/`f32::min` range folds
+    /// drop NaN and `as i32` saturates NaN to 0, so without this check a NaN
+    /// weight would silently quantize to code 0.
     pub fn quantize_with_range(&self, weights: &[f32], range: QuantRange) -> QuantizedTensor {
         let level = self.max_level();
         let mask = self.live_mask();
         let words = weights
             .iter()
             .map(|&w| {
+                assert!(w.is_finite(), "cannot quantize non-finite weight {w}");
                 let normalized = self.normalize(w, range);
                 let delta = 1.0 / level as f32;
                 let raw = normalized / delta;
@@ -278,12 +293,19 @@ impl QuantScheme {
         QuantizedTensor::from_parts(words, range, *self)
     }
 
-    /// Dequantizes a single stored word.
-    pub fn dequantize_word(&self, word: u8, range: QuantRange) -> f32 {
+    /// Decodes a stored word to its integer quantization level.
+    ///
+    /// This is the single definition of the word → level map shared by the
+    /// float path ([`QuantScheme::dequantize_word`]) and the integer-domain
+    /// inference path: signed words sign-extend from the low `m` bits,
+    /// unsigned words subtract the [`QuantScheme::max_level`] offset. Clean
+    /// levels lie in `[-L, L]`; bit errors can push the result to `-2^(m-1)`
+    /// (signed) or `L + 1` (unsigned).
+    pub fn decode_level(&self, word: u8) -> i32 {
         let level = self.max_level();
         let mask = self.live_mask();
         let word = word & mask;
-        let q = match self.repr {
+        match self.repr {
             IntegerRepr::Signed => {
                 // Sign-extend from the low `m` bits.
                 if self.bits < 8 && (word & (1 << (self.bits - 1))) != 0 {
@@ -293,9 +315,36 @@ impl QuantScheme {
                 }
             }
             IntegerRepr::Unsigned => word as i32 - level,
-        };
+        }
+    }
+
+    /// Dequantizes a single stored word.
+    pub fn dequantize_word(&self, word: u8, range: QuantRange) -> f32 {
+        let level = self.max_level();
+        let q = self.decode_level(word);
         let normalized = q as f32 / level as f32;
         self.denormalize(normalized, range)
+    }
+
+    /// The affine map `w ≈ scale * q + offset` from a decoded level
+    /// ([`QuantScheme::decode_level`]) back to weight space.
+    ///
+    /// Algebraically identical to [`QuantScheme::dequantize_word`]'s
+    /// normalize-then-denormalize (symmetric: `w = q/L * hi`; asymmetric:
+    /// `w = (q/L + 1) * span/2 + lo`), but folded into one multiply-add so
+    /// the integer inference path can apply it to whole i32 accumulators.
+    /// The float association differs, so results may differ from the float
+    /// path in the last ulp — the native path is pinned by tolerance, the
+    /// float path bit-for-bit.
+    pub fn weight_affine(&self, range: QuantRange) -> (f32, f32) {
+        let level = self.max_level() as f32;
+        match self.range_mode {
+            RangeMode::Symmetric => (range.hi() / level, 0.0),
+            RangeMode::Asymmetric => {
+                let span = range.hi() - range.lo();
+                (span / (2.0 * level), range.lo() + 0.5 * span)
+            }
+        }
     }
 
     /// Maps a weight into the internal `[-1, 1]` domain.
@@ -437,6 +486,137 @@ mod tests {
         let back2 = q2.dequantize();
         assert!((back2[1] - delta).abs() < 1e-6);
         assert!((back2[2] + delta).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rejects_nan_weights() {
+        let _ = QuantScheme::rquant(8).quantize(&[0.5, f32::NAN, -0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rejects_infinite_weights_with_explicit_range() {
+        let scheme = QuantScheme::normal(8);
+        let _ = scheme.quantize_with_range(&[f32::INFINITY], QuantRange::new(-1.0, 1.0));
+    }
+
+    /// Exhaustive decode pin: all 256 words × {signed, unsigned} × {4, 8}
+    /// bits, against independent reference arithmetic. The int8 inference
+    /// kernel reuses exactly these semantics, so this is the contract both
+    /// paths decode by.
+    #[test]
+    fn decode_level_pins_all_words() {
+        for bits in [4u8, 8] {
+            for repr in [IntegerRepr::Signed, IntegerRepr::Unsigned] {
+                let scheme = QuantScheme::new(
+                    Granularity::PerTensor,
+                    RangeMode::Asymmetric,
+                    repr,
+                    Rounding::Nearest,
+                    bits,
+                );
+                let level = (1i32 << (bits - 1)) - 1;
+                for word in 0u16..=255 {
+                    let word = word as u8;
+                    let live = (word as u32) & ((1u32 << bits) - 1);
+                    // Independent reference: interpret the low `bits` bits.
+                    let expected = match repr {
+                        // Two's complement on `bits` bits.
+                        IntegerRepr::Signed => {
+                            if live >= (1u32 << (bits - 1)) {
+                                live as i32 - (1i32 << bits)
+                            } else {
+                                live as i32
+                            }
+                        }
+                        IntegerRepr::Unsigned => live as i32 - level,
+                    };
+                    assert_eq!(
+                        scheme.decode_level(word),
+                        expected,
+                        "{}: word {word:#010b}",
+                        scheme.describe()
+                    );
+                }
+            }
+        }
+    }
+
+    /// `dequantize_word` must stay exactly `denormalize(decode_level / L)` —
+    /// the float goldens depend on this composition bit-for-bit.
+    #[test]
+    fn dequantize_word_is_decode_then_denormalize_bitwise() {
+        let range = QuantRange::new(-0.75, 0.5);
+        for bits in [4u8, 8] {
+            for scheme in [
+                QuantScheme::rquant(bits),
+                QuantScheme::normal(bits),
+                QuantScheme::asymmetric_signed(bits),
+                QuantScheme::symmetric(bits),
+            ] {
+                let level = scheme.max_level();
+                for word in 0u16..=255 {
+                    let word = word as u8;
+                    let q = scheme.decode_level(word);
+                    let expected = scheme.denormalize(q as f32 / level as f32, range);
+                    assert_eq!(
+                        scheme.dequantize_word(word, range).to_bits(),
+                        expected.to_bits(),
+                        "{}: word {word:#04x}",
+                        scheme.describe()
+                    );
+                }
+            }
+        }
+    }
+
+    /// The unsigned all-ones word (`2^m - 1`, level `L + 1`) is dead on the
+    /// clean path: quantization clamps to `[-L, L]`, i.e. words `[0, 2L]`.
+    /// It is only reachable via bit errors.
+    #[test]
+    fn unsigned_top_code_point_is_unreachable_cleanly() {
+        for bits in [2u8, 4, 8] {
+            for scheme in [QuantScheme::rquant(bits), QuantScheme::asymmetric_unsigned(bits)] {
+                let top = scheme.live_mask();
+                let weights: Vec<f32> = (0..4001).map(|i| (i - 2000) as f32 / 1000.0).collect();
+                let q = scheme.quantize(&weights);
+                assert!(
+                    q.words().iter().all(|&w| w != top),
+                    "{}: clean quantization produced the dead word {top:#04x}",
+                    scheme.describe()
+                );
+                // And yet it decodes, one level above the clean maximum.
+                assert_eq!(scheme.decode_level(top), scheme.max_level() + 1);
+            }
+        }
+    }
+
+    /// `weight_affine` agrees with the float decode within a few ulps over
+    /// every word (it is the same algebra with one different association).
+    #[test]
+    fn weight_affine_matches_float_decode_within_tolerance() {
+        let range = QuantRange::new(-0.6, 1.1);
+        for bits in [2u8, 4, 8] {
+            for scheme in [
+                QuantScheme::rquant(bits),
+                QuantScheme::normal(bits),
+                QuantScheme::symmetric(bits),
+                QuantScheme::asymmetric_signed(bits),
+            ] {
+                let (scale, offset) = scheme.weight_affine(range);
+                for word in 0u16..=255 {
+                    let word = word as u8;
+                    let via_affine = scale * scheme.decode_level(word) as f32 + offset;
+                    let via_float = scheme.dequantize_word(word, range);
+                    assert!(
+                        (via_affine - via_float).abs() <= 1e-6 * via_float.abs().max(1.0),
+                        "{}: word {word:#04x}: {via_affine} vs {via_float}",
+                        scheme.describe()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

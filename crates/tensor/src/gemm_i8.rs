@@ -1,0 +1,504 @@
+//! Packed, cache-blocked, register-tiled integer GEMM: `i8 × i8 → i32`.
+//!
+//! This is the integer twin of the f32 kernel in [`crate::gemm`]: same
+//! GotoBLAS/BLIS blocking ([`MR`]/[`NR`]/[`MC`]/[`KC`]/[`NC`] are reused
+//! verbatim), same stride-described operands so transposition is absorbed at
+//! pack time, same load-accumulate-store C tile. It is what the
+//! integer-domain inference path (`QuantizedModel::infer`) runs its
+//! Linear/Conv2d layers on: quantized words are decoded once to `i8` levels,
+//! multiplied here with exact `i32` accumulation, and requantized at layer
+//! boundaries.
+//!
+//! # Determinism
+//!
+//! Integer accumulation is exact, so — unlike the f32 kernel, whose
+//! ascending-`k` single-accumulator reduction is a *contract* — the result
+//! here is bit-identical to the naive sequential triple loop by
+//! construction, for every tiling, SIMD width, and thread count. The packed
+//! path still keeps the same reduction shape as its f32 twin (one scalar
+//! accumulator per output element, ascending `k`) so the two kernels stay
+//! structurally interchangeable. Accumulators are `i32`: products are
+//! bounded by `2^14`, so sums are exact for any `k ≤ 2^17`, far beyond any
+//! layer in the workspace.
+
+use std::cell::RefCell;
+
+use crate::gemm::{KC, MC, MR, NC, NR};
+
+thread_local! {
+    /// Per-worker packed-panel scratch (A block, B block), the i8 twin of
+    /// the f32 kernel's scratch.
+    static PACK_SCRATCH_I8: RefCell<(Vec<i8>, Vec<i8>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// An integer GEMM operand described by its buffer and element strides —
+/// the `i8` twin of [`crate::GemmOperand`]. The logical matrix element
+/// `(r, c)` lives at `buf[r * rs + c * cs]`.
+#[derive(Clone, Copy, Debug)]
+pub struct GemmOperandI8<'a> {
+    buf: &'a [i8],
+    rs: usize,
+    cs: usize,
+}
+
+impl<'a> GemmOperandI8<'a> {
+    /// A row-major matrix with contiguous rows of length `cols`.
+    pub fn row_major(buf: &'a [i8], cols: usize) -> Self {
+        Self { buf, rs: cols, cs: 1 }
+    }
+
+    /// The transpose of a row-major matrix whose *stored* rows have length
+    /// `stored_cols` (i.e. the logical matrix is `stored` read column-wise).
+    pub fn transposed(buf: &'a [i8], stored_cols: usize) -> Self {
+        Self { buf, rs: 1, cs: stored_cols }
+    }
+
+    /// A row-major view with an explicit row stride (`ld >= cols`), for
+    /// operating on a sub-block of a larger matrix.
+    pub fn strided(buf: &'a [i8], ld: usize) -> Self {
+        Self { buf, rs: ld, cs: 1 }
+    }
+
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> i8 {
+        self.buf[r * self.rs + c * self.cs]
+    }
+
+    /// Panics unless every element of an `rows x cols` view is in bounds.
+    fn check(&self, rows: usize, cols: usize) {
+        if rows > 0 && cols > 0 {
+            let last = (rows - 1) * self.rs + (cols - 1) * self.cs;
+            assert!(last < self.buf.len(), "gemm operand out of bounds: {rows}x{cols}");
+        }
+    }
+}
+
+/// `C += A · B` in the integer domain: `C[i, j]: i32` lives at
+/// `c[i * ldc + j]`, `A` is `m x k`, `B` is `k x n`, both `i8`.
+///
+/// # Panics
+///
+/// Panics if any operand (including `c` with row stride `ldc`) is too short
+/// for the given dimensions, or if `ldc < n`.
+pub fn gemm_i8(
+    c: &mut [i32],
+    ldc: usize,
+    a: GemmOperandI8,
+    b: GemmOperandI8,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    assert!(ldc >= n, "ldc ({ldc}) must be >= n ({n})");
+    let last = (m - 1) * ldc + (n - 1);
+    assert!(last < c.len(), "gemm output out of bounds: {m}x{n} with ldc {ldc}");
+    if k == 0 {
+        return; // accumulate semantics: nothing to add
+    }
+    a.check(m, k);
+    b.check(k, n);
+    let use_avx2 = avx2_available();
+
+    PACK_SCRATCH_I8.with(|scratch| {
+        let (a_buf, b_buf) = &mut *scratch.borrow_mut();
+        a_buf.resize(MC * KC, 0);
+        b_buf.resize(KC * NC, 0);
+
+        let mut jc = 0;
+        while jc < n {
+            let nc = NC.min(n - jc);
+            let nr_tiles = nc.div_ceil(NR);
+            let mut pc = 0;
+            while pc < k {
+                let kc = KC.min(k - pc);
+                pack_b(b_buf, b, pc, jc, kc, nc);
+                let mut ic = 0;
+                while ic < m {
+                    let mc = MC.min(m - ic);
+                    let mr_tiles = mc.div_ceil(MR);
+                    pack_a(a_buf, a, ic, pc, mc, kc);
+                    for jr in 0..nr_tiles {
+                        let nr_eff = NR.min(nc - jr * NR);
+                        let b_panel = &b_buf[jr * kc * NR..(jr + 1) * kc * NR];
+                        for ir in 0..mr_tiles {
+                            let mr_eff = MR.min(mc - ir * MR);
+                            let a_panel = &a_buf[ir * kc * MR..(ir + 1) * kc * MR];
+                            let c_off = (ic + ir * MR) * ldc + jc + jr * NR;
+                            let c_tile = &mut c[c_off..];
+                            microkernel(use_avx2, c_tile, ldc, a_panel, b_panel, mr_eff, nr_eff);
+                        }
+                    }
+                    ic += MC;
+                }
+                pc += KC;
+            }
+            jc += NC;
+        }
+    });
+}
+
+/// Packs the `mc x kc` block of `A` at `(ic, pc)` into row panels of [`MR`]:
+/// `panel[p * MR + i] = A[ic + ir*MR + i, pc + p]`, zero-padded past `mc`.
+fn pack_a(buf: &mut [i8], a: GemmOperandI8, ic: usize, pc: usize, mc: usize, kc: usize) {
+    let mr_tiles = mc.div_ceil(MR);
+    for ir in 0..mr_tiles {
+        let panel = &mut buf[ir * kc * MR..(ir + 1) * kc * MR];
+        let rows = MR.min(mc - ir * MR);
+        let i0 = ic + ir * MR;
+        if rows < MR {
+            panel.fill(0);
+        }
+        if a.cs == 1 {
+            // Rows of A are contiguous: interleave `rows` row slices.
+            for i in 0..rows {
+                let src = &a.buf[(i0 + i) * a.rs + pc..][..kc];
+                for (p, &v) in src.iter().enumerate() {
+                    panel[p * MR + i] = v;
+                }
+            }
+        } else if a.rs == 1 {
+            // A is a pack-time transpose: each k-slice is contiguous.
+            for (p, chunk) in panel.chunks_exact_mut(MR).enumerate() {
+                let src = &a.buf[(pc + p) * a.cs + i0..][..rows];
+                chunk[..rows].copy_from_slice(src);
+            }
+        } else {
+            for (p, chunk) in panel.chunks_exact_mut(MR).enumerate() {
+                for (i, slot) in chunk.iter_mut().enumerate().take(rows) {
+                    *slot = a.at(i0 + i, pc + p);
+                }
+            }
+        }
+    }
+}
+
+/// Packs the `kc x nc` block of `B` at `(pc, jc)` into column panels of
+/// [`NR`]: `panel[p * NR + j] = B[pc + p, jc + jr*NR + j]`, zero-padded.
+fn pack_b(buf: &mut [i8], b: GemmOperandI8, pc: usize, jc: usize, kc: usize, nc: usize) {
+    let nr_tiles = nc.div_ceil(NR);
+    for jr in 0..nr_tiles {
+        let panel = &mut buf[jr * kc * NR..(jr + 1) * kc * NR];
+        let cols = NR.min(nc - jr * NR);
+        let j0 = jc + jr * NR;
+        if cols < NR {
+            panel.fill(0);
+        }
+        if b.cs == 1 {
+            // Rows of B are contiguous: straight row copies.
+            for (p, chunk) in panel.chunks_exact_mut(NR).enumerate() {
+                let src = &b.buf[(pc + p) * b.rs + j0..][..cols];
+                chunk[..cols].copy_from_slice(src);
+            }
+        } else if b.rs == 1 {
+            // B is a pack-time transpose: each column is contiguous.
+            for j in 0..cols {
+                let src = &b.buf[(j0 + j) * b.cs + pc..][..kc];
+                for (p, &v) in src.iter().enumerate() {
+                    panel[p * NR + j] = v;
+                }
+            }
+        } else {
+            for (p, chunk) in panel.chunks_exact_mut(NR).enumerate() {
+                for (j, slot) in chunk.iter_mut().enumerate().take(cols) {
+                    *slot = b.at(pc + p, j0 + j);
+                }
+            }
+        }
+    }
+}
+
+/// The register-tiled integer inner loop: loads the valid `mr_eff x nr_eff`
+/// corner of the C tile, accumulates `kc` widened `i8 × i8` outer products
+/// (fully unrolled over the `MR x NR` tile so LLVM vectorizes the `j`
+/// lanes), and stores the corner back.
+#[inline(always)]
+fn microkernel_body(
+    c: &mut [i32],
+    ldc: usize,
+    a_panel: &[i8],
+    b_panel: &[i8],
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    let mut acc = [[0i32; NR]; MR];
+    for (i, row) in acc.iter_mut().enumerate().take(mr_eff) {
+        row[..nr_eff].copy_from_slice(&c[i * ldc..i * ldc + nr_eff]);
+    }
+    for (a_k, b_k) in a_panel.chunks_exact(MR).zip(b_panel.chunks_exact(NR)) {
+        let a_k: &[i8; MR] = a_k.try_into().expect("panel chunk");
+        let b_k: &[i8; NR] = b_k.try_into().expect("panel chunk");
+        for (i, row) in acc.iter_mut().enumerate() {
+            let a_ip = a_k[i] as i32;
+            for (j, slot) in row.iter_mut().enumerate() {
+                *slot += a_ip * b_k[j] as i32;
+            }
+        }
+    }
+    for (i, row) in acc.iter().enumerate().take(mr_eff) {
+        c[i * ldc..i * ldc + nr_eff].copy_from_slice(&row[..nr_eff]);
+    }
+}
+
+/// Baseline-ISA compilation of [`microkernel_body`].
+///
+/// `inline(never)` for the same reason as the f32 kernel: compiled as a
+/// standalone function the autovectorizer reliably turns into packed SIMD.
+#[inline(never)]
+fn microkernel_portable(
+    c: &mut [i32],
+    ldc: usize,
+    a_panel: &[i8],
+    b_panel: &[i8],
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    microkernel_body(c, ldc, a_panel, b_panel, mr_eff, nr_eff);
+}
+
+/// AVX2 compilation of the *same* [`microkernel_body`], dispatched at
+/// runtime (integer SIMD needs AVX2; plain AVX only widens float lanes).
+///
+/// Bit-safety is trivial here: integer arithmetic is exact, so every
+/// compilation produces identical bits by construction.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn microkernel_avx2(
+    c: &mut [i32],
+    ldc: usize,
+    a_panel: &[i8],
+    b_panel: &[i8],
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    microkernel_body(c, ldc, a_panel, b_panel, mr_eff, nr_eff);
+}
+
+/// Whether the AVX2 compilation of the microkernel can be used.
+#[inline]
+fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Invokes the fastest available microkernel compilation.
+#[inline]
+fn microkernel(
+    use_avx2: bool,
+    c: &mut [i32],
+    ldc: usize,
+    a_panel: &[i8],
+    b_panel: &[i8],
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2 {
+        // SAFETY: `use_avx2` is only true when `is_x86_feature_detected!`
+        // confirmed AVX2 support at runtime.
+        unsafe { microkernel_avx2(c, ldc, a_panel, b_panel, mr_eff, nr_eff) };
+        return;
+    }
+    let _ = use_avx2;
+    microkernel_portable(c, ldc, a_panel, b_panel, mr_eff, nr_eff);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive sequential triple loop — the packed integer kernel must match
+    /// it exactly (integer arithmetic leaves no room for anything else).
+    fn sequential_gemm_i8(c: &mut [i32], a: &[i8], b: &[i8], m: usize, k: usize, n: usize) {
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = c[i * n + j];
+                for p in 0..k {
+                    acc += a[i * k + p] as i32 * b[p * n + j] as i32;
+                }
+                c[i * n + j] = acc;
+            }
+        }
+    }
+
+    fn fill_i8(len: usize, seed: u32) -> Vec<i8> {
+        // Small deterministic pseudo-random values spanning the full i8
+        // range, including the extremes bit errors produce.
+        (0..len)
+            .map(|i| {
+                let x = (i as u32).wrapping_mul(2654435761).wrapping_add(seed);
+                (x % 256) as u8 as i8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_sequential_reduction_exactly() {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (MR, KC, NR),
+            (MR + 1, KC + 3, NR + 1),
+            (MC + 5, 2 * KC + 1, NC + 9),
+            (3, 700, 2),
+        ] {
+            let a = fill_i8(m * k, 1);
+            let b = fill_i8(k * n, 2);
+            let mut c: Vec<i32> = (0..m * n).map(|i| i as i32 % 17 - 8).collect();
+            let mut c_ref = c.clone();
+            gemm_i8(
+                &mut c,
+                n,
+                GemmOperandI8::row_major(&a, k),
+                GemmOperandI8::row_major(&b, n),
+                m,
+                k,
+                n,
+            );
+            sequential_gemm_i8(&mut c_ref, &a, &b, m, k, n);
+            assert_eq!(c, c_ref, "diverged at m={m} k={k} n={n}");
+        }
+    }
+
+    #[test]
+    fn transposed_operands_match_explicit_transpose() {
+        let (m, k, n) = (7, 13, 9);
+        let a = fill_i8(m * k, 4); // stored [m, k]
+        let b = fill_i8(k * n, 5); // stored [k, n]
+        let at: Vec<i8> = {
+            // stored [k, m]
+            let mut t = vec![0; k * m];
+            for i in 0..m {
+                for p in 0..k {
+                    t[p * m + i] = a[i * k + p];
+                }
+            }
+            t
+        };
+        let mut c1 = vec![0; m * n];
+        let mut c2 = vec![0; m * n];
+        gemm_i8(
+            &mut c1,
+            n,
+            GemmOperandI8::row_major(&a, k),
+            GemmOperandI8::row_major(&b, n),
+            m,
+            k,
+            n,
+        );
+        gemm_i8(
+            &mut c2,
+            n,
+            GemmOperandI8::transposed(&at, m),
+            GemmOperandI8::row_major(&b, n),
+            m,
+            k,
+            n,
+        );
+        assert_eq!(c1, c2, "pack-time transposition must be exact");
+    }
+
+    #[test]
+    fn strided_output_leaves_gaps_untouched() {
+        let (m, k, n, ldc) = (3, 5, 4, 10);
+        let a = fill_i8(m * k, 6);
+        let b = fill_i8(k * n, 7);
+        let mut c = vec![9; m * ldc];
+        gemm_i8(
+            &mut c,
+            ldc,
+            GemmOperandI8::row_major(&a, k),
+            GemmOperandI8::row_major(&b, n),
+            m,
+            k,
+            n,
+        );
+        let mut dense = vec![9; m * n];
+        sequential_gemm_i8(&mut dense, &a, &b, m, k, n);
+        for i in 0..m {
+            assert_eq!(&c[i * ldc..i * ldc + n], &dense[i * n..(i + 1) * n]);
+            assert!(c[i * ldc + n..(i + 1) * ldc].iter().all(|&v| v == 9), "gap clobbered");
+        }
+    }
+
+    #[test]
+    fn extreme_values_do_not_overflow_the_accumulator() {
+        // k = 2 * KC of -128 * -128 products: 16384 * 512 = 2^23, well
+        // inside i32 — and exercises the saturating corner i8 is worst at.
+        let (m, k, n) = (MR + 1, 2 * KC, NR + 1);
+        let a = vec![-128i8; m * k];
+        let b = vec![-128i8; k * n];
+        let mut c = vec![0; m * n];
+        gemm_i8(
+            &mut c,
+            n,
+            GemmOperandI8::row_major(&a, k),
+            GemmOperandI8::row_major(&b, n),
+            m,
+            k,
+            n,
+        );
+        assert!(c.iter().all(|&v| v == 16384 * 2 * KC as i32));
+    }
+
+    #[test]
+    fn degenerate_dims_are_no_ops_or_zero_adds() {
+        let mut c = vec![1; 6];
+        gemm_i8(
+            &mut c,
+            3,
+            GemmOperandI8::row_major(&[], 0),
+            GemmOperandI8::row_major(&[], 3),
+            2,
+            0,
+            3,
+        );
+        assert_eq!(c, vec![1; 6], "k == 0 must leave C unchanged (accumulate semantics)");
+        gemm_i8(
+            &mut c,
+            3,
+            GemmOperandI8::row_major(&[], 5),
+            GemmOperandI8::row_major(&[], 3),
+            0,
+            5,
+            3,
+        );
+        assert_eq!(c, vec![1; 6], "m == 0 must be a no-op");
+        let a = fill_i8(10, 8);
+        gemm_i8(
+            &mut c,
+            0,
+            GemmOperandI8::row_major(&a, 5),
+            GemmOperandI8::row_major(&[], 0),
+            2,
+            5,
+            0,
+        );
+        assert_eq!(c, vec![1; 6], "n == 0 must be a no-op");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rejects_short_operands() {
+        let mut c = vec![0; 4];
+        let a = vec![0i8; 3]; // needs 4 for 2x2
+        let b = vec![0i8; 4];
+        gemm_i8(
+            &mut c,
+            2,
+            GemmOperandI8::row_major(&a, 2),
+            GemmOperandI8::row_major(&b, 2),
+            2,
+            2,
+            2,
+        );
+    }
+}
