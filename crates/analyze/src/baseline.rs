@@ -1,0 +1,202 @@
+//! The committed findings baseline.
+//!
+//! A baseline lets the analyzer land *strict* (`--deny`) on day one even
+//! if some findings were still open: each grandfathered finding is one
+//! line in `ANALYZE_baseline.txt`, and anything not in the file fails CI.
+//! Two properties keep the mechanism honest:
+//!
+//! * Entries match on a **content hash** of the offending source line
+//!   (FNV-1a of the trimmed text, same hash family as the sweep store),
+//!   not on line numbers — unrelated edits above a baselined line don't
+//!   invalidate it, but *touching the offending line itself* does, which
+//!   forces a fix at the natural moment.
+//! * **Stale entries are violations**: when the underlying finding
+//!   disappears, the entry must be deleted in the same PR, so the file
+//!   only ever shrinks (the repo currently carries an empty baseline —
+//!   every finding the analyzer ever raised has been fixed or inline-
+//!   justified).
+//!
+//! Format, one entry per line (tab-separated):
+//!
+//! ```text
+//! <rule-id> \t <path> \t <16-hex content hash> \t <reason>
+//! ```
+//!
+//! `#`-prefixed lines and blank lines are comments. The reason column is
+//! mandatory: a baseline entry is a *documented debt*, not an exemption.
+
+use crate::rules::Finding;
+
+/// FNV-1a over the trimmed snippet text: the per-line content hash.
+pub fn snippet_hash(snippet: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in snippet.trim().as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One parsed baseline entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Rule id the entry grandfathers.
+    pub rule: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// [`snippet_hash`] of the offending line's trimmed text.
+    pub hash: u64,
+    /// Why the finding is allowed to stand (mandatory).
+    pub reason: String,
+    /// 1-based line in the baseline file (for stale-entry reporting).
+    pub file_line: usize,
+}
+
+/// Parse errors are violations too: a baseline that cannot be read
+/// strictly must not silently allow anything.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineError {
+    /// 1-based line in the baseline file.
+    pub file_line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+/// Parses the baseline text into entries and per-line errors.
+pub fn parse(text: &str) -> (Vec<BaselineEntry>, Vec<BaselineError>) {
+    let mut entries = Vec::new();
+    let mut errors = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let file_line = i + 1;
+        if line.trim().is_empty() || line.trim_start().starts_with('#') {
+            continue;
+        }
+        // Split the raw line (not a trimmed copy): trimming would eat the
+        // tab in front of an empty reason column and misreport the error.
+        let fields: Vec<&str> = line.splitn(4, '\t').collect();
+        if fields.len() != 4 {
+            errors.push(BaselineError {
+                file_line,
+                message: format!(
+                    "expected 4 tab-separated fields (rule, path, hash, reason), got {}",
+                    fields.len()
+                ),
+            });
+            continue;
+        }
+        let Ok(hash) = u64::from_str_radix(fields[2], 16) else {
+            errors.push(BaselineError {
+                file_line,
+                message: format!("bad content hash `{}` (expected hex)", fields[2]),
+            });
+            continue;
+        };
+        if fields[3].trim().is_empty() {
+            errors.push(BaselineError {
+                file_line,
+                message: "baseline entries require a reason".to_string(),
+            });
+            continue;
+        }
+        entries.push(BaselineEntry {
+            rule: fields[0].to_string(),
+            path: fields[1].to_string(),
+            hash,
+            reason: fields[3].trim().to_string(),
+            file_line,
+        });
+    }
+    (entries, errors)
+}
+
+/// Splits `findings` into (new, baselined) against `entries`, and returns
+/// the entries that matched nothing (stale).
+pub fn apply(
+    findings: Vec<Finding>,
+    entries: &[BaselineEntry],
+) -> (Vec<Finding>, Vec<Finding>, Vec<BaselineEntry>) {
+    let mut used = vec![false; entries.len()];
+    let mut fresh = Vec::new();
+    let mut grandfathered = Vec::new();
+    for f in findings {
+        let hash = snippet_hash(&f.snippet);
+        let hit =
+            entries.iter().position(|e| e.rule == f.rule && e.path == f.path && e.hash == hash);
+        match hit {
+            Some(i) => {
+                used[i] = true;
+                grandfathered.push(f);
+            }
+            None => fresh.push(f),
+        }
+    }
+    let stale = entries.iter().zip(&used).filter(|(_, &u)| !u).map(|(e, _)| e.clone()).collect();
+    (fresh, grandfathered, stale)
+}
+
+/// Formats a finding as the baseline line that would grandfather it
+/// (printed by `--print-baseline` so entries are never hand-hashed).
+pub fn format_entry(f: &Finding, reason: &str) -> String {
+    format!("{}\t{}\t{:016x}\t{}", f.rule, f.path, snippet_hash(&f.snippet), reason)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str, snippet: &str) -> Finding {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line: 7,
+            message: "m".to_string(),
+            snippet: snippet.to_string(),
+        }
+    }
+
+    #[test]
+    fn round_trips_through_format_and_parse() {
+        let f = finding("det-rng", "crates/nn/src/a.rs", "let r = thread_rng();");
+        let line = format_entry(&f, "migrating in PR 10");
+        let (entries, errors) = parse(&format!("# header\n\n{line}\n"));
+        assert!(errors.is_empty());
+        assert_eq!(entries.len(), 1);
+        let (fresh, grandfathered, stale) = apply(vec![f], &entries);
+        assert!(fresh.is_empty() && stale.is_empty());
+        assert_eq!(grandfathered.len(), 1);
+    }
+
+    #[test]
+    fn hash_is_of_trimmed_content_so_reindenting_keeps_the_entry() {
+        assert_eq!(snippet_hash("  a as f32  "), snippet_hash("a as f32"));
+        assert_ne!(snippet_hash("a as f32"), snippet_hash("a as f64"));
+    }
+
+    #[test]
+    fn editing_the_offending_line_invalidates_the_entry() {
+        let f = finding("cast-boundary", "p.rs", "x as f32");
+        let (entries, _) = parse(&format_entry(&f, "ok"));
+        let edited = finding("cast-boundary", "p.rs", "x as f32 + 1.0");
+        let (fresh, grandfathered, stale) = apply(vec![edited], &entries);
+        assert_eq!(fresh.len(), 1);
+        assert!(grandfathered.is_empty());
+        assert_eq!(stale.len(), 1, "the untouched entry is now stale");
+    }
+
+    #[test]
+    fn malformed_lines_are_errors_not_silent_skips() {
+        let (entries, errors) =
+            parse("only two\tfields\nrule\tpath\tnothex\treason\nrule\tpath\tdeadbeef\t\n");
+        assert!(entries.is_empty());
+        assert_eq!(errors.len(), 3);
+        assert_eq!(errors[0].file_line, 1);
+        assert!(errors[1].message.contains("bad content hash"));
+        assert!(errors[2].message.contains("require a reason"));
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let (entries, errors) = parse("# a comment\n\n   \n# another\n");
+        assert!(entries.is_empty() && errors.is_empty());
+    }
+}

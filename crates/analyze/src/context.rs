@@ -1,0 +1,567 @@
+//! Per-file analysis context: structure recovered from the token stream.
+//!
+//! Rules don't want raw tokens — they want questions answered: *which
+//! function encloses this cast? is this token inside `#[cfg(test)]` code?
+//! is there a `SAFETY:` comment immediately above this `unsafe`? does an
+//! `analyze:allow` cover this line?* This module does the one structural
+//! prepass that answers all of them, using brace matching over the token
+//! stream (no parser; the sources are assumed to compile, which every
+//! scanned file does by construction — CI builds them first).
+
+use crate::lexer::{lex, Doc, Token, TokenKind};
+
+/// A function item recovered from the token stream.
+#[derive(Debug)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// Token index of the `fn` keyword.
+    pub fn_idx: usize,
+    /// Token index range of the body (the tokens strictly inside the
+    /// braces); empty for bodyless declarations.
+    pub body: std::ops::Range<usize>,
+    /// Whether the item is declared `pub` (any visibility qualifier).
+    pub is_pub: bool,
+    /// Whether the item is an `unsafe fn`.
+    pub is_unsafe: bool,
+    /// Whether a `#[target_feature(...)]` attribute precedes the item.
+    pub has_target_feature: bool,
+    /// Concatenated text of the outer doc comments preceding the item.
+    pub doc_text: String,
+    /// Whether a plain (non-doc) comment containing `SAFETY:` immediately
+    /// precedes the item (above its attributes/docs or between them).
+    pub safety_comment: bool,
+}
+
+/// An inline suppression: `// analyze:allow(rule, reason)`.
+#[derive(Debug)]
+pub struct Suppression {
+    /// The rule id being suppressed.
+    pub rule: String,
+    /// The justification (required; its absence is itself a finding).
+    pub reason: String,
+    /// Line of the comment.
+    pub comment_line: usize,
+    /// Lines the suppression covers: the comment's own line and the first
+    /// code line at or below it.
+    pub covers: [usize; 2],
+    /// Set by the engine when the suppression actually masked a finding.
+    pub used: std::cell::Cell<bool>,
+}
+
+/// A `#[...]` / `#![...]` attribute occurrence.
+#[derive(Debug)]
+pub struct Attribute {
+    /// Token index of the `#`.
+    pub hash_idx: usize,
+    /// Token index range of the content between the brackets.
+    pub content: std::ops::Range<usize>,
+    /// Line of the `#`.
+    pub line: usize,
+}
+
+/// Everything the rules need to know about one source file.
+pub struct FileContext<'s> {
+    /// Workspace-relative path (unix separators).
+    pub path: String,
+    /// The raw source.
+    pub src: &'s str,
+    /// All tokens, comments included.
+    pub tokens: Vec<Token>,
+    /// Recovered function items.
+    pub fns: Vec<FnItem>,
+    /// Token-index ranges of `unsafe { ... }` block bodies.
+    pub unsafe_blocks: Vec<std::ops::Range<usize>>,
+    /// Byte ranges of `#[cfg(test)]` / `#[test]` items.
+    pub test_spans: Vec<std::ops::Range<usize>>,
+    /// All attributes, in source order.
+    pub attrs: Vec<Attribute>,
+    /// Inline `analyze:allow` suppressions.
+    pub suppressions: Vec<Suppression>,
+}
+
+impl<'s> FileContext<'s> {
+    /// Lexes and structurally indexes one file.
+    pub fn new(path: String, src: &'s str) -> Self {
+        let tokens = lex(src);
+        let attrs = collect_attrs(src, &tokens);
+        let fns = collect_fns(src, &tokens, &attrs);
+        let unsafe_blocks = collect_unsafe_blocks(src, &tokens);
+        let test_spans = collect_test_spans(src, &tokens, &attrs);
+        let suppressions = collect_suppressions(src, &tokens);
+        Self { path, src, tokens, fns, unsafe_blocks, test_spans, attrs, suppressions }
+    }
+
+    /// Whether byte offset `pos` lies inside `#[cfg(test)]` / `#[test]`
+    /// code.
+    pub fn in_test_code(&self, pos: usize) -> bool {
+        self.test_spans.iter().any(|s| s.contains(&pos))
+    }
+
+    /// The innermost function whose body contains token index `idx`.
+    pub fn enclosing_fn(&self, idx: usize) -> Option<&FnItem> {
+        self.fns.iter().filter(|f| f.body.contains(&idx)).min_by_key(|f| f.body.end - f.body.start)
+    }
+
+    /// Whether token index `idx` lies inside an `unsafe { ... }` block.
+    pub fn in_unsafe_block(&self, idx: usize) -> bool {
+        self.unsafe_blocks.iter().any(|s| s.contains(&idx))
+    }
+
+    /// Returns the matching suppression for (`rule`, `line`) and marks it
+    /// used.
+    pub fn suppression_for(&self, rule: &str, line: usize) -> Option<&Suppression> {
+        let s = self.suppressions.iter().find(|s| s.rule == rule && s.covers.contains(&line))?;
+        s.used.set(true);
+        Some(s)
+    }
+
+    /// The trimmed source text of 1-based line `line`.
+    pub fn line_text(&self, line: usize) -> &'s str {
+        self.src.lines().nth(line.saturating_sub(1)).unwrap_or("").trim()
+    }
+
+    /// Index of the next non-comment token at or after `idx`.
+    pub fn next_significant(&self, idx: usize) -> Option<usize> {
+        (idx..self.tokens.len()).find(|&i| !self.tokens[i].is_comment())
+    }
+
+    /// Whether the token at `idx` sits inside a `use` declaration (between
+    /// a `use` keyword and its terminating `;`).
+    pub fn in_use_decl(&self, idx: usize) -> bool {
+        // Walk back until the nearest statement/item boundary: a `use`
+        // keyword first means we're inside an import (use trees contain
+        // only `::`, braces, commas and idents, so no other keyword can
+        // intervene); a `;` or an item-header keyword first means we're not.
+        for i in (0..idx).rev() {
+            let t = &self.tokens[i];
+            if t.is_comment() {
+                continue;
+            }
+            match t.text(self.src) {
+                "use" if t.kind == TokenKind::Ident => return true,
+                ";" => return false,
+                "fn" | "mod" | "impl" | "struct" | "enum" | "trait" | "let" | "static"
+                | "const" => return false,
+                _ => {}
+            }
+        }
+        false
+    }
+}
+
+/// Finds the token index of the brace matching the `{` at `open`.
+fn match_brace(src: &str, tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct(src, '{') {
+            depth += 1;
+        } else if t.is_punct(src, '}') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    tokens.len() // unbalanced (mid-edit file): treat as running to EOF
+}
+
+fn collect_attrs(src: &str, tokens: &[Token]) -> Vec<Attribute> {
+    let mut attrs = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct(src, '#') {
+            let mut j = i + 1;
+            if j < tokens.len() && tokens[j].is_punct(src, '!') {
+                j += 1;
+            }
+            if j < tokens.len() && tokens[j].is_punct(src, '[') {
+                // Match the bracket.
+                let mut depth = 0i32;
+                let mut close = None;
+                for (k, t) in tokens.iter().enumerate().skip(j) {
+                    if t.is_punct(src, '[') {
+                        depth += 1;
+                    } else if t.is_punct(src, ']') {
+                        depth -= 1;
+                        if depth == 0 {
+                            close = Some(k);
+                            break;
+                        }
+                    }
+                }
+                if let Some(close) = close {
+                    attrs.push(Attribute {
+                        hash_idx: i,
+                        content: j + 1..close,
+                        line: tokens[i].line,
+                    });
+                    i = close + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    attrs
+}
+
+/// Scans backwards from a `fn` keyword over its qualifiers, attributes and
+/// doc comments, collecting everything [`FnItem`] records.
+fn scan_fn_prefix(
+    src: &str,
+    tokens: &[Token],
+    attrs: &[Attribute],
+    fn_idx: usize,
+) -> (bool, bool, bool, String, bool) {
+    let mut is_pub = false;
+    let mut is_unsafe = false;
+    let mut has_target_feature = false;
+    let mut docs_rev: Vec<&str> = Vec::new();
+    let mut safety_comment = false;
+
+    let mut i = fn_idx;
+    while i > 0 {
+        let prev = i - 1;
+        let t = &tokens[prev];
+        if let TokenKind::Comment { doc, .. } = t.kind {
+            match doc {
+                Doc::Outer => docs_rev.push(t.text(src)),
+                Doc::Inner => break, // inner docs belong to an enclosing item
+                Doc::No => {
+                    if t.text(src).contains("SAFETY:") {
+                        safety_comment = true;
+                    }
+                }
+            }
+            i = prev;
+            continue;
+        }
+        match t.text(src) {
+            "pub" | "crate" | "super" | "self" | "in" | "(" | ")" => {
+                if t.text(src) == "pub" {
+                    is_pub = true;
+                }
+                i = prev;
+            }
+            "unsafe" => {
+                is_unsafe = true;
+                i = prev;
+            }
+            "const" | "async" | "extern" => i = prev,
+            _ if t.kind == TokenKind::Literal => i = prev, // extern "C" ABI string
+            "]" => {
+                // An attribute group: jump to its `#` if one ends here.
+                match attrs.iter().find(|a| a.content.end == prev) {
+                    Some(a) => {
+                        let text: String = tokens[a.content.clone()]
+                            .iter()
+                            .map(|t| t.text(src))
+                            .collect::<Vec<_>>()
+                            .join(" ");
+                        if text.contains("target_feature") {
+                            has_target_feature = true;
+                        }
+                        i = a.hash_idx;
+                    }
+                    None => break,
+                }
+            }
+            _ => break,
+        }
+    }
+    let doc_text = docs_rev.iter().rev().copied().collect::<Vec<_>>().join("\n");
+    (is_pub, is_unsafe, has_target_feature, doc_text, safety_comment)
+}
+
+fn collect_fns(src: &str, tokens: &[Token], attrs: &[Attribute]) -> Vec<FnItem> {
+    let mut fns = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_ident(src, "fn") {
+            continue;
+        }
+        // `fn(usize)` in type position has no name; skip it.
+        let Some(name_idx) = ((i + 1)..tokens.len()).find(|&j| !tokens[j].is_comment()) else {
+            continue;
+        };
+        if tokens[name_idx].kind != TokenKind::Ident {
+            continue;
+        }
+        let name = tokens[name_idx].text(src).to_string();
+        // The body is the first `{` after the signature at paren/bracket
+        // depth 0 (skipping generics is implicit: `<` `>` never enclose
+        // braces in a signature). A `;` first means a bodyless declaration.
+        let mut body = 0..0;
+        let mut depth = 0i32;
+        for (j, tj) in tokens.iter().enumerate().skip(name_idx + 1) {
+            match tj.text(src) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                ";" if depth == 0 => break,
+                "{" if depth == 0 => {
+                    let close = match_brace(src, tokens, j);
+                    body = j + 1..close;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let (is_pub, is_unsafe, has_target_feature, doc_text, safety_comment) =
+            scan_fn_prefix(src, tokens, attrs, i);
+        fns.push(FnItem {
+            name,
+            fn_idx: i,
+            body,
+            is_pub,
+            is_unsafe,
+            has_target_feature,
+            doc_text,
+            safety_comment,
+        });
+    }
+    fns
+}
+
+fn collect_unsafe_blocks(src: &str, tokens: &[Token]) -> Vec<std::ops::Range<usize>> {
+    let mut spans = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_ident(src, "unsafe") {
+            continue;
+        }
+        let Some(next) = ((i + 1)..tokens.len()).find(|&j| !tokens[j].is_comment()) else {
+            continue;
+        };
+        if tokens[next].is_punct(src, '{') {
+            let close = match_brace(src, tokens, next);
+            spans.push(next + 1..close);
+        }
+    }
+    spans
+}
+
+fn collect_test_spans(
+    src: &str,
+    tokens: &[Token],
+    attrs: &[Attribute],
+) -> Vec<std::ops::Range<usize>> {
+    let mut spans = Vec::new();
+    for attr in attrs {
+        let content: Vec<&str> = tokens[attr.content.clone()].iter().map(|t| t.text(src)).collect();
+        let is_test_attr = match content.first() {
+            Some(&"test") => content.len() == 1,
+            Some(&"cfg") => content.contains(&"test"),
+            _ => false,
+        };
+        if !is_test_attr {
+            continue;
+        }
+        // The attribute gates the next item: skip further attributes and
+        // doc comments, then span to the matching `}` (or the `;`).
+        let mut i = attr.content.end + 1; // past the `]`
+        loop {
+            let Some(j) = ((i)..tokens.len()).find(|&k| !tokens[k].is_comment()) else {
+                return spans;
+            };
+            if tokens[j].is_punct(src, '#') {
+                // Another attribute: skip its bracket group.
+                match attrs.iter().find(|a| a.hash_idx == j) {
+                    Some(a) => i = a.content.end + 1,
+                    None => break,
+                }
+            } else {
+                i = j;
+                break;
+            }
+        }
+        // Find the item's body brace or terminating semicolon.
+        let mut depth = 0i32;
+        for (j, tj) in tokens.iter().enumerate().skip(i) {
+            match tj.text(src) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                ";" if depth == 0 => {
+                    spans.push(tokens[i].start..tokens[j].end);
+                    break;
+                }
+                "{" if depth == 0 => {
+                    let close = match_brace(src, tokens, j);
+                    let end = tokens.get(close).map_or(src.len(), |t| t.end);
+                    spans.push(tokens[i].start..end);
+                    break;
+                }
+                _ => {}
+            }
+        }
+    }
+    spans
+}
+
+fn collect_suppressions(src: &str, tokens: &[Token]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        // Only plain comments carry directives — doc comments merely
+        // *document* the syntax (the analyzer's own rustdoc would otherwise
+        // self-trigger unknown-rule findings).
+        let TokenKind::Comment { doc: Doc::No, .. } = t.kind else {
+            continue;
+        };
+        let text = t.text(src);
+        let Some(at) = text.find("analyze:allow(") else {
+            continue;
+        };
+        let inner = &text[at + "analyze:allow(".len()..];
+        let Some(close) = inner.find(')') else {
+            // Malformed; record with empty rule so the hygiene rule flags it.
+            out.push(Suppression {
+                rule: String::new(),
+                reason: String::new(),
+                comment_line: t.line,
+                covers: [t.line, t.line],
+                used: std::cell::Cell::new(false),
+            });
+            continue;
+        };
+        let inner = &inner[..close];
+        let (rule, reason) = match inner.split_once(',') {
+            Some((r, why)) => (r.trim().to_string(), why.trim().to_string()),
+            None => (inner.trim().to_string(), String::new()),
+        };
+        // The suppression covers its own line and the first code line at or
+        // below the comment (so it can sit above the flagged line or at its
+        // end).
+        let next_code_line =
+            tokens.iter().skip(i + 1).find(|t| !t.is_comment()).map_or(t.end_line, |t| t.line);
+        out.push(Suppression {
+            rule,
+            reason,
+            comment_line: t.line,
+            covers: [t.line, next_code_line],
+            used: std::cell::Cell::new(false),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(src: &str) -> FileContext<'_> {
+        FileContext::new("test.rs".into(), src)
+    }
+
+    #[test]
+    fn recovers_fn_items_with_qualifiers_attrs_and_docs() {
+        let src = "\
+/// Does things.\n\
+///\n\
+/// # Safety\n\
+/// Caller must hold the lock.\n\
+#[target_feature(enable = \"avx\")]\n\
+pub unsafe fn shim(x: usize) -> usize { x + 1 }\n\
+fn plain() {}\n";
+        let c = ctx(src);
+        assert_eq!(c.fns.len(), 2);
+        let shim = &c.fns[0];
+        assert_eq!(shim.name, "shim");
+        assert!(shim.is_pub && shim.is_unsafe && shim.has_target_feature);
+        assert!(shim.doc_text.contains("# Safety"));
+        let plain = &c.fns[1];
+        assert!(!plain.is_pub && !plain.is_unsafe && !plain.has_target_feature);
+    }
+
+    #[test]
+    fn safety_comment_above_attrs_is_attached_to_the_fn() {
+        let src = "// SAFETY: callers checked the feature.\n#[inline]\nunsafe fn f() {}\n";
+        let c = ctx(src);
+        assert!(c.fns[0].safety_comment);
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let src = "fn real(f: fn(usize) -> usize) -> fn() { unimplemented!() }";
+        let c = ctx(src);
+        assert_eq!(c.fns.len(), 1);
+        assert_eq!(c.fns[0].name, "real");
+    }
+
+    #[test]
+    fn enclosing_fn_picks_the_innermost() {
+        let src = "fn outer() { fn inner() { let x = 1; } }";
+        let c = ctx(src);
+        let x_idx = c.tokens.iter().position(|t| t.is_ident(src, "x")).expect("x token");
+        assert_eq!(c.enclosing_fn(x_idx).unwrap().name, "inner");
+    }
+
+    #[test]
+    fn unsafe_blocks_are_spanned_and_queried() {
+        let src = "fn f() { let a = 1; unsafe { danger(); } let b = 2; }";
+        let c = ctx(src);
+        let danger = c.tokens.iter().position(|t| t.is_ident(src, "danger")).expect("danger");
+        let a = c.tokens.iter().position(|t| t.is_ident(src, "a")).expect("a");
+        assert!(c.in_unsafe_block(danger));
+        assert!(!c.in_unsafe_block(a));
+    }
+
+    #[test]
+    fn cfg_test_mod_span_covers_its_contents_only() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn prod2() {}\n";
+        let c = ctx(src);
+        let helper = c.tokens.iter().find(|t| t.is_ident(src, "helper")).expect("helper");
+        let prod2 = c.tokens.iter().find(|t| t.is_ident(src, "prod2")).expect("prod2");
+        assert!(c.in_test_code(helper.start));
+        assert!(!c.in_test_code(prod2.start));
+    }
+
+    #[test]
+    fn test_attr_on_fn_is_a_test_span() {
+        let src = "#[test]\nfn a_test() { body(); }\nfn not_test() {}\n";
+        let c = ctx(src);
+        let body = c.tokens.iter().find(|t| t.is_ident(src, "body")).expect("body");
+        let nt = c.tokens.iter().find(|t| t.is_ident(src, "not_test")).expect("nt");
+        assert!(c.in_test_code(body.start));
+        assert!(!c.in_test_code(nt.start));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_span() {
+        let src = "#[cfg(target_arch = \"x86_64\")]\nfn simd() { x(); }\n";
+        let c = ctx(src);
+        let x = c.tokens.iter().find(|t| t.is_ident(src, "x")).expect("x");
+        assert!(!c.in_test_code(x.start));
+    }
+
+    #[test]
+    fn suppressions_cover_their_line_and_the_next_code_line() {
+        let src = "\
+// analyze:allow(det-thread-count, sizing only, bytes unaffected)\n\
+let n = pool_parallelism();\n\
+let m = 2;\n";
+        let c = ctx(src);
+        assert_eq!(c.suppressions.len(), 1);
+        let s = &c.suppressions[0];
+        assert_eq!(s.rule, "det-thread-count");
+        assert!(s.reason.contains("sizing only"));
+        assert!(c.suppression_for("det-thread-count", 2).is_some());
+        assert!(c.suppression_for("det-thread-count", 3).is_none());
+        assert!(c.suppressions[0].used.get());
+    }
+
+    #[test]
+    fn suppression_without_reason_parses_with_empty_reason() {
+        let src = "// analyze:allow(cast-boundary)\nlet x = 1;\n";
+        let c = ctx(src);
+        assert_eq!(c.suppressions[0].rule, "cast-boundary");
+        assert!(c.suppressions[0].reason.is_empty());
+    }
+
+    #[test]
+    fn use_decl_detection() {
+        let src = "use std::collections::{HashMap, HashSet};\nfn f() { let m = HashMap::new(); }";
+        let c = ctx(src);
+        let first = c.tokens.iter().position(|t| t.is_ident(src, "HashMap")).unwrap();
+        let last = c.tokens.iter().rposition(|t| t.is_ident(src, "HashMap")).unwrap();
+        assert!(c.in_use_decl(first));
+        assert!(!c.in_use_decl(last));
+    }
+}

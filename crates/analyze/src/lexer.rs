@@ -1,0 +1,541 @@
+//! A small hand-rolled Rust lexer, just deep enough for lint rules.
+//!
+//! The rules in [`crate::rules`] only need a faithful *token stream*: they
+//! must never mistake `"unsafe"` inside a string literal for the keyword,
+//! or a `HashMap` mentioned in a comment for a use of the type. So the
+//! lexer's one job is to classify every byte of the source as exactly one
+//! of ident / literal / punctuation / comment, handling all the places
+//! where Rust's surface syntax makes that non-trivial:
+//!
+//! * nested block comments (`/* a /* b */ c */` is one comment),
+//! * raw strings with arbitrary hash fences (`r##"…"##`), including the
+//!   byte/C variants (`br"…"`, `cr#"…"#`),
+//! * char literals vs. lifetimes (`'a'` vs. `'a`),
+//! * raw identifiers (`r#unsafe` is an ident, not a raw string),
+//! * doc comments (`///`, `//!`, `/**`, `/*!`) distinguished from plain
+//!   ones, because the `safety-doc` rule reads them.
+//!
+//! In the same hand-rolled spirit as the JSONL sweep store: no syn, no
+//! proc-macro2, no dependencies — this binary must run in the offline CI
+//! container as `cargo run -p bitrobust-analyze`.
+
+/// How a comment token participates in rustdoc.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Doc {
+    /// A plain comment (`//`, `/* */`, and the `////`/`/***` forms rustdoc
+    /// ignores).
+    No,
+    /// An outer doc comment (`///` or `/** */`), documenting the next item.
+    Outer,
+    /// An inner doc comment (`//!` or `/*! */`), documenting the enclosing
+    /// item.
+    Inner,
+}
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers like `r#unsafe`).
+    Ident,
+    /// String, char, byte, or numeric literal.
+    Literal,
+    /// A comment; `doc` distinguishes rustdoc comments.
+    Comment {
+        /// `true` for `/* */` comments, `false` for `//` comments.
+        block: bool,
+        /// Rustdoc classification.
+        doc: Doc,
+    },
+    /// A single punctuation byte (`{`, `;`, `#`, …).
+    Punct,
+}
+
+/// One lexed token. The text is not copied: slice the source with
+/// [`Token::text`].
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: usize,
+    /// 1-based line of the last byte (differs for multi-line tokens).
+    pub end_line: usize,
+}
+
+impl Token {
+    /// The token's source text.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+
+    /// Whether this is an identifier with exactly this text.
+    pub fn is_ident(&self, src: &str, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text(src) == text
+    }
+
+    /// Whether this is a punctuation token with exactly this byte.
+    pub fn is_punct(&self, src: &str, ch: char) -> bool {
+        self.kind == TokenKind::Punct && self.text(src).starts_with(ch)
+    }
+
+    /// Whether this is any comment token.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::Comment { .. })
+    }
+}
+
+/// Lexes `src` into tokens (comments included, whitespace dropped).
+///
+/// The lexer never fails: unterminated constructs simply extend to the end
+/// of the file, which is the useful behavior for linting sources that are
+/// assumed to already compile.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer { src: src.as_bytes(), pos: 0, line: 1, tokens: Vec::new() }.run(src)
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: usize,
+    tokens: Vec<Token>,
+}
+
+impl<'s> Lexer<'s> {
+    fn run(mut self, text: &str) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let start_line = self.line;
+            let b = self.src[self.pos];
+            let kind = match b {
+                b' ' | b'\t' | b'\r' => {
+                    self.pos += 1;
+                    continue;
+                }
+                b'\n' => {
+                    self.pos += 1;
+                    self.line += 1;
+                    continue;
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => {
+                    self.string();
+                    TokenKind::Literal
+                }
+                b'\'' => self.char_or_lifetime(),
+                b'0'..=b'9' => {
+                    self.number();
+                    TokenKind::Literal
+                }
+                b'r' | b'b' | b'c' if self.raw_or_byte_literal() => TokenKind::Literal,
+                _ if is_ident_start(b) => {
+                    self.ident();
+                    TokenKind::Ident
+                }
+                _ => {
+                    self.pos += 1;
+                    TokenKind::Punct
+                }
+            };
+            self.tokens.push(Token {
+                kind,
+                start,
+                end: self.pos,
+                line: start_line,
+                end_line: self.line,
+            });
+        }
+        debug_assert!(self.tokens.iter().all(|t| text.get(t.start..t.end).is_some()));
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.src.get(self.pos).copied();
+        if let Some(b) = b {
+            self.pos += 1;
+            if b == b'\n' {
+                self.line += 1;
+            }
+        }
+        b
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        // `///` is outer doc, `//!` inner doc, but `////…` is plain again.
+        let doc = match (self.peek(2), self.peek(3)) {
+            (Some(b'/'), Some(b'/')) => Doc::No,
+            (Some(b'/'), _) => Doc::Outer,
+            (Some(b'!'), _) => Doc::Inner,
+            _ => Doc::No,
+        };
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+        TokenKind::Comment { block: false, doc }
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        // `/**` outer doc, `/*!` inner doc; `/***` and the empty `/**/` are
+        // plain.
+        let doc = match (self.peek(2), self.peek(3)) {
+            (Some(b'*'), Some(b'*')) | (Some(b'*'), Some(b'/')) => Doc::No,
+            (Some(b'*'), _) => Doc::Outer,
+            (Some(b'!'), _) => Doc::Inner,
+            _ => Doc::No,
+        };
+        self.pos += 2; // consume `/*`
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.bump() {
+                None => break, // unterminated: comment runs to EOF
+                Some(b'/') if self.peek(0) == Some(b'*') => {
+                    self.pos += 1;
+                    depth += 1;
+                }
+                Some(b'*') if self.peek(0) == Some(b'/') => {
+                    self.pos += 1;
+                    depth -= 1;
+                }
+                Some(_) => {}
+            }
+        }
+        TokenKind::Comment { block: true, doc }
+    }
+
+    /// Consumes a `"…"` string body (the opening quote is at `self.pos`).
+    fn string(&mut self) {
+        self.pos += 1; // opening quote
+        loop {
+            match self.bump() {
+                None | Some(b'"') => break,
+                Some(b'\\') => {
+                    self.bump(); // escaped byte, even if it's `"`
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// Consumes a raw string body `#*"…"#*` with `hashes` fences (the
+    /// cursor is on the first `#` or the quote).
+    fn raw_string(&mut self) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote
+        loop {
+            match self.bump() {
+                None => break,
+                Some(b'"') => {
+                    let mut n = 0usize;
+                    while n < hashes && self.peek(0) == Some(b'#') {
+                        n += 1;
+                        self.pos += 1;
+                    }
+                    if n == hashes {
+                        break;
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// Handles the `r` / `b` / `c` prefixes. Returns `true` (with the
+    /// cursor advanced past a literal) when the prefix really introduces
+    /// one; returns `false` (cursor untouched) for plain identifiers and
+    /// raw identifiers like `r#unsafe`.
+    fn raw_or_byte_literal(&mut self) -> bool {
+        let b0 = self.src[self.pos];
+        // Longest-match the prefix: r" r#" b" b' br" br#" c" cr#" …
+        let (prefix_len, raw) = match (b0, self.peek(1), self.peek(2)) {
+            (b'r', Some(b'"'), _) => (1, true),
+            (b'r', Some(b'#'), _) => {
+                // `r#…`: raw string iff the hashes end in a quote; otherwise
+                // it's a raw identifier (`r#fn`).
+                let mut i = 1;
+                while self.peek(i) == Some(b'#') {
+                    i += 1;
+                }
+                if self.peek(i) == Some(b'"') {
+                    (1, true)
+                } else {
+                    return false;
+                }
+            }
+            (b'b' | b'c', Some(b'"'), _) => (1, false),
+            (b'b', Some(b'\''), _) => {
+                // Byte char literal b'x' / b'\n'.
+                self.pos += 2;
+                if self.bump() == Some(b'\\') {
+                    self.bump();
+                }
+                if self.peek(0) == Some(b'\'') {
+                    self.pos += 1;
+                }
+                return true;
+            }
+            (b'b' | b'c', Some(b'r'), Some(b'"' | b'#')) => {
+                // br"…" / cr#"…"# — but `br#ident` is not valid Rust, so a
+                // `#` here always opens a raw string fence.
+                (2, true)
+            }
+            _ => return false,
+        };
+        self.pos += prefix_len;
+        if raw {
+            self.raw_string();
+        } else {
+            self.string();
+        }
+        true
+    }
+
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        // `'` then: escape → char; X followed by `'` → char; otherwise a
+        // lifetime (consume the label as part of this token).
+        self.pos += 1;
+        match self.peek(0) {
+            Some(b'\\') => {
+                self.bump(); // backslash
+                self.bump(); // escaped byte (enough for \n \' \\ \0 \x.. \u{..} starts)
+                             // Consume the rest up to the closing quote (handles \x41, \u{1F600}).
+                while let Some(b) = self.peek(0) {
+                    if b == b'\'' {
+                        self.pos += 1;
+                        break;
+                    }
+                    if b == b'\n' {
+                        break; // malformed; don't eat the file
+                    }
+                    self.pos += 1;
+                }
+                TokenKind::Literal
+            }
+            Some(b) if is_ident_start(b) => {
+                // Could be 'a' (char) or 'a (lifetime) or 'abc' (char, multi
+                // only via idents? no — chars are single; but 'static).
+                // Decide by looking for a closing quote right after one
+                // ident-ish char.
+                if self.peek(1) == Some(b'\'') {
+                    self.pos += 2;
+                    TokenKind::Literal
+                } else {
+                    while let Some(b) = self.peek(0) {
+                        if !is_ident_continue(b) {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    TokenKind::Literal // lifetimes are literal-ish for our rules
+                }
+            }
+            Some(_) => {
+                // Non-ident char like '@' — a char literal.
+                self.bump();
+                if self.peek(0) == Some(b'\'') {
+                    self.pos += 1;
+                }
+                TokenKind::Literal
+            }
+            None => TokenKind::Punct,
+        }
+    }
+
+    fn number(&mut self) {
+        // Digits, underscores, type suffixes, hex/bin/oct, floats with
+        // exponents. Over-approximating (consuming trailing ident chars and
+        // `.`-digits) is fine: rules never inspect numeric internals.
+        self.pos += 1;
+        while let Some(b) = self.peek(0) {
+            if is_ident_continue(b)
+                || (b == b'.' && self.peek(1).is_some_and(|n| n.is_ascii_digit()))
+            {
+                self.pos += 1;
+            } else if (b == b'+' || b == b'-')
+                && matches!(self.src[self.pos - 1], b'e' | b'E')
+                && self.peek(1).is_some_and(|n| n.is_ascii_digit())
+            {
+                self.pos += 1; // exponent sign in 1.0e-3
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn ident(&mut self) {
+        // Raw identifier: swallow the `r#` prefix so `r#unsafe` lexes as one
+        // Ident token (raw_or_byte_literal already ruled out a raw string).
+        if self.src[self.pos] == b'r'
+            && self.peek(1) == Some(b'#')
+            && self.peek(2).is_some_and(is_ident_start)
+        {
+            self.pos += 2;
+        }
+        self.pos += 1;
+        while let Some(b) = self.peek(0) {
+            if !is_ident_continue(b) {
+                break;
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text(src).to_string())).collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text(src).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn keyword_in_string_literal_is_not_an_ident() {
+        let src = r#"let s = "unsafe { HashMap }"; let t = 'u';"#;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "s", "let", "t"]);
+    }
+
+    #[test]
+    fn keyword_in_raw_string_with_hashes_is_not_an_ident() {
+        let src = "let s = r##\"unsafe \"# still inside\" thread_rng\"##; unsafe {}";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "s", "unsafe"]);
+    }
+
+    #[test]
+    fn byte_and_c_string_prefixes_lex_as_one_literal() {
+        for src in [r#"b"unsafe""#, r#"c"unsafe""#, r##"br#"unsafe"#"##, r##"cr#"unsafe"#"##] {
+            let toks = kinds(src);
+            assert_eq!(toks.len(), 1, "{src} lexed as {toks:?}");
+            assert_eq!(toks[0].0, TokenKind::Literal);
+        }
+    }
+
+    #[test]
+    fn raw_identifier_is_an_ident_not_a_raw_string() {
+        let src = "fn r#unsafe() {}";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["fn", "r#unsafe"]);
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_token() {
+        let src = "a /* outer /* inner unsafe */ still comment */ b";
+        let toks = kinds(src);
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[0].1, "a");
+        assert!(matches!(toks[1].0, TokenKind::Comment { block: true, .. }));
+        assert!(toks[1].1.contains("inner unsafe"));
+        assert_eq!(toks[2].1, "b");
+    }
+
+    #[test]
+    fn unterminated_block_comment_runs_to_eof() {
+        let src = "x /* never closed unsafe";
+        let toks = kinds(src);
+        assert_eq!(toks.len(), 2);
+        assert!(toks[1].1.ends_with("unsafe"));
+        assert!(matches!(toks[1].0, TokenKind::Comment { block: true, .. }));
+    }
+
+    #[test]
+    fn doc_comment_classification() {
+        let src = "/// outer\n//! inner\n// plain\n//// plain too\n/** outer b */\n/*! inner b */\n/*** plain b */";
+        let docs: Vec<Doc> = lex(src)
+            .into_iter()
+            .map(|t| match t.kind {
+                TokenKind::Comment { doc, .. } => doc,
+                other => panic!("unexpected token {other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            docs,
+            vec![Doc::Outer, Doc::Inner, Doc::No, Doc::No, Doc::Outer, Doc::Inner, Doc::No]
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let s = '\\n'; }";
+        let toks = lex(src);
+        // No token should have swallowed the rest of the file: the final
+        // `}` must still be present.
+        assert!(toks.iter().any(|t| t.is_punct(src, '}')));
+        let lits: Vec<String> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .map(|t| t.text(src).to_string())
+            .collect();
+        assert_eq!(lits, vec!["'a", "'a", "'x'", "'\\n'"]);
+    }
+
+    #[test]
+    fn escaped_quote_in_string_does_not_terminate_it() {
+        let src = r#"let s = "he said \"unsafe\""; x"#;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "s", "x"]);
+    }
+
+    #[test]
+    fn line_numbers_are_tracked_through_multiline_tokens() {
+        let src = "a\n/* two\nlines */\nb\nr\"raw\nstring\"\nc";
+        let toks = lex(src);
+        let b = toks.iter().find(|t| t.is_ident(src, "b")).unwrap();
+        assert_eq!(b.line, 4);
+        let c = toks.iter().find(|t| t.is_ident(src, "c")).unwrap();
+        assert_eq!(c.line, 7);
+        let comment = &toks[1];
+        assert_eq!((comment.line, comment.end_line), (2, 3));
+    }
+
+    #[test]
+    fn numeric_literals_with_exponents_and_suffixes() {
+        let src = "let x = 1.0e-3 + 0xFFu8 + 1_000i64 + 2.5f32;";
+        let lits: Vec<String> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .map(|t| t.text(src).to_string())
+            .collect();
+        assert_eq!(lits, vec!["1.0e-3", "0xFFu8", "1_000i64", "2.5f32"]);
+    }
+
+    #[test]
+    fn hash_punct_and_attribute_tokens_survive() {
+        let src = "#[deprecated(note = \"x\")] fn f() {}";
+        let toks = lex(src);
+        assert!(toks[0].is_punct(src, '#'));
+        assert!(toks[1].is_punct(src, '['));
+        assert!(toks[2].is_ident(src, "deprecated"));
+    }
+}

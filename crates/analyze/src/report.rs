@@ -1,0 +1,222 @@
+//! Human and JSON rendering of an analysis run.
+//!
+//! The JSON writer is hand-rolled like the sweep store's (the vendored
+//! `serde` is an offline marker stub): a single stable-shaped document,
+//! with full string escaping since finding messages quote arbitrary
+//! source text.
+
+use crate::baseline::{BaselineEntry, BaselineError};
+use crate::rules::Finding;
+
+/// Everything one run produced, ready to render.
+pub struct Report {
+    /// Findings not covered by the baseline (these fail `--deny`).
+    pub fresh: Vec<Finding>,
+    /// Findings grandfathered by a baseline entry.
+    pub baselined: Vec<Finding>,
+    /// Baseline entries that matched nothing (violations: delete them).
+    pub stale: Vec<BaselineEntry>,
+    /// Baseline lines that failed to parse (violations).
+    pub baseline_errors: Vec<BaselineError>,
+    /// Findings masked by inline `analyze:allow`s.
+    pub suppressed: usize,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Total count of conditions that fail a `--deny` run.
+    pub fn violations(&self) -> usize {
+        self.fresh.len() + self.stale.len() + self.baseline_errors.len()
+    }
+
+    /// The human-readable listing printed to stdout.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.fresh {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n    {}\n",
+                f.path, f.line, f.rule, f.message, f.snippet
+            ));
+        }
+        for f in &self.baselined {
+            out.push_str(&format!(
+                "{}:{}: [{}] baselined: {}\n",
+                f.path, f.line, f.rule, f.message
+            ));
+        }
+        for e in &self.stale {
+            out.push_str(&format!(
+                "ANALYZE_baseline.txt:{}: stale entry ({} in {}): the finding no longer \
+                 exists — delete the line\n",
+                e.file_line, e.rule, e.path
+            ));
+        }
+        for e in &self.baseline_errors {
+            out.push_str(&format!("ANALYZE_baseline.txt:{}: {}\n", e.file_line, e.message));
+        }
+        out.push_str(&format!(
+            "bitrobust-analyze: {} file(s), {} violation(s) ({} fresh, {} stale baseline, \
+             {} baseline error(s)); {} baselined, {} suppressed by analyze:allow\n",
+            self.files_scanned,
+            self.violations(),
+            self.fresh.len(),
+            self.stale.len(),
+            self.baseline_errors.len(),
+            self.baselined.len(),
+            self.suppressed,
+        ));
+        out
+    }
+
+    /// The machine-readable document uploaded as the CI artifact.
+    pub fn render_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str("  \"version\": 1,\n");
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        s.push_str(&format!("  \"violations\": {},\n", self.violations()));
+        s.push_str(&format!("  \"suppressed\": {},\n", self.suppressed));
+
+        s.push_str("  \"findings\": [");
+        let all =
+            self.fresh.iter().map(|f| (f, false)).chain(self.baselined.iter().map(|f| (f, true)));
+        let mut first = true;
+        for (f, baselined) in all {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str(&format!(
+                "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"baselined\": {}, \
+                 \"message\": {}, \"snippet\": {}}}",
+                json_str(f.rule),
+                json_str(&f.path),
+                f.line,
+                baselined,
+                json_str(&f.message),
+                json_str(&f.snippet),
+            ));
+        }
+        s.push_str(if first { "],\n" } else { "\n  ],\n" });
+
+        s.push_str("  \"stale_baseline\": [");
+        for (i, e) in self.stale.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"rule\": {}, \"path\": {}, \"file_line\": {}}}",
+                json_str(&e.rule),
+                json_str(&e.path),
+                e.file_line
+            ));
+        }
+        s.push_str(if self.stale.is_empty() { "],\n" } else { "\n  ],\n" });
+
+        // Per-rule counts over all findings (fresh + baselined), so the
+        // artifact graphs rule activity even when CI is green.
+        let mut counts: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+        for f in self.fresh.iter().chain(&self.baselined) {
+            *counts.entry(f.rule).or_insert(0) += 1;
+        }
+        s.push_str("  \"counts\": {");
+        for (i, (rule, n)) in counts.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("{}: {}", json_str(rule), n));
+        }
+        s.push_str("}\n}\n");
+        s
+    }
+}
+
+/// JSON string escaping (quotes, backslashes, control characters).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with(fresh: Vec<Finding>) -> Report {
+        Report {
+            fresh,
+            baselined: Vec::new(),
+            stale: Vec::new(),
+            baseline_errors: Vec::new(),
+            suppressed: 0,
+            files_scanned: 3,
+        }
+    }
+
+    fn finding(snippet: &str) -> Finding {
+        Finding {
+            rule: "cast-boundary",
+            path: "crates/quant/src/scheme.rs".to_string(),
+            line: 9,
+            message: "bare `as f32`".to_string(),
+            snippet: snippet.to_string(),
+        }
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_backslashes_in_snippets() {
+        let r = report_with(vec![finding(r#"let s = "a\"b" as f32; \ tab:	end"#)]);
+        let json = r.render_json();
+        assert!(json.contains(r#"\"a\\\"b\""#), "{json}");
+        assert!(json.contains("\\t"), "{json}");
+        // No raw control characters or unescaped quotes survive.
+        assert!(!json.contains('\t'));
+    }
+
+    #[test]
+    fn empty_report_renders_valid_empty_arrays() {
+        let r = report_with(Vec::new());
+        let json = r.render_json();
+        assert!(json.contains("\"findings\": []"));
+        assert!(json.contains("\"stale_baseline\": []"));
+        assert!(json.contains("\"violations\": 0"));
+    }
+
+    #[test]
+    fn violations_count_includes_stale_and_errors() {
+        let mut r = report_with(vec![finding("x as f32")]);
+        r.stale.push(crate::baseline::BaselineEntry {
+            rule: "det-rng".into(),
+            path: "a.rs".into(),
+            hash: 1,
+            reason: "r".into(),
+            file_line: 4,
+        });
+        r.baseline_errors
+            .push(crate::baseline::BaselineError { file_line: 9, message: "bad".into() });
+        assert_eq!(r.violations(), 3);
+        let text = r.render_text();
+        assert!(text.contains("3 violation(s)"));
+        assert!(text.contains("stale entry"));
+    }
+
+    #[test]
+    fn counts_aggregate_fresh_and_baselined_by_rule() {
+        let mut r = report_with(vec![finding("a as f32"), finding("b as f32")]);
+        r.baselined.push(finding("c as f32"));
+        let json = r.render_json();
+        assert!(json.contains("\"cast-boundary\": 3"), "{json}");
+    }
+}

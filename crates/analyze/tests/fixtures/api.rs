@@ -1,0 +1,17 @@
+// Fixture: deliberately violates the API-hygiene rules. Never compiled —
+// only lexed by the integration test (scanned as `crates/core/src/fixture.rs`).
+
+#[deprecated]
+pub fn forgotten() {}
+
+#[deprecated(since = "0.1.0")]
+pub fn half_hearted() {}
+
+// analyze:allow(not-a-real-rule, the rule id is bogus)
+pub fn unknown_rule_allow() {}
+
+// analyze:allow(det-rng)
+pub fn reasonless_allow() {}
+
+// analyze:allow(cast-boundary, nothing here ever casts)
+pub fn unused_allow() {}

@@ -1,0 +1,10 @@
+// Fixture: deliberately violates the cast-boundary rule. Never compiled —
+// only lexed by the integration test (scanned as `crates/quant/src/fixture.rs`).
+
+pub fn leaky_requantize(v: f32, q: i8, acc: i32) -> (i8, f32) {
+    let requantized = (v * 12.7) as i8;
+    let decoded = q as f32 + acc as f32;
+    // Index arithmetic stays exempt even here:
+    let idx = v as usize;
+    (requantized, decoded + idx as f32)
+}

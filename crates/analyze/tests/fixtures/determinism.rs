@@ -1,0 +1,17 @@
+// Fixture: deliberately violates the determinism rules. Never compiled —
+// only lexed by the integration test (scanned as `crates/nn/src/fixture.rs`).
+
+use std::collections::HashMap;
+
+pub fn machine_dependent(xs: &[f32]) -> f32 {
+    let mut seen: HashMap<u32, f32> = HashMap::new();
+    let started = std::time::Instant::now();
+    let mut rng = rand::thread_rng();
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let chunk = xs.len() / threads;
+    for (i, &x) in xs.iter().enumerate() {
+        seen.insert(i as u32 / chunk as u32, x);
+    }
+    let _ = (started, &mut rng);
+    seen.values().sum()
+}

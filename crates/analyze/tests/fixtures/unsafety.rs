@@ -1,0 +1,17 @@
+// Fixture: deliberately violates the unsafety rules. Never compiled —
+// only lexed by the integration test (scanned as `crates/nn/src/fixture.rs`).
+
+/// Undocumented contract: no rustdoc section tells callers what to uphold.
+pub unsafe fn write_unchecked(p: *mut f32) {
+    *p = 1.0;
+}
+
+pub fn bare_block(x: &mut [f32]) {
+    let first = unsafe { x.get_unchecked_mut(0) };
+    *first = 1.0;
+
+    unsafe {
+        debug_assert!(!x.is_empty(), "dropped in release: cannot guard the deref below");
+        *x.as_mut_ptr() = 2.0;
+    }
+}

@@ -274,8 +274,12 @@ fn emit_json_comparison() {
         },
         reps,
     );
-    let int8_native_infer_secs =
-        best_of(|| drop(native_int8_forward(&model, &images, &test_ds)), reps);
+    let int8_native_infer_secs = best_of(
+        || {
+            native_int8_forward(&model, &images, &test_ds);
+        },
+        reps,
+    );
     let clean_serial_secs = best_of(
         || {
             evaluate_serial(&model, &test_ds, BATCH, Mode::Eval);

@@ -118,7 +118,9 @@ fn shard_bounds(rows: usize, n: usize) -> Vec<(usize, usize)> {
 /// Copies rows `start..end` of a batched tensor into a new tensor.
 fn slice_rows(x: &Tensor, start: usize, end: usize) -> Tensor {
     let rows = x.dim(0);
-    debug_assert!(start < end && end <= rows);
+    // Full assert, not debug_assert: shard disjointness is what lets the
+    // per-shard buffers be merged without aliasing; check it in release too.
+    assert!(start < end && end <= rows, "shard rows {start}..{end} out of 0..{rows}");
     let sample = x.numel() / rows;
     let mut shape = x.shape().to_vec();
     shape[0] = end - start;

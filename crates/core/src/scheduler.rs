@@ -50,6 +50,7 @@
 use std::sync::{Mutex, OnceLock};
 
 use bitrobust_nn::Model;
+// analyze:allow(det-thread-count, imported for work distribution only; every sizing below is byte-safe)
 use bitrobust_tensor::{parallel_for, pool_parallelism};
 
 /// Upper bound on model replicas alive in one fan-out wave. Campaigns with
@@ -85,6 +86,7 @@ pub(crate) fn slots_per_item(sizing: ItemSizing, n_tracks: usize, n_slots: usize
         ItemSizing::PerBatch => 1,
         ItemSizing::Adaptive => {
             let total = n_tracks * n_slots;
+            // analyze:allow(det-thread-count, sizes work items only; partials and their serial reduction are thread-count independent)
             let target = (pool_parallelism() * ADAPTIVE_OVERSUBSCRIPTION).max(1);
             (total / target).clamp(1, n_slots.max(1))
         }
@@ -96,6 +98,7 @@ pub(crate) fn slots_per_item(sizing: ItemSizing, n_tracks: usize, n_slots: usize
 /// to keep every core busy. `n_slots` is the number of slots each track
 /// contributes (e.g. test batches per pattern).
 pub fn wave_size(n_slots: usize) -> usize {
+    // analyze:allow(det-thread-count, wave size batches delivery; per-slot results are computed and reduced identically at any size)
     (2 * pool_parallelism()).div_ceil(n_slots.max(1)).clamp(1, MAX_REPLICAS)
 }
 
@@ -258,7 +261,9 @@ impl ReplicaPool {
                     setup(i, &mut slot.1);
                 }
                 None => {
-                    debug_assert_eq!(i, self.slots.len());
+                    // Full assert: a gap in the slot grid would hand later
+                    // waves the wrong replica, silently in release builds.
+                    assert_eq!(i, self.slots.len(), "slot grid must grow densely");
                     self.slots.push((id, template.clone()));
                     setup(i, &mut self.slots[i].1);
                 }

@@ -30,6 +30,7 @@
 //! campaign engine parallelizes over (pattern, batch) work items, and a
 //! serial kernel is byte-deterministic across thread counts by construction.
 
+use bitrobust_tensor::cast::{exact_count_to_f32, exact_i32_to_f32, quantize_round_i8};
 use bitrobust_tensor::{gemm_i8, GemmOperandI8, Tensor};
 
 use crate::Layer;
@@ -54,13 +55,13 @@ impl QActivation {
         let amax = x.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
         let scale = if amax == 0.0 { 1.0 } else { amax / 127.0 };
         let inv = 1.0 / scale;
-        let q = x.data().iter().map(|&v| (v * inv).round().clamp(-127.0, 127.0) as i8).collect();
+        let q = x.data().iter().map(|&v| quantize_round_i8(v, inv)).collect();
         Self { q, scale, shape: x.shape().to_vec() }
     }
 
     /// Decodes back to an `f32` tensor.
     pub fn dequantize(&self) -> Tensor {
-        let data = self.q.iter().map(|&q| self.scale * q as f32).collect();
+        let data = self.q.iter().map(|&q| self.scale * f32::from(q)).collect();
         Tensor::from_vec(self.shape.clone(), data)
     }
 
@@ -126,11 +127,12 @@ impl QLinear {
         let mut out = Tensor::zeros(&[batch, out_f]);
         let data = out.data_mut();
         for b in 0..batch {
-            let rowsum: i32 = x.q[b * in_f..(b + 1) * in_f].iter().map(|&v| v as i32).sum();
-            let corr = x.scale * self.w_offset * rowsum as f32;
+            let rowsum: i32 = x.q[b * in_f..(b + 1) * in_f].iter().map(|&v| i32::from(v)).sum();
+            let corr = x.scale * self.w_offset * exact_i32_to_f32(rowsum);
             for o in 0..out_f {
-                data[b * out_f + o] =
-                    x.scale * self.w_scale * dot[b * out_f + o] as f32 + corr + self.bias[o];
+                data[b * out_f + o] = x.scale * self.w_scale * exact_i32_to_f32(dot[b * out_f + o])
+                    + corr
+                    + self.bias[o];
             }
         }
         QActivation::quantize(&out)
@@ -216,12 +218,14 @@ impl QConv2d {
             for xi in 0..ohw {
                 let mut colsum = 0i32;
                 for r in 0..k {
-                    colsum += cols[r * ohw + xi] as i32;
+                    colsum += i32::from(cols[r * ohw + xi]);
                 }
-                let corr = x.scale * self.w_offset * colsum as f32;
+                let corr = x.scale * self.w_offset * exact_i32_to_f32(colsum);
                 for c in 0..oc {
                     out_s[c * ohw + xi] =
-                        x.scale * self.w_scale * dot[c * ohw + xi] as f32 + corr + self.bias[c];
+                        x.scale * self.w_scale * exact_i32_to_f32(dot[c * ohw + xi])
+                            + corr
+                            + self.bias[c];
                 }
             }
         }
@@ -332,9 +336,9 @@ impl QOp {
                 let hw = h * w;
                 let mut out = Tensor::zeros(&[batch, ch]);
                 let data = out.data_mut();
-                for bc in 0..batch * ch {
-                    let sum: i32 = x.q[bc * hw..(bc + 1) * hw].iter().map(|&v| v as i32).sum();
-                    data[bc] = x.scale * sum as f32 / hw as f32;
+                for (bc, d) in data.iter_mut().enumerate() {
+                    let sum: i32 = x.q[bc * hw..(bc + 1) * hw].iter().map(|&v| i32::from(v)).sum();
+                    *d = x.scale * exact_i32_to_f32(sum) / exact_count_to_f32(hw);
                 }
                 QActivation::quantize(&out)
             }

@@ -1,0 +1,87 @@
+//! Checked numeric conversions for the quantization boundary.
+//!
+//! The int8 path's correctness argument leans on every int→float
+//! conversion being *exact*: an `i32` accumulator or element count maps to
+//! `f32` losslessly only while its magnitude stays within f32's 24-bit
+//! mantissa. A bare `as` cast silently rounds past that point and the
+//! golden bit-pattern tests would drift on larger shapes. These helpers
+//! make the precondition explicit and assert it, and the `cast-boundary`
+//! lint in `bitrobust-analyze` forbids bare `as` casts in boundary files
+//! so conversions are forced through here (or through `From` when the
+//! widening is inherently lossless).
+
+/// Largest magnitude exactly representable in f32 at integer granularity
+/// (2^24): past this, consecutive integers collide.
+pub const F32_EXACT_INT_MAX: i32 = 1 << 24;
+
+/// Converts an `i32` to `f32`, asserting the value is exactly
+/// representable. Use for int8 GEMM accumulators and row/column sums,
+/// whose worst case (`127 * 127 * k`) stays below 2^24 for every shape
+/// this workspace runs.
+#[inline]
+pub fn exact_i32_to_f32(v: i32) -> f32 {
+    assert!(
+        v.abs() <= F32_EXACT_INT_MAX,
+        "i32 -> f32 would round: |{v}| > 2^24; accumulate in i64 or rescale first"
+    );
+    v as f32
+}
+
+/// Converts an element count to `f32` exactly (for averages such as
+/// global pooling denominators).
+#[inline]
+pub fn exact_count_to_f32(n: usize) -> f32 {
+    assert!(n <= F32_EXACT_INT_MAX as usize, "count -> f32 would round: {n} > 2^24");
+    n as f32
+}
+
+/// Quantizes one value to i8 with round-half-away-from-zero and symmetric
+/// clamping to `[-127, 127]` — the repo-wide quantization rounding rule
+/// (see `bitrobust-quant`). `inv_scale` is `1 / scale`, precomputed by the
+/// caller so a whole tensor shares one reciprocal.
+#[inline]
+pub fn quantize_round_i8(v: f32, inv_scale: f32) -> i8 {
+    (v * inv_scale).round().clamp(-127.0, 127.0) as i8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_i32_round_trips_through_f32() {
+        for v in [0, 1, -1, 127 * 127, 1 << 20, F32_EXACT_INT_MAX, -F32_EXACT_INT_MAX] {
+            let f = exact_i32_to_f32(v);
+            assert_eq!(f as i64, i64::from(v), "{v} must convert exactly");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "would round")]
+    fn exact_i32_rejects_values_past_the_mantissa() {
+        exact_i32_to_f32(F32_EXACT_INT_MAX + 1);
+    }
+
+    #[test]
+    fn exact_count_matches_direct_conversion_in_range() {
+        for n in [0usize, 1, 49, 4096, 1 << 24] {
+            assert_eq!(exact_count_to_f32(n), n as f32);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "would round")]
+    fn exact_count_rejects_oversized_counts() {
+        exact_count_to_f32((1 << 24) + 1);
+    }
+
+    #[test]
+    fn quantize_round_clamps_symmetrically_and_rounds_half_away() {
+        assert_eq!(quantize_round_i8(0.0, 1.0), 0);
+        assert_eq!(quantize_round_i8(0.5, 1.0), 1);
+        assert_eq!(quantize_round_i8(-0.5, 1.0), -1);
+        assert_eq!(quantize_round_i8(1000.0, 1.0), 127);
+        assert_eq!(quantize_round_i8(-1000.0, 1.0), -127, "never -128: symmetric range");
+        assert_eq!(quantize_round_i8(3.0, 10.0), 30);
+    }
+}

@@ -311,6 +311,13 @@ fn microkernel_portable(
 /// contraction is never enabled — so this path produces byte-identical
 /// results to [`microkernel_portable`] and the determinism contract holds
 /// across machines with and without AVX.
+///
+/// # Safety
+///
+/// `#[target_feature]` makes this fn unsafe to call: the caller must prove
+/// the CPU supports AVX first. The only call site gates on
+/// [`avx_available`] (`is_x86_feature_detected!("avx")`); executing it on a
+/// non-AVX CPU would be an illegal-instruction fault, not a wrong answer.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx")]
 fn microkernel_avx(

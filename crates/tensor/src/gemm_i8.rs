@@ -264,6 +264,14 @@ fn microkernel_portable(
 ///
 /// Bit-safety is trivial here: integer arithmetic is exact, so every
 /// compilation produces identical bits by construction.
+///
+/// # Safety
+///
+/// `#[target_feature]` makes this fn unsafe to call: the caller must prove
+/// the CPU supports AVX2 first. The only call site gates on
+/// [`avx2_available`] (`is_x86_feature_detected!("avx2")`); executing it on
+/// a non-AVX2 CPU would be an illegal-instruction fault, not a wrong
+/// answer.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 fn microkernel_avx2(

@@ -35,6 +35,7 @@
 #![forbid(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
+pub mod cast;
 pub mod gemm;
 pub mod gemm_i8;
 mod ops;

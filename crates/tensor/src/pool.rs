@@ -338,6 +338,8 @@ where
 struct SendPtr(*mut f32);
 // SAFETY: used only to carve provably disjoint sub-slices across threads.
 unsafe impl Send for SendPtr {}
+// SAFETY: shared references to SendPtr only copy the address; all writes go
+// through the disjoint sub-slices derived above, never through `&SendPtr`.
 unsafe impl Sync for SendPtr {}
 
 #[cfg(test)]
