@@ -63,7 +63,8 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "det-wall-clock",
         doc: "no `std::time` clocks (`Instant`/`SystemTime`) in the numeric crates: results \
-              must be a function of inputs and seeds only",
+              must be a function of inputs and seeds only — the obs crate and the pool are \
+              the sole wall-clock authorities (they time work but never feed results)",
     },
     RuleInfo {
         id: "det-rng",
@@ -110,6 +111,7 @@ const NUMERIC_SRC: &[&str] = &[
     "crates/quant/src/",
     "crates/biterror/src/",
     "crates/core/src/",
+    "crates/obs/src/",
 ];
 
 /// Files forming the float ↔ integer quantization boundary, where every
@@ -120,6 +122,12 @@ const QUANT_BOUNDARY: &[&str] =
 /// The thread pool is the *single* authority allowed to read machine
 /// parallelism; everything else must consume its published constants.
 const THREAD_COUNT_AUTHORITY: &[&str] = &["crates/tensor/src/pool.rs", "crates/tensor/src/lib.rs"];
+
+/// The only places in the numeric crates allowed to read wall clocks: the
+/// obs crate (whose whole contract is that timings are recorded, never
+/// read back into results) and the pool's idle-worker parking logic.
+/// Everything else stays a pure function of inputs and seeds.
+const WALL_CLOCK_AUTHORITY: &[&str] = &["crates/obs/src/", "crates/tensor/src/pool.rs"];
 
 /// Checked codec functions inside which bare `as` casts are the
 /// implementation, not a leak. Each entry is (path suffix, fn name):
@@ -340,6 +348,7 @@ fn debug_assert_unsafe(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
 fn det_idents(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
     let src = ctx.src;
     let thread_count_exempt = in_any(&ctx.path, THREAD_COUNT_AUTHORITY);
+    let wall_clock_exempt = in_any(&ctx.path, WALL_CLOCK_AUTHORITY);
     for (i, t) in ctx.tokens.iter().enumerate() {
         if t.kind != TokenKind::Ident || ctx.in_test_code(t.start) {
             continue;
@@ -356,14 +365,14 @@ fn det_idents(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
                      use `BTreeMap`/`BTreeSet` or a sorted Vec"
                 ),
             ),
-            "Instant" | "SystemTime" | "UNIX_EPOCH" => push(
+            "Instant" | "SystemTime" | "UNIX_EPOCH" if !wall_clock_exempt => push(
                 ctx,
                 out,
                 "det-wall-clock",
                 t.line,
                 format!("`{text}` in a numeric crate: results must not depend on clocks"),
             ),
-            "time" if prev_is_std_path(ctx, i) => push(
+            "time" if !wall_clock_exempt && prev_is_std_path(ctx, i) => push(
                 ctx,
                 out,
                 "det-wall-clock",
@@ -680,6 +689,30 @@ fn f() {\n\
         let hits = rules_hit("crates/core/src/train.rs", src);
         // `time` (std path), `Instant`, and `thread_rng`.
         assert_eq!(hits, vec!["det-wall-clock", "det-wall-clock", "det-rng"]);
+    }
+
+    #[test]
+    fn wall_clock_authorities_may_read_clocks_but_nothing_else() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        // The obs crate and the pool time work; that is their whole job.
+        assert!(rules_hit("crates/obs/src/lib.rs", src).is_empty());
+        assert!(rules_hit("crates/tensor/src/pool.rs", src).is_empty());
+        // The rest of tensor (and every other numeric crate) stays banned.
+        assert_eq!(
+            rules_hit("crates/tensor/src/gemm.rs", src),
+            vec!["det-wall-clock", "det-wall-clock"]
+        );
+    }
+
+    #[test]
+    fn obs_crate_is_numeric_for_every_other_determinism_rule() {
+        // The wall-clock exemption is narrow: hash maps and ambient RNG in
+        // the obs crate would still break merge determinism.
+        let src = "use std::collections::HashMap;\nfn f() { rand::thread_rng(); }\n";
+        assert_eq!(
+            rules_hit("crates/obs/src/snapshot.rs", src),
+            vec!["det-collections", "det-rng"]
+        );
     }
 
     #[test]

@@ -152,10 +152,31 @@ fn best_of<F: FnMut()>(mut f: F, iters: usize, reps: usize) -> f64 {
     best
 }
 
+/// What the *disabled* obs instrumentation costs relative to the packed
+/// kernel: times a burst of off-level `span!` + `counter_add` calls
+/// (each a relaxed atomic load and a branch) and scales by the number of
+/// obs call sites one `gemm` call executes — the outer kernel span plus
+/// one `pack_b` span per `(jc, pc)` cache block. CI gates this below 1%.
+fn obs_off_overhead_pct(packed_secs: f64, s: &Shape) -> f64 {
+    bitrobust_obs::init(&bitrobust_obs::ObsConfig::off());
+    const OPS: usize = 1_000_000;
+    let start = Instant::now();
+    for _ in 0..OPS {
+        let g = bitrobust_obs::span("bench.obs_off_probe");
+        std::hint::black_box(&g);
+        bitrobust_obs::counter_add("bench.obs_off_probe", std::hint::black_box(1));
+    }
+    let per_call_site = start.elapsed().as_secs_f64() / OPS as f64;
+    let pack_spans =
+        s.k.div_ceil(bitrobust_tensor::gemm::KC) * s.n.div_ceil(bitrobust_tensor::gemm::NC);
+    per_call_site * (1 + pack_spans) as f64 / packed_secs * 100.0
+}
+
 fn emit_json_comparison() {
     let threads = bitrobust_tensor::pool_parallelism();
     let mut rows = Vec::new();
     let mut fc_speedup = f64::NAN;
+    let mut fc_packed_secs = f64::NAN;
     let mut conv_min_speedup = f64::INFINITY;
 
     for s in SHAPES {
@@ -190,6 +211,7 @@ fn emit_json_comparison() {
         let speedup = naive_secs / packed_secs;
         if s.name == "fc_head" {
             fc_speedup = speedup;
+            fc_packed_secs = packed_secs;
         } else {
             conv_min_speedup = conv_min_speedup.min(speedup);
         }
@@ -284,12 +306,16 @@ fn emit_json_comparison() {
         ));
     }
 
+    let fc_shape = SHAPES.iter().find(|s| s.name == "fc_head").expect("fc_head shape");
+    let obs_overhead = obs_off_overhead_pct(fc_packed_secs, fc_shape);
+    println!("obs-off overhead on fc_head packed kernel: {obs_overhead:.4}%");
+
     let json = format!(
         "{{\n  \"bench\": \"gemm\",\n  \"threads\": {},\n  \"tile\": {{\"mr\": {}, \"nr\": {}, \
          \"mc\": {}, \"kc\": {}, \"nc\": {}}},\n  \"shapes\": [\n{}\n  ],\n  \
          \"i8_shapes\": [\n{}\n  ],\n  \
          \"fc_speedup\": {:.3},\n  \"conv_min_speedup\": {:.3},\n  \
-         \"i8_min_speedup\": {:.3},\n  \
+         \"i8_min_speedup\": {:.3},\n  \"obs_off_overhead_pct\": {:.4},\n  \
          \"packed_matches_reference\": true,\n  \"i8_matches_reference\": true\n}}\n",
         threads,
         bitrobust_tensor::gemm::MR,
@@ -302,6 +328,7 @@ fn emit_json_comparison() {
         fc_speedup,
         conv_min_speedup,
         i8_min_speedup,
+        obs_overhead,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gemm.json");
     std::fs::write(path, &json).expect("write BENCH_gemm.json");

@@ -309,12 +309,22 @@ fn emit_json_comparison() {
     let sweep_secs =
         best_of(|| drop(orchestrated_sweep(&sweep_models, &sweep_rates, &sweep_ds)), reps);
 
-    // The pool's own accounting (BITROBUST_THREADS override included).
+    // `threads` is the pool's *own* accounting of what it actually used
+    // (`pool_parallelism()`), not the raw environment request:
+    // BITROBUST_THREADS is clamped to the supported range and unset means
+    // auto-detect, so only the pool knows the real worker count.
+    // `threads_env` records the raw request (or null) so a `threads: 1`
+    // row on a multi-core runner is attributable to its override instead
+    // of reading like a regression.
     let threads = bitrobust_tensor::pool_parallelism();
+    let threads_env = std::env::var("BITROBUST_THREADS")
+        .map(|v| format!("\"{}\"", v.replace(['"', '\\'], "_")))
+        .unwrap_or_else(|_| "null".to_string());
     let json = format!(
         "{{\n  \"bench\": \"robust_eval\",\n  \"arch\": \"mlp\",\n  \"dataset\": \"{}\",\n  \
          \"examples\": {},\n  \"n_chips\": {},\n  \"rate\": {},\n  \"batch_size\": {},\n  \
-         \"threads\": {},\n  \"serial_secs\": {:.6},\n  \"campaign_secs\": {:.6},\n  \
+         \"threads\": {},\n  \"threads_env\": {},\n  \
+         \"serial_secs\": {:.6},\n  \"campaign_secs\": {:.6},\n  \
          \"speedup\": {:.3},\n  \"int8_shared_image_secs\": {:.6},\n  \
          \"int8_per_pattern_secs\": {:.6},\n  \"int8_native_infer_secs\": {:.6},\n  \
          \"int8_native_speedup\": {:.3},\n  \"clean_serial_secs\": {:.6},\n  \
@@ -330,6 +340,7 @@ fn emit_json_comparison() {
         RATE,
         BATCH,
         threads,
+        threads_env,
         serial_secs,
         campaign_secs,
         serial_secs / campaign_secs,

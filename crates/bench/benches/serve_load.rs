@@ -52,6 +52,19 @@ fn percentile_ms(sorted: &[Duration], pct: f64) -> f64 {
 }
 
 fn main() {
+    // `--obs <spec>` mirrors the experiments CLI (the bench harness is
+    // `harness = false`, so arguments pass straight through).
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--obs") {
+        let spec = args.get(i + 1).map(String::as_str).unwrap_or("");
+        match bitrobust_obs::ObsConfig::parse(spec) {
+            Ok(cfg) => bitrobust_obs::init(&cfg.with_env_paths()),
+            Err(e) => {
+                eprintln!("--obs: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     let (registry, images) = setup();
 
     // Correctness gate before the clock starts: served bytes == reference.
@@ -118,6 +131,14 @@ fn main() {
     });
     drop(ticket_tx);
 
+    // Live gauges while the waiter is still redeeming the backlog: the
+    // instantaneous view ServeStats now carries alongside the totals.
+    let live = service.stats();
+    println!(
+        "end-of-run gauges: queue_depth={} in_flight={} versions={:?}",
+        live.queue_depth, live.in_flight, live.versions
+    );
+
     // Sustained throughput is submissions *through* responses: the clock
     // stops when the last admitted request has been redeemed.
     let mut latencies = waiter.join().expect("waiter thread");
@@ -154,4 +175,7 @@ fn main() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     std::fs::write(path, &json).expect("write BENCH_serve.json");
     println!("serve load comparison written to {path}:\n{json}");
+    for written in bitrobust_obs::finish().expect("write obs output") {
+        println!("obs output written to {}", written.display());
+    }
 }

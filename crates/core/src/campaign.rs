@@ -428,6 +428,8 @@ impl<'a> Campaign<'a> {
 
         if serial {
             for i in 0..n_cells {
+                bitrobust_obs::span!("campaign.cell");
+                bitrobust_obs::counter_add("campaign.cells", 1);
                 let (template, cell) = make(i);
                 let replica = build_replica(templates[template], cell.image());
                 let partials = scheduler::execute_serial(1, n.div_ceil(batch_size), |_, batch| {
@@ -463,6 +465,10 @@ impl<'a> Campaign<'a> {
         let mut start = 0;
         while start < n_cells {
             let end = (start + wave).min(n_cells);
+            // Per-wave timing and throughput accounting (write-only).
+            bitrobust_obs::span!("campaign.wave");
+            bitrobust_obs::counter_add("campaign.cells", (end - start) as u64);
+            bitrobust_obs::record("campaign.wave_cells", (end - start) as u64);
             let cells: Vec<(usize, CellImage)> = (start..end).map(&make).collect();
             match strategy {
                 ReplicaStrategy::PerPattern => {
@@ -495,6 +501,11 @@ impl<'a> Campaign<'a> {
                                 start + track
                             );
                             let tag = start + track;
+                            // The guard rides in the item context, so its
+                            // drop in `done` times the whole work item
+                            // (checkout through give-back) — per-cell
+                            // latency for shared-image campaigns.
+                            let item_span = bitrobust_obs::span("campaign.item");
                             let replica = match scratch.checkout(template) {
                                 Some((last, replica)) if last == tag => replica,
                                 Some((_, mut replica)) => {
@@ -503,13 +514,16 @@ impl<'a> Campaign<'a> {
                                 }
                                 None => build_replica(templates[template], cell.image()),
                             };
-                            (template, tag, replica)
+                            (template, tag, replica, item_span)
                         },
-                        |(_, _, replica), _, batch| {
+                        |(_, _, replica, _), _, batch| {
                             let first = batch * batch_size;
                             eval_batch(replica, dataset, first, (first + batch_size).min(n), mode)
                         },
-                        |_, (template, tag, replica)| scratch.give_back(template, tag, replica),
+                        |_, (template, tag, replica, item_span)| {
+                            scratch.give_back(template, tag, replica);
+                            drop(item_span);
+                        },
                     );
                     for per_pattern in partials.chunks(n_batches) {
                         results.push(reduce_pattern(per_pattern, n));

@@ -165,6 +165,7 @@ pub(crate) fn sharded_forward_backward(
     let replicas: &ShardReplicas = replicas;
     let params = model.param_tensors();
     let run_shard = |s: usize| {
+        bitrobust_obs::span!("train.shard");
         let (start, end) = bounds[s];
         let shard_x = slice_rows(x, start, end);
         replicas.with(s, |replica| {
@@ -173,11 +174,15 @@ pub(crate) fn sharded_forward_backward(
             // whatever the previous pass accumulated).
             replica.set_param_tensors(&params);
             replica.zero_grads();
-            let logits = replica.forward(&shard_x, Mode::Train);
-            let out = loss_fn.compute_scaled(&logits, &labels[start..end], rows);
+            let out = {
+                bitrobust_obs::span!("train.forward");
+                let logits = replica.forward(&shard_x, Mode::Train);
+                loss_fn.compute_scaled(&logits, &labels[start..end], rows)
+            };
             if !need_grads {
                 return (out.loss_sum, Vec::new());
             }
+            bitrobust_obs::span!("train.backward");
             replica.backward(&out.grad);
             (out.loss_sum, replica.grad_tensors())
         })
@@ -195,9 +200,13 @@ pub(crate) fn sharded_forward_backward(
         loss_sum += shard_loss;
         buffers.push(shard_grads);
     }
+    bitrobust_obs::counter_add("train.shards", n_shards as u64);
     ShardedPass {
         loss: (loss_sum / rows as f64) as f32,
-        grads: need_grads.then(|| tree_reduce_grads(buffers)),
+        grads: need_grads.then(|| {
+            bitrobust_obs::span!("train.reduce");
+            tree_reduce_grads(buffers)
+        }),
     }
 }
 

@@ -167,6 +167,12 @@ where
     }
     let group = slots_per_item(sizing, n_tracks, n_slots);
     let groups_per_track = n_slots.div_ceil(group);
+    // Observability only: timings and counts are recorded, never read
+    // back — results stay a function of inputs and seeds alone.
+    bitrobust_obs::span!("scheduler.execute");
+    bitrobust_obs::counter_add("scheduler.items", (n_tracks * groups_per_track) as u64);
+    bitrobust_obs::counter_add("scheduler.slots", (n_tracks * n_slots) as u64);
+    bitrobust_obs::record("scheduler.slots_per_item", group as u64);
     let partials: Vec<OnceLock<T>> = (0..n_tracks * n_slots).map(|_| OnceLock::new()).collect();
     parallel_for(n_tracks * groups_per_track, |item| {
         let track = item / groups_per_track;
@@ -255,12 +261,17 @@ impl ReplicaPool {
         for i in 0..n {
             let (id, template) = source(i);
             match self.slots.get_mut(i) {
-                Some((current, replica)) if *current == id => setup(i, replica),
+                Some((current, replica)) if *current == id => {
+                    bitrobust_obs::counter_add("scheduler.replica.reuse", 1);
+                    setup(i, replica)
+                }
                 Some(slot) => {
+                    bitrobust_obs::counter_add("scheduler.replica.clone", 1);
                     *slot = (id, template.clone());
                     setup(i, &mut slot.1);
                 }
                 None => {
+                    bitrobust_obs::counter_add("scheduler.replica.clone", 1);
                     // Full assert: a gap in the slot grid would hand later
                     // waves the wrong replica, silently in release builds.
                     assert_eq!(i, self.slots.len(), "slot grid must grow densely");
@@ -326,7 +337,11 @@ impl ScratchReplicas {
     /// parked for their own campaigns' items.
     pub fn checkout(&self, source: usize) -> Option<(usize, Model)> {
         let mut slots = self.slots.lock().expect("scratch replica lock poisoned");
-        let pos = slots.iter().position(|(s, _, _)| *s == source)?;
+        let Some(pos) = slots.iter().position(|(s, _, _)| *s == source) else {
+            bitrobust_obs::counter_add("scheduler.replica.checkout_miss", 1);
+            return None;
+        };
+        bitrobust_obs::counter_add("scheduler.replica.checkout_reuse", 1);
         let (_, tag, replica) = slots.swap_remove(pos);
         Some((tag, replica))
     }

@@ -260,7 +260,13 @@ impl SweepStore {
             }
             return Err(StoreError::Collision { key: record.key });
         }
-        self.file.write_all(format!("{}\n", cell.line).as_bytes())?;
+        {
+            // Time only the durable write, not key validation above.
+            bitrobust_obs::span!("store.append");
+            self.file.write_all(format!("{}\n", cell.line).as_bytes())?;
+        }
+        bitrobust_obs::counter_add("store.appends", 1);
+        bitrobust_obs::counter_add("store.bytes_appended", cell.line.len() as u64 + 1);
         self.cells.insert(record.key, cell);
         Ok(())
     }

@@ -283,6 +283,7 @@ pub fn run_sweep(
     mut store: Option<&mut SweepStore>,
     mut on_cell: impl FnMut(&SweepCell, &EvalResult),
 ) -> SweepResults {
+    bitrobust_obs::span!("sweep.run");
     assert!(!models.is_empty(), "sweep needs at least one model");
     assert!(!axes.is_empty(), "sweep needs at least one axis");
     for axis in axes {
@@ -363,11 +364,17 @@ pub fn run_sweep(
     }
     let resumed = cells.len() - missing.len();
 
+    // Resume accounting: planned == skipped + run reconciles in
+    // OBS_report.json (write-only, never read back).
+    bitrobust_obs::counter_add("sweep.cells_planned", cells.len() as u64);
+    bitrobust_obs::counter_add("sweep.cells_skipped", resumed as u64);
+
     let templates: Vec<&Model> = models.iter().map(|m| m.model).collect();
     if !missing.is_empty() {
         // Split the captures: the cell builder borrows the plan immutably,
         // the completion callback owns the mutable store/results halves.
         let build = |k: usize| {
+            bitrobust_obs::span!("sweep.build_image");
             let cell = &cells[missing[k]];
             (cell.model, prepared[cell.axis].make_image(&q0s[cell.model], cell.point))
         };
@@ -375,6 +382,7 @@ pub fn run_sweep(
             .batch_size(opts.batch_size)
             .mode(opts.mode)
             .on_cell(|k, result| {
+                bitrobust_obs::counter_add("sweep.cells_run", 1);
                 let index = missing[k];
                 let cell = &cells[index];
                 if let Some(store) = store.as_deref_mut() {

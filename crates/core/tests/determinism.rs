@@ -10,8 +10,9 @@
 //! this process runs with. The `thread_matrix` test re-executes this test
 //! binary with `BITROBUST_THREADS` set to 1, 2, and the machine maximum
 //! (the pool is sized once per process, so distinct counts need distinct
-//! processes), and asserts the fingerprints printed by the
-//! [`worker_fingerprints`] helper are identical across all three runs.
+//! processes) — plus one run with `BITROBUST_OBS=trace`, pinning the obs
+//! crate's bit-neutrality contract — and asserts the fingerprints printed
+//! by the [`worker_fingerprints`] helper are identical across all runs.
 //!
 //! Since data-parallel training landed, the same discipline covers
 //! `train()`: sharded training must be byte-identical to its in-order
@@ -492,29 +493,38 @@ fn fingerprint_lines(stdout: &str) -> Vec<String> {
 fn thread_matrix_results_identical_at_1_2_and_max_threads() {
     let exe = std::env::current_exe().expect("test binary path");
     let max = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let counts = ["1".to_string(), "2".to_string(), max.to_string()];
+    // The matrix: 1, 2, and max threads with observability off, plus one
+    // run with full tracing enabled — obs reads clocks but must never
+    // change a byte of any result.
+    let cases = [
+        ("1".to_string(), "off"),
+        ("2".to_string(), "off"),
+        (max.to_string(), "off"),
+        ("2".to_string(), "trace"),
+    ];
 
     let mut runs = Vec::new();
-    for threads in &counts {
+    for (threads, obs) in &cases {
         let output = std::process::Command::new(&exe)
             .args(["worker_fingerprints", "--exact", "--ignored", "--nocapture"])
             .env("BITROBUST_THREADS", threads)
+            .env("BITROBUST_OBS", obs)
             .output()
             .expect("spawn worker");
         let stdout = String::from_utf8_lossy(&output.stdout).into_owned();
         assert!(
             output.status.success(),
-            "worker failed at BITROBUST_THREADS={threads}:\n{stdout}\n{}",
+            "worker failed at BITROBUST_THREADS={threads} BITROBUST_OBS={obs}:\n{stdout}\n{}",
             String::from_utf8_lossy(&output.stderr)
         );
-        runs.push((threads.clone(), fingerprint_lines(&stdout)));
+        runs.push((format!("threads={threads} obs={obs}"), fingerprint_lines(&stdout)));
     }
 
     let (_, reference) = &runs[0];
-    for (threads, lines) in &runs[1..] {
+    for (case, lines) in &runs[1..] {
         assert_eq!(
             lines, reference,
-            "results at BITROBUST_THREADS={threads} differ from the 1-thread reference"
+            "results at {case} differ from the 1-thread obs-off reference"
         );
     }
 }

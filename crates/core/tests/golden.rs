@@ -234,6 +234,31 @@ fn golden_cell_is_replica_strategy_invariant() {
     }
 }
 
+/// Full tracing must not move a single golden bit: observability reads
+/// clocks but never feeds results. Enabling it process-wide here is safe
+/// for the sibling tests for exactly that reason — and doing so means the
+/// whole golden suite runs instrumented whenever this test is scheduled
+/// first.
+#[test]
+fn golden_cell_is_pinned_with_tracing_on() {
+    bitrobust_obs::init(&bitrobust_obs::ObsConfig {
+        level: bitrobust_obs::ObsLevel::Trace,
+        ..Default::default()
+    });
+    let (_, errors, mean, std) = golden_grid_cell();
+    assert_eq!(
+        bits(&errors),
+        GOLDEN_CELL_ERRORS,
+        "BITROBUST_OBS=trace changed per-chip cell errors; actual {}",
+        hex(&bits(&errors))
+    );
+    assert_eq!(mean.to_bits(), GOLDEN_CELL_MEAN);
+    assert_eq!(std.to_bits(), GOLDEN_CELL_STD);
+    // The instrumentation itself must have observed the run.
+    let snap = bitrobust_obs::snapshot();
+    assert!(snap.counter("scheduler.items") > 0, "campaign ran uninstrumented");
+}
+
 /// Generator for the pinned constants above (see module docs).
 #[test]
 #[ignore = "generator: prints current golden values"]

@@ -123,4 +123,5 @@ fn run_dataset(kind: DatasetKind, opts: &ExpOptions) {
         table.row_owned(row);
     }
     println!("Fig. 7 — {}:\n{}", kind.name(), table.render());
+    bitrobust_experiments::finish_obs();
 }

@@ -86,4 +86,5 @@ fn main() {
     println!("Tab. 4 / Tab. 12 (CIFAR10 stand-in):\n{}", table.render());
     println!("Expected shape (paper): RANDBET < CLIPPING < RQUANT in RErr at p >= 0.5%,");
     println!("more pronounced at 4 bit; symmetric quantization is slightly worse than RQuant.");
+    bitrobust_experiments::finish_obs();
 }

@@ -96,4 +96,5 @@ fn main() {
     println!("Expected shape (paper): RANDBET (trained only on uniform random errors)");
     println!("generalizes to all profiled chips; chip 2's column-aligned, 0-to-1 biased");
     println!("errors are hardest.");
+    bitrobust_experiments::finish_obs();
 }

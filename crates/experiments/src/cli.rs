@@ -16,6 +16,11 @@
 ///   a content hash of their full identity);
 /// * `--fresh` — delete the binary's sweep store first and recompute every
 ///   cell.
+///
+/// All binaries also accept `--obs <spec>` (`off|counters|trace` or
+/// `trace:<path>`), which overrides the `BITROBUST_OBS` environment
+/// variable; see `bitrobust_obs` for the full schema. Observability is
+/// bit-neutral — results are identical with it on or off.
 #[derive(Debug, Clone)]
 pub struct ExpOptions {
     /// Reduced-effort mode for smoke tests.
@@ -29,18 +34,34 @@ pub struct ExpOptions {
     /// Delete the sweep store before running (`--fresh`); the default is
     /// to resume from it.
     pub fresh: bool,
+    /// `--obs` spec, if given (applied by [`ExpOptions::from_args`];
+    /// `parse` stays a pure function for tests).
+    pub obs: Option<String>,
 }
 
 impl Default for ExpOptions {
     fn default() -> Self {
-        Self { quick: false, chips: 20, seed: 0, no_cache: false, fresh: false }
+        Self { quick: false, chips: 20, seed: 0, no_cache: false, fresh: false, obs: None }
     }
 }
 
 impl ExpOptions {
-    /// Parses `std::env::args`, ignoring unknown flags.
+    /// Parses `std::env::args`, ignoring unknown flags, and applies the
+    /// `--obs` spec (if any) to the global observability config. A bad
+    /// spec aborts with a usage message rather than silently recording
+    /// nothing.
     pub fn from_args() -> Self {
-        Self::parse(&std::env::args().skip(1).collect::<Vec<String>>())
+        let opts = Self::parse(&std::env::args().skip(1).collect::<Vec<String>>());
+        if let Some(spec) = &opts.obs {
+            match bitrobust_obs::ObsConfig::parse(spec) {
+                Ok(cfg) => bitrobust_obs::init(&cfg.with_env_paths()),
+                Err(e) => {
+                    eprintln!("--obs: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        opts
     }
 
     /// Parses an argument list (exposed separately so flag handling is
@@ -66,6 +87,12 @@ impl ExpOptions {
                 "--seed" => {
                     if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
                         opts.seed = v;
+                        i += 1;
+                    }
+                }
+                "--obs" => {
+                    if let Some(v) = args.get(i + 1) {
+                        opts.obs = Some(v.clone());
                         i += 1;
                     }
                 }
@@ -121,6 +148,19 @@ mod tests {
         // Unknown flags are ignored, missing values leave defaults.
         let o = parse(&["--wat", "--chips"]);
         assert_eq!(o.chips, 20);
+    }
+
+    #[test]
+    fn obs_spec_is_captured_not_applied_by_parse() {
+        assert_eq!(parse(&[]).obs, None);
+        assert_eq!(
+            parse(&["--obs", "trace:/tmp/t.json"]).obs.as_deref(),
+            Some("trace:/tmp/t.json")
+        );
+        // parse() never validates or installs the spec — that happens in
+        // from_args, keeping this function pure for tests.
+        assert_eq!(parse(&["--obs", "not-a-level"]).obs.as_deref(), Some("not-a-level"));
+        assert_eq!(parse(&["--obs"]).obs, None);
     }
 
     #[test]

@@ -16,6 +16,21 @@ pub mod table;
 pub mod zoo;
 
 pub use cli::ExpOptions;
+
+/// Flushes observability output at end-of-run: writes `OBS_report.json`
+/// (and, at trace level, the Chrome trace) and prints where they landed.
+/// A no-op when obs is off; a write failure warns but never fails the
+/// experiment — observability must not cost results.
+pub fn finish_obs() {
+    match bitrobust_obs::finish() {
+        Ok(paths) => {
+            for path in paths {
+                println!("obs output written to {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: failed to write obs output: {e}"),
+    }
+}
 pub use protocol::{
     p_grid_cifar, p_grid_cifar100, p_grid_mnist, progress_dots, protocol_axis, protocol_grid,
     rerr_sweep, rerr_sweep_streaming, CHIP_SEED,

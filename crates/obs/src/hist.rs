@@ -1,0 +1,114 @@
+//! Fixed-shape log2 histograms.
+//!
+//! Every histogram has the same 65 buckets: bucket 0 holds exact zeros,
+//! bucket `i >= 1` holds values in `[2^(i-1), 2^i)`. The shape never
+//! depends on the data, so merging histograms from different threads is
+//! a plain element-wise sum — commutative and associative, which is what
+//! makes the aggregated [`crate::Snapshot`] merge-deterministic.
+
+/// Number of buckets: one for zero plus one per bit position of a `u64`.
+pub const BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples (span durations are
+/// recorded in nanoseconds; sizes in their natural unit).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Hist {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples (saturating, so merge order cannot matter).
+    pub sum: u64,
+    /// Smallest sample (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist { count: 0, sum: 0, min: u64::MAX, max: 0, buckets: [0; BUCKETS] }
+    }
+}
+
+/// The bucket a value lands in: 0 for 0, else `1 + floor(log2(v))`.
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros()) as usize
+    }
+}
+
+/// The half-open value range `[lo, hi)` covered by a bucket; bucket 0 is
+/// the degenerate `[0, 1)`. For bucket 64, `hi` saturates to `u64::MAX`.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < BUCKETS, "bucket index out of range");
+    if index == 0 {
+        (0, 1)
+    } else {
+        (1u64 << (index - 1), 1u64.checked_shl(index as u32).unwrap_or(u64::MAX))
+    }
+}
+
+impl Hist {
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[bucket_index(v)] += 1;
+    }
+
+    /// Fold another histogram into this one. Commutative: any merge
+    /// order over a set of histograms yields the same result.
+    pub fn merge(&mut self, other: &Hist) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+    }
+
+    /// Occupied buckets as `(index, count)` pairs, ascending by index —
+    /// the compact form serialized into `OBS_report.json`.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets.iter().enumerate().filter(|(_, &c)| c != 0).map(|(i, &c)| (i, c)).collect()
+    }
+
+    /// Count in one bucket (mostly for tests).
+    pub fn bucket(&self, index: usize) -> u64 {
+        self.buckets[index]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_goes_to_bucket_zero() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bounds_and_index_agree_at_every_power_of_two() {
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i, "low edge of bucket {i}");
+            if hi != u64::MAX {
+                // One below the upper bound is still inside; the bound
+                // itself belongs to the next bucket.
+                assert_eq!(bucket_index(hi - 1), i, "high edge of bucket {i}");
+                assert_eq!(bucket_index(hi), i + 1, "first value past bucket {i}");
+            }
+        }
+    }
+}

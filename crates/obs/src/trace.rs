@@ -1,0 +1,95 @@
+//! Chrome `trace_event` export.
+//!
+//! The writer emits the JSON-array flavor of the trace-event format —
+//! one complete (`"ph": "X"`) event per line plus a `thread_name`
+//! metadata record per thread — which both `chrome://tracing` and
+//! Perfetto load directly.
+
+use std::collections::BTreeSet;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// One completed span, in process-relative nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceEvent {
+    /// Span name (the `span!` argument).
+    pub name: &'static str,
+    /// Start time in nanoseconds since the process trace origin.
+    pub ts_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Small dense thread id assigned by obs (not the OS tid).
+    pub tid: u64,
+}
+
+/// Serialize events as a Chrome trace JSON array. Events should already
+/// be in deterministic order (see [`crate::take_trace`]).
+pub fn render_chrome_trace(events: &[TraceEvent]) -> String {
+    let mut s = String::from("[\n");
+    let tids: BTreeSet<u64> = events.iter().map(|e| e.tid).collect();
+    let mut first = true;
+    for tid in tids {
+        push_sep(&mut s, &mut first);
+        s.push_str(&format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+             \"args\":{{\"name\":\"bitrobust-{tid}\"}}}}"
+        ));
+    }
+    for e in events {
+        push_sep(&mut s, &mut first);
+        // trace_event timestamps are microseconds; keep nanosecond
+        // precision as fractional digits.
+        s.push_str(&format!(
+            "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{}.{:03},\"dur\":{}.{:03},\
+             \"pid\":1,\"tid\":{}}}",
+            e.name,
+            e.ts_ns / 1_000,
+            e.ts_ns % 1_000,
+            e.dur_ns / 1_000,
+            e.dur_ns % 1_000,
+            e.tid,
+        ));
+    }
+    s.push_str("\n]\n");
+    s
+}
+
+fn push_sep(s: &mut String, first: &mut bool) {
+    if !*first {
+        s.push_str(",\n");
+    }
+    *first = false;
+}
+
+/// Write a Chrome trace file loadable in `chrome://tracing` / Perfetto.
+pub fn write_chrome_trace(path: &Path, events: &[TraceEvent]) -> io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(render_chrome_trace(events).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_metadata_then_events_with_commas() {
+        let events = [
+            TraceEvent { name: "a", ts_ns: 1_500, dur_ns: 2_001, tid: 0 },
+            TraceEvent { name: "b", ts_ns: 4_000, dur_ns: 10, tid: 3 },
+        ];
+        let json = render_chrome_trace(&events);
+        assert!(json.starts_with("[\n"), "{json}");
+        assert!(json.ends_with("\n]\n"), "{json}");
+        assert!(json.contains("\"name\":\"bitrobust-0\""), "{json}");
+        assert!(json.contains("\"name\":\"bitrobust-3\""), "{json}");
+        assert!(json.contains("\"ts\":1.500,\"dur\":2.001"), "{json}");
+        assert!(json.contains("\"ts\":4.000,\"dur\":0.010"), "{json}");
+        // Commas separate every record but never trail the last one.
+        assert_eq!(json.matches(",\n").count(), 3, "{json}");
+    }
+
+    #[test]
+    fn empty_trace_is_still_a_valid_array() {
+        assert_eq!(render_chrome_trace(&[]), "[\n\n]\n");
+    }
+}

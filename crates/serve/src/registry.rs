@@ -90,6 +90,20 @@ impl ModelRegistry {
         keys.sort();
         keys
     }
+
+    /// `(key, current version)` for every published model, sorted by key
+    /// — the live registry gauge reported by `InferenceService::stats`.
+    pub fn versions(&self) -> Vec<(String, u64)> {
+        let mut versions: Vec<(String, u64)> = self
+            .models
+            .read()
+            .expect("registry lock poisoned")
+            .values()
+            .map(|m| (m.key.clone(), m.version))
+            .collect();
+        versions.sort();
+        versions
+    }
 }
 
 #[cfg(test)]
@@ -110,6 +124,7 @@ mod tests {
         assert_eq!(registry.publish("a", empty_model("a2")), 2);
         assert_eq!(registry.len(), 2);
         assert_eq!(registry.keys(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(registry.versions(), vec![("a".to_string(), 2), ("b".to_string(), 1)]);
 
         let a = registry.get("a").expect("a is published");
         assert_eq!((a.key(), a.version()), ("a", 2));

@@ -13,7 +13,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bitrobust_core::scheduler::{self, ItemSizing};
 use bitrobust_nn::{Mode, Model};
@@ -84,10 +84,13 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
-/// Request/shed/completion counters. `completed + shed == submitted` once
-/// the service has shut down: every admitted request is served, every
-/// rejected one is counted — none vanish.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Cumulative counters plus live gauges. `completed + shed == submitted`
+/// once the service has shut down: every admitted request is served,
+/// every rejected one is counted — none vanish. The gauges
+/// (`queue_depth`, `in_flight`, `versions`) are instantaneous reads — by
+/// the time the caller looks, the live service may have moved on; after
+/// shutdown they are final (`queue_depth == 0`, `in_flight == 0`).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeStats {
     /// Requests that passed model resolution (admitted + shed).
     pub submitted: u64,
@@ -95,6 +98,13 @@ pub struct ServeStats {
     pub completed: u64,
     /// Requests rejected by admission control or shutdown.
     pub shed: u64,
+    /// Requests currently queued, awaiting a wave.
+    pub queue_depth: u64,
+    /// Requests drained into the engine's current wave and not yet
+    /// responded to.
+    pub in_flight: u64,
+    /// `(key, version)` per published model, sorted by key.
+    pub versions: Vec<(String, u64)>,
 }
 
 /// A pending response; redeem with [`Ticket::wait`].
@@ -117,11 +127,14 @@ impl Ticket {
 }
 
 /// One queued request: the model resolved at submit time (hot-swap
-/// boundary), the single-sample image, and the response channel.
+/// boundary), the single-sample image, the response channel, and the
+/// admission timestamp (obs latency breakdown only — never read into the
+/// response bytes).
 struct PendingRequest {
     model: Arc<ServedModel>,
     image: Tensor,
     tx: mpsc::Sender<ServeResponse>,
+    submitted: Instant,
 }
 
 /// The running service. Dropping it (or calling
@@ -132,6 +145,7 @@ pub struct InferenceService {
     queue: Arc<BoundedQueue<PendingRequest>>,
     submitted: AtomicU64,
     completed: Arc<AtomicU64>,
+    in_flight: Arc<AtomicU64>,
     engine: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -146,19 +160,29 @@ impl InferenceService {
         assert!(config.max_batch > 0, "max_batch must be positive");
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
         let completed = Arc::new(AtomicU64::new(0));
+        let in_flight = Arc::new(AtomicU64::new(0));
         let engine = {
             let queue = Arc::clone(&queue);
             let completed = Arc::clone(&completed);
+            let in_flight = Arc::clone(&in_flight);
             std::thread::Builder::new()
                 .name("bitrobust-serve-engine".into())
                 .spawn(move || {
                     while let Some(wave) = queue.wait_wave(config.max_batch, config.max_delay) {
-                        serve_wave(wave, config.max_batch, &completed);
+                        bitrobust_obs::gauge_set("serve.queue_depth", queue.len() as u64);
+                        serve_wave(wave, config.max_batch, &completed, &in_flight);
                     }
                 })
                 .expect("spawn serve engine thread")
         };
-        Self { registry, queue, submitted: AtomicU64::new(0), completed, engine: Some(engine) }
+        Self {
+            registry,
+            queue,
+            submitted: AtomicU64::new(0),
+            completed,
+            in_flight,
+            engine: Some(engine),
+        }
     }
 
     /// The registry this service resolves models from. Publishing to it
@@ -183,11 +207,19 @@ impl InferenceService {
             image.shape()
         );
         self.submitted.fetch_add(1, Ordering::Relaxed);
+        bitrobust_obs::counter_add("serve.submitted", 1);
         let (tx, rx) = mpsc::channel();
-        match self.queue.push(PendingRequest { model, image, tx }) {
+        let request = PendingRequest { model, image, tx, submitted: Instant::now() };
+        match self.queue.push(request) {
             Ok(()) => Ok(Ticket { rx }),
-            Err(PushError::Full) => Err(SubmitError::Overloaded),
-            Err(PushError::Closed) => Err(SubmitError::ShuttingDown),
+            Err(PushError::Full) => {
+                bitrobust_obs::counter_add("serve.shed", 1);
+                Err(SubmitError::Overloaded)
+            }
+            Err(PushError::Closed) => {
+                bitrobust_obs::counter_add("serve.shed", 1);
+                Err(SubmitError::ShuttingDown)
+            }
         }
     }
 
@@ -196,12 +228,15 @@ impl InferenceService {
         self.submit(key, image).map(Ticket::wait)
     }
 
-    /// Current counters; see [`ServeStats`].
+    /// Current counters and live gauges; see [`ServeStats`].
     pub fn stats(&self) -> ServeStats {
         ServeStats {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             shed: self.queue.shed_count(),
+            queue_depth: self.queue.len() as u64,
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            versions: self.registry.versions(),
         }
     }
 
@@ -230,7 +265,24 @@ impl Drop for InferenceService {
 /// the shared scheduler, then deliver responses serially in wave order —
 /// the same per-slot-write / serial-delivery discipline as the campaign
 /// engine.
-fn serve_wave(wave: Vec<PendingRequest>, max_batch: usize, completed: &AtomicU64) {
+fn serve_wave(
+    wave: Vec<PendingRequest>,
+    max_batch: usize,
+    completed: &AtomicU64,
+    in_flight: &AtomicU64,
+) {
+    bitrobust_obs::span!("serve.wave");
+    bitrobust_obs::record("serve.wave_size", wave.len() as u64);
+    in_flight.fetch_add(wave.len() as u64, Ordering::Relaxed);
+    // Enqueue→dispatch latency: how long each request sat in the queue
+    // before its wave was drained.
+    if bitrobust_obs::enabled() {
+        let dispatched = Instant::now();
+        for request in &wave {
+            let wait = dispatched.saturating_duration_since(request.submitted);
+            bitrobust_obs::record("serve.queue_wait_ns", wait.as_nanos() as u64);
+        }
+    }
     let batches = coalesce(
         wave.len(),
         |i| {
@@ -243,6 +295,9 @@ fn serve_wave(wave: Vec<PendingRequest>, max_batch: usize, completed: &AtomicU64
         },
         max_batch,
     );
+    for batch in &batches {
+        bitrobust_obs::record("serve.batch_size", batch.len() as u64);
+    }
     // Execution inputs only — `Sync` model/tensor data. The response
     // channels stay outside the scheduler closure and are drained serially
     // below, in wave order.
@@ -281,6 +336,11 @@ fn serve_wave(wave: Vec<PendingRequest>, max_batch: usize, completed: &AtomicU64
             model_version: request.model.version(),
         });
         completed.fetch_add(1, Ordering::Relaxed);
+        in_flight.fetch_sub(1, Ordering::Relaxed);
+        bitrobust_obs::counter_add("serve.completed", 1);
+        if bitrobust_obs::enabled() {
+            bitrobust_obs::record("serve.total_ns", request.submitted.elapsed().as_nanos() as u64);
+        }
     }
 }
 

@@ -141,6 +141,7 @@ pub fn gemm(
     a.check(m, k);
     b.check(k, n);
     let use_avx = avx_available();
+    bitrobust_obs::span!("gemm.f32");
 
     PACK_SCRATCH.with(|scratch| {
         let (a_buf, b_buf) = &mut *scratch.borrow_mut();
@@ -154,7 +155,10 @@ pub fn gemm(
             let mut pc = 0;
             while pc < k {
                 let kc = KC.min(k - pc);
-                pack_b(b_buf, b, pc, jc, kc, nc);
+                {
+                    bitrobust_obs::span!("gemm.pack_b");
+                    pack_b(b_buf, b, pc, jc, kc, nc);
+                }
                 let mut ic = 0;
                 while ic < m {
                     let mc = MC.min(m - ic);

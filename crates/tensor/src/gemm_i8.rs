@@ -102,6 +102,7 @@ pub fn gemm_i8(
     a.check(m, k);
     b.check(k, n);
     let use_avx2 = avx2_available();
+    bitrobust_obs::span!("gemm.i8");
 
     PACK_SCRATCH_I8.with(|scratch| {
         let (a_buf, b_buf) = &mut *scratch.borrow_mut();

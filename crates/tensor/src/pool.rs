@@ -169,11 +169,13 @@ impl ThreadPool {
             return;
         }
         if self.workers == 0 || n < SERIAL_CUTOFF || IN_POOL_JOB.with(Cell::get) {
+            bitrobust_obs::counter_add("pool.inline", 1);
             for i in 0..n {
                 f(i);
             }
             return;
         }
+        bitrobust_obs::counter_add("pool.jobs", 1);
 
         // One job in flight at a time; concurrent submitters queue here.
         let _guard = self.submit_lock.lock();
